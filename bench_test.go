@@ -1,0 +1,258 @@
+package pmsynth
+
+// One benchmark per table and figure of the paper, plus ablations. Each
+// benchmark regenerates its experiment and reports the headline quantity
+// as a custom metric, so `go test -bench . -benchmem` doubles as the
+// reproduction harness:
+//
+//	Figure 1     -> BenchmarkFigure1AbsDiffTwoSteps    (pm-muxes = 0)
+//	Figure 2     -> BenchmarkFigure2AbsDiffThreeSteps  (%power-reduction)
+//	Table I      -> BenchmarkTableICircuitStatistics
+//	Table II     -> BenchmarkTableIIPowerManagement/<circuit>@<steps>
+//	Table III    -> BenchmarkTableIIISynopsysEstimate/<circuit>
+//	§IV.A        -> BenchmarkAblationMuxOrdering/<order>
+//	§IV.B        -> BenchmarkAblationPipelining/<variant>
+//	weights      -> BenchmarkAblationDerivedWeights
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/alloc"
+	"repro/internal/bench"
+	"repro/internal/cdfg"
+	"repro/internal/chip"
+	"repro/internal/core"
+	"repro/internal/power"
+	"repro/internal/tables"
+)
+
+func BenchmarkCompileFrontend(b *testing.B) {
+	src := bench.GCD().Source
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Compile(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure1AbsDiffTwoSteps(b *testing.B) {
+	c := bench.AbsDiff()
+	var managed int
+	for i := 0; i < b.N; i++ {
+		r, err := core.Schedule(c.Graph(), core.Config{Budget: 2, Weights: power.Weights})
+		if err != nil {
+			b.Fatal(err)
+		}
+		managed = r.NumManaged()
+	}
+	b.ReportMetric(float64(managed), "pm-muxes")
+}
+
+func BenchmarkFigure2AbsDiffThreeSteps(b *testing.B) {
+	c := bench.AbsDiff()
+	var red float64
+	for i := 0; i < b.N; i++ {
+		r, err := core.Schedule(c.Graph(), core.Config{Budget: 3, Weights: power.Weights})
+		if err != nil {
+			b.Fatal(err)
+		}
+		act, _ := power.AnalyzeExact(r.Graph, r.Guards)
+		red = 100 * power.Reduction(r.Graph, act, power.Weights)
+	}
+	b.ReportMetric(red, "%power-reduction")
+}
+
+func BenchmarkTableICircuitStatistics(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, c := range bench.All() {
+			if _, err := c.Graph().ComputeStats(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkTableIIPowerManagement(b *testing.B) {
+	for _, c := range bench.All() {
+		for _, budget := range c.Budgets {
+			name := fmt.Sprintf("%s@%d", c.Name, budget)
+			c, budget := c, budget
+			b.Run(name, func(b *testing.B) {
+				var row tables.RowII
+				var err error
+				for i := 0; i < b.N; i++ {
+					row, err = tables.MeasureRowII(c, budget)
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(row.PowerRedPct, "%power-reduction")
+				b.ReportMetric(float64(row.PMMuxes), "pm-muxes")
+				b.ReportMetric(row.AreaIncr, "area-ratio")
+			})
+		}
+	}
+}
+
+func BenchmarkTableIIISynopsysEstimate(b *testing.B) {
+	for _, c := range bench.All() {
+		if c.PaperIII.Steps == 0 {
+			continue
+		}
+		c := c
+		b.Run(c.Name, func(b *testing.B) {
+			var rep chip.Report
+			var err error
+			for i := 0; i < b.N; i++ {
+				rep, err = chip.Compare(c.Graph(), c.PaperIII.Steps, c.Design.Width, 60, 11)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(rep.PowerReductionPct(), "%power-reduction")
+			b.ReportMetric(rep.AreaIncrease(), "area-ratio")
+		})
+	}
+}
+
+func BenchmarkAblationMuxOrdering(b *testing.B) {
+	orders := []core.Order{
+		core.OrderOutputsFirst, core.OrderInputsFirst,
+		core.OrderGreedyWeight, core.OrderExhaustive,
+	}
+	c := bench.Vender()
+	for _, o := range orders {
+		o := o
+		b.Run(o.String(), func(b *testing.B) {
+			var red float64
+			for i := 0; i < b.N; i++ {
+				r, err := core.Schedule(c.Graph(), core.Config{Budget: 6, Order: o, Weights: power.Weights})
+				if err != nil {
+					b.Fatal(err)
+				}
+				act, _ := power.AnalyzeExact(r.Graph, r.Guards)
+				red = 100 * power.Reduction(r.Graph, act, power.Weights)
+			}
+			b.ReportMetric(red, "%power-reduction")
+		})
+	}
+}
+
+func BenchmarkAblationPipelining(b *testing.B) {
+	c := bench.Cordic()
+	cp := c.PaperStats.CriticalPath
+	variants := []struct {
+		name       string
+		budget, ii int
+	}{
+		{"plain", cp, cp},
+		{"pipe2", 2 * cp, cp},
+	}
+	for _, v := range variants {
+		v := v
+		b.Run(v.name, func(b *testing.B) {
+			var managed int
+			for i := 0; i < b.N; i++ {
+				r, err := core.Schedule(c.Graph(), core.Config{Budget: v.budget, II: v.ii, Weights: power.Weights})
+				if err != nil {
+					b.Fatal(err)
+				}
+				managed = r.NumManaged()
+			}
+			b.ReportMetric(float64(managed), "pm-muxes")
+		})
+	}
+}
+
+// BenchmarkAblationDerivedWeights swaps the paper's measured weight table
+// for one derived from this repository's own gate-level units (energy ~
+// area proxy) and reports how the headline vender reduction shifts.
+func BenchmarkAblationDerivedWeights(b *testing.B) {
+	c := bench.Vender()
+	derived := power.DeriveWeights(map[cdfg.Class]float64{
+		cdfg.ClassMux:  alloc.UnitArea(cdfg.ClassMux, 8),
+		cdfg.ClassComp: alloc.UnitArea(cdfg.ClassComp, 8),
+		cdfg.ClassAdd:  alloc.UnitArea(cdfg.ClassAdd, 8),
+		cdfg.ClassSub:  alloc.UnitArea(cdfg.ClassSub, 8),
+		cdfg.ClassMul:  alloc.UnitArea(cdfg.ClassMul, 8),
+	})
+	var red float64
+	for i := 0; i < b.N; i++ {
+		r, err := core.Schedule(c.Graph(), core.Config{Budget: 6, Weights: derived})
+		if err != nil {
+			b.Fatal(err)
+		}
+		act, _ := power.AnalyzeExact(r.Graph, r.Guards)
+		red = 100 * power.Reduction(r.Graph, act, derived)
+	}
+	b.ReportMetric(red, "%power-reduction-derived")
+}
+
+// BenchmarkAblationSchedulerBackend compares the list scheduler with the
+// force-directed backend on the elliptic wave filter (the classic FDS
+// stress test), reporting the execution-unit totals each needs.
+func BenchmarkAblationSchedulerBackend(b *testing.B) {
+	c := bench.EWF()
+	budget := c.PaperStats.CriticalPath + 2
+	for _, backend := range []struct {
+		name string
+		fds  bool
+	}{{"list", false}, {"force-directed", true}} {
+		backend := backend
+		b.Run(backend.name, func(b *testing.B) {
+			var units int
+			for i := 0; i < b.N; i++ {
+				r, err := core.Schedule(c.Graph(), core.Config{
+					Budget: budget, Weights: power.Weights, ForceDirected: backend.fds,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				units = r.Resources.Total()
+			}
+			b.ReportMetric(float64(units), "units")
+		})
+	}
+}
+
+// BenchmarkSchedulerThroughput measures the raw scheduling speed on the
+// largest benchmark (cordic: ~300 nodes, 47 muxes).
+func BenchmarkSchedulerThroughput(b *testing.B) {
+	c := bench.Cordic()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Schedule(c.Graph(), core.Config{Budget: 52, Weights: power.Weights}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGateLevelSimulation measures the toggle simulator itself.
+func BenchmarkGateLevelSimulation(b *testing.B) {
+	syn, err := Synthesize(bench.Vender().Design, Options{Budget: 6})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := syn.GateLevelReport(20, int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExactActivityAnalysis measures the 2^16-outcome exact analysis
+// on cordic.
+func BenchmarkExactActivityAnalysis(b *testing.B) {
+	c := bench.Cordic()
+	r, err := core.Schedule(c.Graph(), core.Config{Budget: 52, Weights: power.Weights})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		if _, exact := power.AnalyzeExact(r.Graph, r.Guards); !exact {
+			b.Fatal("expected exact analysis")
+		}
+	}
+}

@@ -1,0 +1,196 @@
+// Command pmsched runs the power management aware behavioral synthesis
+// flow on a Silage-style source file: compile, schedule with shut-down
+// maximization, bind, and report — optionally emitting VHDL or Graphviz.
+//
+// Usage:
+//
+//	pmsched -src design.sil -steps 6
+//	pmsched -src design.sil -steps 6 -vhdl out.vhd -dot cdfg.dot
+//	pmsched -src design.sil -steps 12 -ii 6            # two-stage pipeline
+//	pmsched -src design.sil -steps 6 -order greedy     # §IV.A reordering
+//	pmsched -src design.sil -steps 6 -gates -samples 200
+//	pmsched -builtin gcd -steps 7                      # run a paper benchmark
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro"
+	"repro/internal/bench"
+	"repro/internal/cdfg"
+)
+
+func fail(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "pmsched: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func main() {
+	srcPath := flag.String("src", "", "Silage-style source file")
+	builtin := flag.String("builtin", "", "built-in benchmark: dealer, gcd, vender, cordic, absdiff")
+	steps := flag.Int("steps", 0, "control steps per sample (default: critical path)")
+	ii := flag.Int("ii", 0, "pipeline initiation interval (0 = no pipelining)")
+	orderName := flag.String("order", "outputs", "mux order: outputs, inputs, greedy, exhaustive")
+	fds := flag.Bool("fds", false, "use the force-directed scheduling backend")
+	vhdlPath := flag.String("vhdl", "", "write power managed VHDL to this file")
+	verilogPath := flag.String("verilog", "", "write power managed Verilog to this file")
+	dotPath := flag.String("dot", "", "write the scheduled CDFG in Graphviz format")
+	explain := flag.Bool("explain", false, "report per-mux power management verdicts")
+	gates := flag.Bool("gates", false, "measure gate-level power (PM vs traditional)")
+	vcdPath := flag.String("vcd", "", "dump gate-level waveforms (VCD) to this file")
+	samples := flag.Int("samples", 100, "random vectors for -gates")
+	verify := flag.Int("verify", 200, "random vectors for output-equivalence check (0 disables)")
+	flag.Parse()
+
+	var design *pmsynth.Design
+	switch {
+	case *srcPath != "":
+		data, err := os.ReadFile(*srcPath)
+		if err != nil {
+			fail("%v", err)
+		}
+		design, err = pmsynth.Compile(string(data))
+		if err != nil {
+			fail("%v", err)
+		}
+	case *builtin != "":
+		var c *bench.Circuit
+		switch strings.ToLower(*builtin) {
+		case "dealer":
+			c = bench.Dealer()
+		case "gcd":
+			c = bench.GCD()
+		case "vender":
+			c = bench.Vender()
+		case "cordic":
+			c = bench.Cordic()
+		case "absdiff":
+			c = bench.AbsDiff()
+		default:
+			fail("unknown builtin %q", *builtin)
+		}
+		design = c.Design
+	default:
+		fail("need -src or -builtin (try -builtin absdiff -steps 3)")
+	}
+
+	cp, err := pmsynth.CriticalPath(design)
+	if err != nil {
+		fail("%v", err)
+	}
+	if *steps == 0 {
+		*steps = cp
+	}
+
+	var order pmsynth.Order
+	switch *orderName {
+	case "outputs":
+		order = pmsynth.OrderOutputsFirst
+	case "inputs":
+		order = pmsynth.OrderInputsFirst
+	case "greedy":
+		order = pmsynth.OrderGreedyWeight
+	case "exhaustive":
+		order = pmsynth.OrderExhaustive
+	default:
+		fail("unknown order %q", *orderName)
+	}
+
+	syn, err := pmsynth.Synthesize(design, pmsynth.Options{
+		Budget: *steps, II: *ii, Order: order, ForceDirected: *fds,
+	})
+	if err != nil {
+		fail("%v", err)
+	}
+
+	fmt.Printf("design %q: critical path %d, budget %d", design.Graph.Name, cp, *steps)
+	if *ii != 0 {
+		fmt.Printf(", pipelined (II=%d)", *ii)
+	}
+	fmt.Println()
+	fmt.Print(syn.PM.Schedule.String())
+	fmt.Printf("power managed muxes: %d\n", syn.PM.NumManaged())
+	for _, mm := range syn.PM.Managed {
+		g := syn.PM.Graph
+		names := func(ids []cdfg.NodeID) string {
+			var out []string
+			for _, id := range ids {
+				out = append(out, g.Node(id).Name)
+			}
+			return strings.Join(out, ",")
+		}
+		fmt.Printf("  mux %s (select %s): shuts down true={%s} false={%s}\n",
+			g.Node(mm.Mux).Name, g.Node(mm.Sel).Name, names(mm.GatedTrue), names(mm.GatedFalse))
+	}
+	fmt.Printf("units: %v, registers: %d\n", syn.Binding.Units, syn.Binding.Registers)
+	row := syn.Row()
+	fmt.Println("Steps PM  Area    MUX   COMP      +      -      *    PowerRed")
+	fmt.Printf("%5d %2d  %.2f  %6.2f %6.2f %6.2f %6.2f %6.2f  %6.2f%%\n",
+		row.Steps, row.PMMuxes, row.AreaIncrease, row.Mux, row.Comp, row.Add, row.Sub, row.Mul,
+		row.PowerReductionPct)
+
+	if *explain {
+		text, err := pmsynth.Explain(design, pmsynth.Options{Budget: *steps, II: *ii, Order: order})
+		if err != nil {
+			fail("%v", err)
+		}
+		fmt.Print(text)
+	}
+
+	if *verify > 0 {
+		if err := syn.Verify(*verify, 12345); err != nil {
+			fail("verification FAILED: %v", err)
+		}
+		fmt.Printf("verified: gated schedule matches reference on %d random vectors\n", *verify)
+	}
+
+	if *vhdlPath != "" {
+		text, err := syn.VHDL()
+		if err != nil {
+			fail("%v", err)
+		}
+		if err := os.WriteFile(*vhdlPath, []byte(text), 0o644); err != nil {
+			fail("%v", err)
+		}
+		fmt.Printf("wrote VHDL to %s\n", *vhdlPath)
+	}
+	if *verilogPath != "" {
+		text, err := syn.Verilog()
+		if err != nil {
+			fail("%v", err)
+		}
+		if err := os.WriteFile(*verilogPath, []byte(text), 0o644); err != nil {
+			fail("%v", err)
+		}
+		fmt.Printf("wrote Verilog to %s\n", *verilogPath)
+	}
+	if *dotPath != "" {
+		if err := os.WriteFile(*dotPath, []byte(syn.DOT()), 0o644); err != nil {
+			fail("%v", err)
+		}
+		fmt.Printf("wrote Graphviz CDFG to %s\n", *dotPath)
+	}
+	if *gates {
+		rep, err := syn.GateLevelReport(*samples, 11)
+		if err != nil {
+			fail("%v", err)
+		}
+		fmt.Println(rep)
+	}
+	if *vcdPath != "" {
+		f, err := os.Create(*vcdPath)
+		if err != nil {
+			fail("%v", err)
+		}
+		if err := syn.DumpVCD(10, 11, f); err != nil {
+			fail("%v", err)
+		}
+		if err := f.Close(); err != nil {
+			fail("%v", err)
+		}
+		fmt.Printf("wrote waveforms to %s\n", *vcdPath)
+	}
+}

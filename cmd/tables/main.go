@@ -1,0 +1,61 @@
+// Command tables regenerates every table and figure of Monteiro et al.
+// (DAC'96): Table I (circuit statistics), Table II (power management
+// sweep), Table III (gate-level area/power), Figures 1-2 (the |a-b|
+// schedules), and the §IV ablations.
+//
+// Usage:
+//
+//	tables            # everything
+//	tables -t1 -t2    # just Tables I and II
+//	tables -t3 -samples 200 -seed 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/tables"
+)
+
+func main() {
+	t1 := flag.Bool("t1", false, "print Table I (circuit statistics)")
+	t2 := flag.Bool("t2", false, "print Table II (power management sweep)")
+	t3 := flag.Bool("t3", false, "print Table III (gate-level comparison)")
+	figs := flag.Bool("figures", false, "print Figures 1-2 (the |a-b| schedules)")
+	abl := flag.Bool("ablations", false, "print the §IV ablations")
+	resources := flag.Bool("resources", false, "print the §II.B fixed-resource sweep")
+	samples := flag.Int("samples", 100, "random vectors per gate-level measurement")
+	seed := flag.Int64("seed", 11, "random seed for gate-level vectors")
+	flag.Parse()
+
+	all := !*t1 && !*t2 && !*t3 && !*figs && !*abl && !*resources
+
+	emit := func(name string, f func() (string, error)) {
+		s, err := f()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tables: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println(s)
+	}
+
+	if all || *figs {
+		emit("figures", tables.Figures)
+	}
+	if all || *t1 {
+		emit("table I", tables.TableI)
+	}
+	if all || *t2 {
+		emit("table II", tables.TableII)
+	}
+	if all || *t3 {
+		emit("table III", func() (string, error) { return tables.TableIII(*samples, *seed) })
+	}
+	if all || *resources {
+		emit("resource sweep", tables.ResourceSweep)
+	}
+	if all || *abl {
+		emit("ablations", tables.Ablations)
+	}
+}

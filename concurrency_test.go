@@ -1,0 +1,55 @@
+package pmsynth
+
+// Library-safety tests: Synthesize must not mutate shared state, so
+// concurrent synthesis of the same design is safe and deterministic.
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/bench"
+)
+
+func TestConcurrentSynthesisDeterministic(t *testing.T) {
+	c := bench.Vender()
+	const workers = 8
+	results := make([]string, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			syn, err := Synthesize(c.Design, Options{Budget: 6})
+			if err != nil {
+				t.Errorf("worker %d: %v", i, err)
+				return
+			}
+			v, err := syn.VHDL()
+			if err != nil {
+				t.Errorf("worker %d: %v", i, err)
+				return
+			}
+			results[i] = v
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < workers; i++ {
+		if results[i] != results[0] {
+			t.Fatalf("worker %d produced different VHDL", i)
+		}
+	}
+}
+
+func TestSynthesizeDoesNotMutateDesign(t *testing.T) {
+	c := bench.GCD()
+	before := c.Graph().DOT()
+	if _, err := Synthesize(c.Design, Options{Budget: 7}); err != nil {
+		t.Fatal(err)
+	}
+	if c.Graph().DOT() != before {
+		t.Error("Synthesize mutated the input design")
+	}
+	if n := len(c.Graph().ControlEdges()); n != 0 {
+		t.Errorf("input design gained %d control edges", n)
+	}
+}

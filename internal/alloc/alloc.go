@@ -1,0 +1,290 @@
+// Package alloc maps a scheduled CDFG onto hardware: execution-unit
+// binding, register lifetime analysis, and the area model used for the
+// Table II "Area Incr." column.
+//
+// Binding exploits mutual exclusiveness (paper §II.C): two operations of
+// the same class scheduled in the same control step may share one unit
+// when their gating guards prove that at most one of them executes per
+// sample — they sit on opposite branches of a power managed multiplexor.
+// This is how the power managed schedules avoid most of the area penalty
+// their extra serialization would otherwise cause.
+package alloc
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cdfg"
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+// Unit identifies one execution unit instance.
+type Unit struct {
+	Class cdfg.Class
+	Index int
+}
+
+// String renders e.g. "add#0".
+func (u Unit) String() string { return fmt.Sprintf("%s#%d", u.Class, u.Index) }
+
+// Binding is the allocation result.
+type Binding struct {
+	// UnitOf maps every operation node to its execution unit.
+	UnitOf map[cdfg.NodeID]Unit
+	// Units counts the allocated units per class.
+	Units map[cdfg.Class]int
+	// Registers is the minimum register count from lifetime analysis
+	// (left-edge for non-pipelined schedules; modulo-slot demand for
+	// pipelined ones).
+	Registers int
+	// RegOf maps value-producing nodes to a register index for
+	// non-pipelined schedules (empty when II < Steps).
+	RegOf map[cdfg.NodeID]int
+}
+
+// MutuallyExclusive reports whether the guards prove a and b never execute
+// in the same sample: some select gates a on one branch and b on the other.
+func MutuallyExclusive(guards sim.Guards, a, b cdfg.NodeID) bool {
+	for _, ga := range guards[a] {
+		for _, gb := range guards[b] {
+			if ga.Sel == gb.Sel && ga.WhenTrue != gb.WhenTrue {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// OpsOnUnit returns the operations bound to u in execution order.
+func (b *Binding) OpsOnUnit(s *sched.Schedule, u Unit) []cdfg.NodeID {
+	var out []cdfg.NodeID
+	for id, bu := range b.UnitOf {
+		if bu == u {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		ti, tj := s.Time[out[i]], s.Time[out[j]]
+		if ti != tj {
+			return ti < tj
+		}
+		return out[i] < out[j]
+	})
+	return out
+}
+
+// Bind allocates execution units for the schedule. Operations of one class
+// are packed greedily (earliest step first); an op joins an existing unit
+// unless another op on that unit occupies the same modulo slot without
+// being provably exclusive (by the power management guards).
+func Bind(s *sched.Schedule, guards sim.Guards) *Binding {
+	return BindWithOracle(s, func(a, b cdfg.NodeID) bool {
+		return MutuallyExclusive(guards, a, b)
+	})
+}
+
+// BindWithOracle is Bind with a caller-supplied exclusiveness test, e.g.
+// the structural condition-graph analysis of internal/mutex, which can
+// prove exclusiveness even for schedules without power management.
+func BindWithOracle(s *sched.Schedule, exclusive func(a, b cdfg.NodeID) bool) *Binding {
+	g := s.Graph
+	b := &Binding{
+		UnitOf: make(map[cdfg.NodeID]Unit),
+		Units:  make(map[cdfg.Class]int),
+	}
+	// unitSlotOps[class][index][slot] = ops already there.
+	unitSlotOps := make(map[cdfg.Class][]map[int][]cdfg.NodeID)
+
+	var ops []cdfg.NodeID
+	for _, n := range g.Nodes() {
+		if n.IsOp() {
+			ops = append(ops, n.ID)
+		}
+	}
+	sort.Slice(ops, func(i, j int) bool {
+		ti, tj := s.Time[ops[i]], s.Time[ops[j]]
+		if ti != tj {
+			return ti < tj
+		}
+		return ops[i] < ops[j]
+	})
+
+	for _, id := range ops {
+		cls := g.Node(id).Class()
+		slot := (s.Time[id] - 1) % s.II
+		units := unitSlotOps[cls]
+		bound := false
+		for idx := range units {
+			ok := true
+			for _, other := range units[idx][slot] {
+				if !exclusive(id, other) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				units[idx][slot] = append(units[idx][slot], id)
+				b.UnitOf[id] = Unit{Class: cls, Index: idx}
+				bound = true
+				break
+			}
+		}
+		if !bound {
+			m := map[int][]cdfg.NodeID{slot: {id}}
+			unitSlotOps[cls] = append(unitSlotOps[cls], m)
+			b.UnitOf[id] = Unit{Class: cls, Index: len(unitSlotOps[cls]) - 1}
+			b.Units[cls]++
+		}
+	}
+
+	b.Registers, b.RegOf = allocateRegisters(s)
+	return b
+}
+
+// lifetime returns, for every value-producing node, the interval
+// (def, lastUse]: the value is written at the clock edge ending step def
+// and must be held until its last consumer's step. Consumers behind
+// transparent wires inherit the wire consumers' times. Output values are
+// held to the end of the schedule.
+func lifetime(s *sched.Schedule) (def, lastUse []int, needs []bool) {
+	g := s.Graph
+	n := g.NumNodes()
+	def = make([]int, n)
+	lastUse = make([]int, n)
+	needs = make([]bool, n)
+
+	// lastUseOf computes the maximum consumer step, looking through
+	// wires and extending through outputs.
+	var lastUseOf func(id cdfg.NodeID) int
+	memo := make(map[cdfg.NodeID]int)
+	lastUseOf = func(id cdfg.NodeID) int {
+		if v, ok := memo[id]; ok {
+			return v
+		}
+		last := 0
+		for _, su := range g.Succs(id) {
+			sn := g.Node(su)
+			switch {
+			case sn.Kind == cdfg.KindOutput:
+				if s.Steps > last {
+					last = s.Steps
+				}
+			case sn.Class() == cdfg.ClassWire:
+				if lu := lastUseOf(su); lu > last {
+					last = lu
+				}
+			default:
+				if s.Time[su] > last {
+					last = s.Time[su]
+				}
+			}
+		}
+		memo[id] = last
+		return last
+	}
+
+	for _, nd := range g.Nodes() {
+		switch {
+		case nd.Kind == cdfg.KindConst, nd.Kind == cdfg.KindOutput, nd.Class() == cdfg.ClassWire:
+			// Hardwired or pass-through: no register.
+		case nd.Kind == cdfg.KindInput:
+			def[nd.ID] = 0
+			lastUse[nd.ID] = lastUseOf(nd.ID)
+			needs[nd.ID] = lastUse[nd.ID] > 0
+		default:
+			def[nd.ID] = s.Time[nd.ID]
+			lastUse[nd.ID] = lastUseOf(nd.ID)
+			needs[nd.ID] = lastUse[nd.ID] > def[nd.ID]
+		}
+	}
+	return def, lastUse, needs
+}
+
+// allocateRegisters runs left-edge allocation for non-pipelined schedules
+// and a modulo-slot demand bound for pipelined ones.
+func allocateRegisters(s *sched.Schedule) (int, map[cdfg.NodeID]int) {
+	def, lastUse, needs := lifetime(s)
+	g := s.Graph
+
+	var vals []cdfg.NodeID
+	for _, nd := range g.Nodes() {
+		if needs[nd.ID] {
+			vals = append(vals, nd.ID)
+		}
+	}
+
+	if s.II == s.Steps {
+		// Left-edge: sort by definition time, reuse the first free
+		// register (its previous value dead by our start).
+		sort.Slice(vals, func(i, j int) bool {
+			if def[vals[i]] != def[vals[j]] {
+				return def[vals[i]] < def[vals[j]]
+			}
+			return vals[i] < vals[j]
+		})
+		regOf := make(map[cdfg.NodeID]int)
+		var regEnd []int
+		for _, v := range vals {
+			placed := false
+			for r := range regEnd {
+				if regEnd[r] <= def[v] {
+					regEnd[r] = lastUse[v]
+					regOf[v] = r
+					placed = true
+					break
+				}
+			}
+			if !placed {
+				regEnd = append(regEnd, lastUse[v])
+				regOf[v] = len(regEnd) - 1
+			}
+		}
+		return len(regEnd), regOf
+	}
+
+	// Pipelined: a value occupies modulo slot m once per overlapped
+	// iteration; register demand is the worst slot occupancy.
+	maxDemand := 0
+	for m := 0; m < s.II; m++ {
+		demand := 0
+		for _, v := range vals {
+			for t := def[v] + 1; t <= lastUse[v]; t++ {
+				if (t-1)%s.II == m {
+					demand++
+					break
+				}
+			}
+			// A lifetime longer than II occupies the slot in
+			// several concurrent iterations.
+			span := lastUse[v] - def[v]
+			if span > s.II {
+				demand += span/s.II - 1
+			}
+		}
+		if demand > maxDemand {
+			maxDemand = demand
+		}
+	}
+	return maxDemand, map[cdfg.NodeID]int{}
+}
+
+// MaxOverlap returns the maximum number of simultaneously live values in a
+// non-pipelined schedule: the information-theoretic register lower bound,
+// which left-edge allocation achieves on interval graphs.
+func MaxOverlap(s *sched.Schedule) int {
+	def, lastUse, needs := lifetime(s)
+	max := 0
+	for t := 1; t <= s.Steps; t++ {
+		live := 0
+		for id := range needs {
+			if needs[id] && def[id] < t && t <= lastUse[id] {
+				live++
+			}
+		}
+		if live > max {
+			max = live
+		}
+	}
+	return max
+}

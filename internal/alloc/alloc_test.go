@@ -1,0 +1,306 @@
+package alloc
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cdfg"
+	"repro/internal/core"
+	"repro/internal/power"
+	"repro/internal/sched"
+	"repro/internal/silage"
+	"repro/internal/sim"
+)
+
+const absDiffSrc = `
+func absdiff(a: num<8>, b: num<8>) out: num<8> =
+begin
+    g   = a > b;
+    d1  = a - b;
+    d2  = b - a;
+    out = if g -> d1 || d2 fi;
+end
+`
+
+func pmResult(t *testing.T, src string, budget int) *core.Result {
+	t.Helper()
+	d, err := silage.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := core.Schedule(d.Graph, core.Config{Budget: budget, Weights: power.Weights})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// TestMutualExclusionSharing: the two gated subtractions land in the same
+// step of the PM schedule but share one subtractor because their guards
+// are complementary (paper §II.C).
+func TestMutualExclusionSharing(t *testing.T) {
+	r := pmResult(t, absDiffSrc, 3)
+	b := Bind(r.Schedule, r.Guards)
+	if b.Units[cdfg.ClassSub] != 1 {
+		t.Errorf("subtractor units = %d, want 1 (exclusive sharing)", b.Units[cdfg.ClassSub])
+	}
+	d1, d2 := r.Graph.Lookup("d1"), r.Graph.Lookup("d2")
+	if b.UnitOf[d1] != b.UnitOf[d2] {
+		t.Error("gated subs should share a unit")
+	}
+	if !MutuallyExclusive(r.Guards, d1, d2) {
+		t.Error("gated subs should be mutually exclusive")
+	}
+	if MutuallyExclusive(r.Guards, d1, r.Graph.Lookup("g")) {
+		t.Error("comparator is not exclusive with anything")
+	}
+}
+
+// TestBaselineNoSharing: without guards, same-step same-class ops need
+// distinct units.
+func TestBaselineNoSharing(t *testing.T) {
+	d, err := silage.Compile(absDiffSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, _, err := sched.MinimizeSimple(d.Graph, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := Bind(s, nil)
+	if b.Units[cdfg.ClassSub] != 2 {
+		t.Errorf("baseline subtractors = %d, want 2", b.Units[cdfg.ClassSub])
+	}
+}
+
+func TestBindingCoversAllOps(t *testing.T) {
+	r := pmResult(t, absDiffSrc, 3)
+	b := Bind(r.Schedule, r.Guards)
+	for _, n := range r.Graph.Nodes() {
+		if n.IsOp() {
+			if _, ok := b.UnitOf[n.ID]; !ok {
+				t.Errorf("op %q unbound", n.Name)
+			}
+		} else if _, ok := b.UnitOf[n.ID]; ok {
+			t.Errorf("non-op %q bound", n.Name)
+		}
+	}
+}
+
+func TestOpsOnUnitOrdered(t *testing.T) {
+	r := pmResult(t, absDiffSrc, 3)
+	b := Bind(r.Schedule, r.Guards)
+	u := b.UnitOf[r.Graph.Lookup("d1")]
+	ops := b.OpsOnUnit(r.Schedule, u)
+	if len(ops) != 2 {
+		t.Fatalf("ops on sub unit = %d, want 2", len(ops))
+	}
+	if r.Schedule.Time[ops[0]] > r.Schedule.Time[ops[1]] {
+		t.Error("unit ops not in execution order")
+	}
+	if u.String() != "sub#0" {
+		t.Errorf("unit string = %q", u.String())
+	}
+}
+
+func TestRegisterAllocationAbsDiff(t *testing.T) {
+	r := pmResult(t, absDiffSrc, 3)
+	b := Bind(r.Schedule, r.Guards)
+	if b.Registers < 3 {
+		// a and b live into step 2; comparator lives to step 3 (mux
+		// select); one sub result lives to step 3; output to end.
+		t.Errorf("registers = %d, want >= 3", b.Registers)
+	}
+	if len(b.RegOf) == 0 {
+		t.Error("RegOf empty for non-pipelined schedule")
+	}
+	if b.Registers != MaxOverlap(r.Schedule) {
+		t.Errorf("left-edge %d != max overlap %d", b.Registers, MaxOverlap(r.Schedule))
+	}
+}
+
+// TestPropertyLeftEdgeEqualsMaxOverlap: left-edge is optimal on interval
+// graphs, so its count must equal the max number of simultaneously live
+// values, for random DAG schedules.
+func TestPropertyLeftEdgeEqualsMaxOverlap(t *testing.T) {
+	f := func(seed int64, size, extra uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := cdfg.New("rnd")
+		a := cdfg.MustAdd(g.AddInput("a"))
+		b := cdfg.MustAdd(g.AddInput("b"))
+		ids := []cdfg.NodeID{a, b}
+		kinds := []cdfg.Kind{cdfg.KindAdd, cdfg.KindSub, cdfg.KindMul}
+		nOps := int(size%25) + 2
+		for i := 0; i < nOps; i++ {
+			x := ids[r.Intn(len(ids))]
+			y := ids[r.Intn(len(ids))]
+			nm := "n" + string(rune('a'+i%26)) + string(rune('0'+i/26))
+			ids = append(ids, cdfg.MustAdd(g.AddOp(kinds[r.Intn(len(kinds))], nm, x, y)))
+		}
+		cdfg.MustAdd(g.AddOutput("o", ids[len(ids)-1]))
+		mb, err := sched.MinBudget(g)
+		if err != nil {
+			return false
+		}
+		s, _, err := sched.MinimizeSimple(g, mb+int(extra%3))
+		if err != nil {
+			return false
+		}
+		bind := Bind(s, nil)
+		return bind.Registers == MaxOverlap(s)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSharedUnitNeverDoubleBooked: on random schedules with PM guards, no
+// unit hosts two non-exclusive ops in the same modulo slot.
+func TestSharedUnitNeverDoubleBooked(t *testing.T) {
+	srcs := []string{absDiffSrc, `
+func v(a: num<8>, b: num<8>) o1: num<8>, o2: num<8> =
+begin
+    c1 = a > b;
+    t1 = a * 3;
+    t2 = b * 5;
+    o1 = if c1 -> t1 || t2 fi;
+    c2 = a < b;
+    u1 = a + 1;
+    u2 = b + 2;
+    o2 = if c2 -> u1 || u2 fi;
+end
+`}
+	for _, src := range srcs {
+		d, err := silage.Compile(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cp, _ := d.Graph.CriticalPath()
+		for budget := cp; budget < cp+3; budget++ {
+			r, err := core.Schedule(d.Graph, core.Config{Budget: budget, Weights: power.Weights})
+			if err != nil {
+				t.Fatal(err)
+			}
+			b := Bind(r.Schedule, r.Guards)
+			byUnitSlot := make(map[Unit]map[int][]cdfg.NodeID)
+			for id, u := range b.UnitOf {
+				slot := (r.Schedule.Time[id] - 1) % r.Schedule.II
+				if byUnitSlot[u] == nil {
+					byUnitSlot[u] = make(map[int][]cdfg.NodeID)
+				}
+				byUnitSlot[u][slot] = append(byUnitSlot[u][slot], id)
+			}
+			for u, slots := range byUnitSlot {
+				for slot, ops := range slots {
+					for i := 0; i < len(ops); i++ {
+						for j := i + 1; j < len(ops); j++ {
+							if !MutuallyExclusive(r.Guards, ops[i], ops[j]) {
+								t.Errorf("budget %d: unit %v slot %d double-booked", budget, u, slot)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestUnitAreaModel(t *testing.T) {
+	// The exact formulas; the rtl package cross-checks these against its
+	// own generators.
+	if UnitArea(cdfg.ClassAdd, 8) != 48 {
+		t.Errorf("adder area = %v", UnitArea(cdfg.ClassAdd, 8))
+	}
+	if UnitArea(cdfg.ClassSub, 8) != 52 {
+		t.Errorf("sub area = %v", UnitArea(cdfg.ClassSub, 8))
+	}
+	if UnitArea(cdfg.ClassComp, 8) != 52.5 {
+		t.Errorf("comp area = %v", UnitArea(cdfg.ClassComp, 8))
+	}
+	if UnitArea(cdfg.ClassMul, 8) != 6*64+36 {
+		t.Errorf("mul area = %v", UnitArea(cdfg.ClassMul, 8))
+	}
+	if UnitArea(cdfg.ClassMux, 8) != 20 {
+		t.Errorf("mux area = %v", UnitArea(cdfg.ClassMux, 8))
+	}
+	if UnitArea(cdfg.ClassIO, 8) != 0 || UnitArea(cdfg.ClassWire, 8) != 0 {
+		t.Error("free classes should have zero area")
+	}
+	if RegisterArea(8) != 48 {
+		t.Error("register area")
+	}
+}
+
+// TestAreaIncreaseSmall: for absdiff at 3 steps, PM binding with exclusive
+// sharing needs the same subtractor count as the baseline, so the area
+// ratio stays at 1.0 — matching the paper's "in most cases there is no
+// area penalty".
+func TestAreaIncreaseSmall(t *testing.T) {
+	d, err := silage.Compile(absDiffSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := pmResult(t, absDiffSrc, 3)
+	pmBind := Bind(r.Schedule, r.Guards)
+
+	base, _, err := core.Baseline(d.Graph, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseBind := Bind(base, nil)
+
+	ratio := AreaIncrease(pmBind, baseBind, 8)
+	if ratio != 1.0 {
+		t.Errorf("area increase = %.3f, want 1.0 (units: pm=%v base=%v)",
+			ratio, pmBind.Units, baseBind.Units)
+	}
+	if pmBind.UnitsArea(8) <= 0 || pmBind.TotalArea(8) <= pmBind.UnitsArea(8) {
+		t.Error("area accounting inconsistent")
+	}
+}
+
+func TestAreaIncreaseEmptyBaseline(t *testing.T) {
+	b := &Binding{Units: map[cdfg.Class]int{}}
+	if AreaIncrease(b, b, 8) != 1 {
+		t.Error("empty baseline should give ratio 1")
+	}
+}
+
+// TestPipelinedRegisterEstimate: for a pipelined schedule the register
+// demand accounts for overlapped iterations.
+func TestPipelinedRegisterEstimate(t *testing.T) {
+	d, err := silage.Compile(`
+func p(a: num<8>, b: num<8>) o: num<8> =
+begin
+    t1 = a + b;
+    t2 = t1 * 3;
+    t3 = t2 - a;
+    o  = t3 + 1;
+end
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, _, err := sched.Minimize(d.Graph, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := Bind(s, nil)
+	if b.Registers < 2 {
+		t.Errorf("pipelined registers = %d, want >= 2", b.Registers)
+	}
+	if len(b.RegOf) != 0 {
+		t.Error("RegOf should be empty for pipelined schedules")
+	}
+	// Functional-unit demand doubles where modulo slots collide.
+	sNon, _, err := sched.MinimizeSimple(d.Graph, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bNon := Bind(sNon, nil)
+	if bNon.Units[cdfg.ClassAdd] > b.Units[cdfg.ClassAdd]+1 {
+		t.Error("unexpected unit relationship")
+	}
+	_ = sim.Guards(nil)
+}

@@ -1,0 +1,96 @@
+package alloc
+
+import (
+	"testing"
+
+	"repro/internal/cdfg"
+	"repro/internal/core"
+	"repro/internal/mutex"
+	"repro/internal/power"
+	"repro/internal/silage"
+)
+
+// TestStructuralOracleSharesBaselineUnits: the condition-graph analysis
+// proves the two multiplications exclusive even in a schedule without
+// power management, letting the baseline binding share one multiplier —
+// the effect behind the paper's vender area ratio of 0.98.
+func TestStructuralOracleSharesBaselineUnits(t *testing.T) {
+	src := `
+func v(amt: num<8>, price: num<8>) chg: num<8> =
+begin
+    g1  = amt >= price;
+    c10 = amt * 3;
+    r10 = c10 - price;
+    c25 = amt * 5;
+    r25 = c25 - price;
+    chg = if g1 -> r10 || r25 fi;
+end
+`
+	d, err := silage.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Traditional schedule at the critical path: both multiplications
+	// land in step 1.
+	s, _, err := core.Baseline(d.Graph, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := Bind(s, nil)
+	if plain.Units[cdfg.ClassMul] != 2 {
+		t.Fatalf("plain binding multipliers = %d, want 2", plain.Units[cdfg.ClassMul])
+	}
+
+	an, err := mutex.Analyze(d.Graph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared := BindWithOracle(s, an.Exclusive)
+	if shared.Units[cdfg.ClassMul] != 1 {
+		t.Errorf("oracle binding multipliers = %d, want 1 (structural sharing)", shared.Units[cdfg.ClassMul])
+	}
+	if shared.Units[cdfg.ClassSub] != 1 {
+		t.Errorf("oracle binding subtractors = %d, want 1", shared.Units[cdfg.ClassSub])
+	}
+	// Area comparison: structural sharing beats the plain baseline.
+	if !(shared.UnitsArea(8) < plain.UnitsArea(8)) {
+		t.Error("structural sharing did not reduce unit area")
+	}
+}
+
+// TestOracleAgreesWithGuardExclusiveness: on a PM result, the structural
+// analysis must prove at least the exclusiveness the PM guards prove.
+func TestOracleAgreesWithGuardExclusiveness(t *testing.T) {
+	src := `
+func absdiff(a: num<8>, b: num<8>) out: num<8> =
+begin
+    g   = a > b;
+    d1  = a - b;
+    d2  = b - a;
+    out = if g -> d1 || d2 fi;
+end
+`
+	d, err := silage.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := core.Schedule(d.Graph, core.Config{Budget: 3, Weights: power.Weights})
+	if err != nil {
+		t.Fatal(err)
+	}
+	an, err := mutex.Analyze(r.Graph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n1 := range r.Graph.Nodes() {
+		for _, n2 := range r.Graph.Nodes() {
+			if !n1.IsOp() || !n2.IsOp() || n1.ID >= n2.ID {
+				continue
+			}
+			if MutuallyExclusive(r.Guards, n1.ID, n2.ID) && !an.Exclusive(n1.ID, n2.ID) {
+				t.Errorf("guards prove %s/%s exclusive but structure does not",
+					n1.Name, n2.Name)
+			}
+		}
+	}
+}

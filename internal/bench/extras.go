@@ -1,0 +1,156 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/silage"
+)
+
+// Extra circuits beyond the paper's four: the classic high-level synthesis
+// benchmarks (diffeq, elliptic wave filter) that stress the scheduler and
+// allocator, and a conditional-rich decode block that stresses the power
+// management pass. They demonstrate generality; no paper numbers attach to
+// them.
+
+// DiffEq returns the classic Paulin differential-equation benchmark body
+// (one iteration of y” + 3xy' + 3y = 0): 6 multiplications, 2 additions,
+// 2 subtractions, 1 comparison, no conditionals.
+func DiffEq() *Circuit {
+	const src = `
+# diffeq: one iteration of the HAL benchmark (Paulin & Knight).
+func diffeq(x: num<8>, y: num<8>, u: num<8>, dx: num<8>, a: num<8>) x1: num<8>, y1: num<8>, u1: num<8>, go: bool =
+begin
+    t1 = 3 * x;       # 3x
+    t2 = t1 * u;      # 3xu
+    t3 = t2 * dx;     # 3xu*dx
+    t4 = 3 * y;       # 3y
+    t5 = t4 * dx;     # 3y*dx
+    t6 = u * dx;      # u*dx
+    s1 = u - t3;
+    u1 = s1 - t5;     # u - 3xu*dx - 3y*dx
+    y1 = y + t6;      # y + u*dx
+    x1 = x + dx;      # x + dx
+    go = x1 < a;      # loop-continue condition
+end
+`
+	// Critical path 5: t1 -> t2 -> t3 -> s1 -> u1.
+	return mustCircuit("diffeq", src, stats(5, 0, 1, 2, 2, 6), []int{5, 6, 7, 8}, nil, PaperRowIII{})
+}
+
+// EWF returns a fifth-order elliptic wave filter in the standard 26-add /
+// 8-multiply dataflow shape — the classic scheduling stress test. It has
+// no conditionals: the power management pass must recognize there is
+// nothing to do (an important no-op path).
+func EWF() *Circuit {
+	src := ewfSource()
+	c := mustCircuitLoose("ewf", src)
+	return c
+}
+
+// ewfSource emits the filter. The structure follows the usual published
+// dataflow: cascaded add chains with multiplier taps feeding back.
+func ewfSource() string {
+	var b strings.Builder
+	b.WriteString("# ewf: fifth-order elliptic wave filter (standard 26+/8* shape).\n")
+	b.WriteString("func ewf(inp: num<8>, sv2: num<8>, sv13: num<8>, sv18: num<8>, sv26: num<8>, sv33: num<8>, sv38: num<8>, sv39: num<8>) out: num<8>, nsv2: num<8>, nsv13: num<8>, nsv18: num<8>, nsv26: num<8>, nsv33: num<8>, nsv38: num<8>, nsv39: num<8> =\nbegin\n")
+	lines := []string{
+		"a1 = inp + sv2;",
+		"a2 = a1 + sv33;",
+		"a3 = a2 + sv39;",
+		"m1 = a3 * 3;",
+		"a4 = m1 + sv13;",
+		"a5 = a4 + a2;",
+		"m2 = a5 * 5;",
+		"a6 = m2 + a4;",
+		"a7 = a6 + sv18;",
+		"a8 = a7 + a5;",
+		"m3 = a8 * 3;",
+		"a9 = m3 + a6;",
+		"a10 = a9 + sv26;",
+		"a11 = a10 + a7;",
+		"m4 = a11 * 5;",
+		"a12 = m4 + a9;",
+		"a13 = a12 + sv38;",
+		"a14 = a13 + a10;",
+		"m5 = a14 * 3;",
+		"a15 = m5 + a12;",
+		"a16 = a15 + a13;",
+		"m6 = a16 * 5;",
+		"a17 = m6 + a15;",
+		"a18 = a17 + a14;",
+		"m7 = a18 * 3;",
+		"a19 = m7 + a17;",
+		"a20 = a19 + a16;",
+		"m8 = a20 * 5;",
+		"a21 = m8 + a19;",
+		"a22 = a21 + a18;",
+		"a23 = a22 + a20;",
+		"a24 = a23 + a21;",
+		"a25 = a24 + a22;",
+		"a26 = a25 + a23;",
+	}
+	for _, l := range lines {
+		fmt.Fprintf(&b, "    %s\n", l)
+	}
+	b.WriteString("    out = a26;\n")
+	b.WriteString("    nsv2 = a24;\n    nsv13 = a25;\n    nsv18 = a21;\n    nsv26 = a19;\n")
+	b.WriteString("    nsv33 = a17;\n    nsv38 = a15;\n    nsv39 = a12;\n")
+	b.WriteString("end\n")
+	return b.String()
+}
+
+// Decode returns a conditional-rich instruction-decode-style block: a
+// three-level select tree over computed values, exercising nested gating
+// and mux reordering.
+func Decode() *Circuit {
+	const src = `
+# decode: three-level select tree over computed function units.
+func decode(op: num<8>, a: num<8>, b: num<8>) r: num<8> =
+begin
+    isalu  = op < 64;
+    isadd  = op < 32;
+    islog  = op < 96;
+    sum    = a + b;
+    dif    = a - b;
+    prd    = a * b;
+    shl2   = (a << 2) + 0;
+    alures = if isadd -> sum || dif fi;
+    logres = if islog -> prd || shl2 fi;
+    r      = if isalu -> alures || logres fi;
+end
+`
+	return mustCircuit("decode", src, stats(3, 3, 3, 2, 1, 1), []int{3, 4, 5, 6}, nil, PaperRowIII{})
+}
+
+// mustCompile compiles a source, panicking with the circuit name on error.
+func mustCompile(name, src string) *silage.Design {
+	d, err := silage.Compile(src)
+	if err != nil {
+		panic(fmt.Sprintf("bench: %s does not compile: %v", name, err))
+	}
+	return d
+}
+
+// mustCircuitLoose compiles a circuit without a Table I expectation (for
+// the extras whose statistics are not pinned by the paper).
+func mustCircuitLoose(name, src string) *Circuit {
+	d := mustCompile(name, src)
+	st, err := d.Graph.ComputeStats()
+	if err != nil {
+		panic(fmt.Sprintf("bench: %s stats: %v", name, err))
+	}
+	cp := st.CriticalPath
+	return &Circuit{
+		Name:       name,
+		Source:     src,
+		Design:     d,
+		PaperStats: st,
+		Budgets:    []int{cp, cp + 2, cp + 4},
+	}
+}
+
+// Extras returns the non-paper circuits.
+func Extras() []*Circuit {
+	return []*Circuit{DiffEq(), EWF(), Decode()}
+}

@@ -1,0 +1,201 @@
+package cdfg
+
+import (
+	"fmt"
+	"sort"
+)
+
+// NodeSet is a set of node IDs.
+type NodeSet map[NodeID]bool
+
+// NewNodeSet builds a set from the given IDs.
+func NewNodeSet(ids ...NodeID) NodeSet {
+	s := make(NodeSet, len(ids))
+	for _, id := range ids {
+		s[id] = true
+	}
+	return s
+}
+
+// Sorted returns the members in ascending ID order.
+func (s NodeSet) Sorted() []NodeID {
+	out := make([]NodeID, 0, len(s))
+	for id := range s {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Contains reports membership; a nil set contains nothing.
+func (s NodeSet) Contains(id NodeID) bool { return s[id] }
+
+// Intersect returns the intersection of s and t.
+func (s NodeSet) Intersect(t NodeSet) NodeSet {
+	small, big := s, t
+	if len(t) < len(s) {
+		small, big = t, s
+	}
+	out := make(NodeSet)
+	for id := range small {
+		if big[id] {
+			out[id] = true
+		}
+	}
+	return out
+}
+
+// TransitiveFanin returns the set of nodes from which root is reachable via
+// dataflow edges. The root itself is included. Input and constant nodes are
+// included; callers filter as needed.
+func (g *Graph) TransitiveFanin(root NodeID) NodeSet {
+	seen := make(NodeSet)
+	stack := []NodeID{root}
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[id] {
+			continue
+		}
+		seen[id] = true
+		stack = append(stack, g.nodes[id].Args...)
+	}
+	return seen
+}
+
+// TransitiveFanout returns the set of nodes reachable from root via
+// dataflow edges, including root.
+func (g *Graph) TransitiveFanout(root NodeID) NodeSet {
+	seen := make(NodeSet)
+	stack := []NodeID{root}
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[id] {
+			continue
+		}
+		seen[id] = true
+		stack = append(stack, g.succs[id]...)
+	}
+	return seen
+}
+
+// Depth returns, for every node, the earliest control step it could occupy
+// considering only dataflow edges (1-based for unit-latency ops; zero for
+// free nodes feeding nothing yet). This is the unconstrained ASAP level.
+func (g *Graph) Depth() ([]int, error) {
+	order, err := g.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	depth := make([]int, len(g.nodes))
+	for _, id := range order {
+		n := g.nodes[id]
+		earliest := 0
+		for _, a := range n.Args {
+			if depth[a] > earliest {
+				earliest = depth[a]
+			}
+		}
+		depth[id] = earliest + n.Latency()
+	}
+	return depth, nil
+}
+
+// HeightToOutput returns, for every node, the longest latency-weighted path
+// from the node to any output (the node's own latency included). Nodes that
+// reach no output have height equal to their own latency.
+func (g *Graph) HeightToOutput() ([]int, error) {
+	order, err := g.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	height := make([]int, len(g.nodes))
+	for i := len(order) - 1; i >= 0; i-- {
+		id := order[i]
+		n := g.nodes[id]
+		below := 0
+		for _, s := range g.succs[id] {
+			if height[s] > below {
+				below = height[s]
+			}
+		}
+		height[id] = below + n.Latency()
+	}
+	return height, nil
+}
+
+// CriticalPath returns the minimum number of control steps needed to
+// execute the graph: the longest latency-weighted dataflow path. Control
+// edges are deliberately excluded — this is the Table I "Critical Path"
+// column, a property of the original behavior.
+func (g *Graph) CriticalPath() (int, error) {
+	depth, err := g.Depth()
+	if err != nil {
+		return 0, err
+	}
+	max := 0
+	for _, d := range depth {
+		if d > max {
+			max = d
+		}
+	}
+	return max, nil
+}
+
+// Stats summarizes a graph the way Table I does.
+type Stats struct {
+	// CriticalPath is the minimum feasible number of control steps.
+	CriticalPath int
+	// Count holds the number of operations per class.
+	Count [NumClasses]int
+}
+
+// NumOps returns the number of datapath operations (mux, comp, add, sub,
+// mul) in the summary.
+func (s Stats) NumOps() int {
+	return s.Count[ClassMux] + s.Count[ClassComp] + s.Count[ClassAdd] +
+		s.Count[ClassSub] + s.Count[ClassMul]
+}
+
+// String formats the stats as a Table I row fragment.
+func (s Stats) String() string {
+	return fmt.Sprintf("cp=%d mux=%d comp=%d add=%d sub=%d mul=%d",
+		s.CriticalPath, s.Count[ClassMux], s.Count[ClassComp],
+		s.Count[ClassAdd], s.Count[ClassSub], s.Count[ClassMul])
+}
+
+// ComputeStats returns the Table I statistics for the graph.
+func (g *Graph) ComputeStats() (Stats, error) {
+	cp, err := g.CriticalPath()
+	if err != nil {
+		return Stats{}, err
+	}
+	st := Stats{CriticalPath: cp}
+	for _, n := range g.nodes {
+		st.Count[n.Class()]++
+	}
+	return st, nil
+}
+
+// Muxes returns the IDs of all multiplexor nodes in ID order.
+func (g *Graph) Muxes() []NodeID {
+	var out []NodeID
+	for _, n := range g.nodes {
+		if n.Kind == KindMux {
+			out = append(out, n.ID)
+		}
+	}
+	return out
+}
+
+// OpsByClass returns the IDs of all nodes of the given class in ID order.
+func (g *Graph) OpsByClass(c Class) []NodeID {
+	var out []NodeID
+	for _, n := range g.nodes {
+		if n.Class() == c {
+			out = append(out, n.ID)
+		}
+	}
+	return out
+}

@@ -1,0 +1,524 @@
+// Package cdfg implements the Control Data Flow Graph used throughout the
+// behavioral synthesis flow.
+//
+// A CDFG is a directed acyclic graph in which each node is a primitive
+// operation (arithmetic, comparison, multiplexor) or an interface node
+// (input, constant, output). Conditionals in the source language are
+// represented as multiplexor nodes: the control input carries the condition
+// and the 0/1 data inputs carry the values of the two branches, exactly as
+// in Monteiro et al., DAC'96.
+//
+// Besides ordinary dataflow edges (implied by each node's argument list) a
+// graph may carry control edges, the extra precedence constraints the power
+// management scheduling algorithm inserts between the last node of a mux's
+// control cone and the first nodes of its gated data cones.
+package cdfg
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// NodeID identifies a node within one Graph. IDs are dense indices starting
+// at zero; they are stable across Clone.
+type NodeID int
+
+// InvalidNode is returned by lookups that find nothing.
+const InvalidNode NodeID = -1
+
+// Kind enumerates the primitive operation types.
+type Kind int
+
+const (
+	// KindInput is a primary input port. It occupies no control step.
+	KindInput Kind = iota
+	// KindConst is a compile-time constant. It occupies no control step.
+	KindConst
+	// KindOutput is a primary output port, fed by exactly one node.
+	KindOutput
+	// KindAdd is a two-input addition.
+	KindAdd
+	// KindSub is a two-input subtraction (Args[0] - Args[1]).
+	KindSub
+	// KindMul is a two-input multiplication.
+	KindMul
+	// KindLt..KindNe are two-input comparisons producing a boolean.
+	KindLt
+	KindGt
+	KindLe
+	KindGe
+	KindEq
+	KindNe
+	// KindMux is a 2:1 multiplexor: Args[MuxSel] selects Args[MuxTrue]
+	// when nonzero, else Args[MuxFalse].
+	KindMux
+	// KindShl and KindShr are constant-amount shifts. Constant shifts are
+	// pure wiring in hardware: they occupy no control step and dissipate
+	// no power.
+	KindShl
+	KindShr
+	// KindAnd, KindOr, KindNot are boolean connectives for composite
+	// conditions.
+	KindAnd
+	KindOr
+	KindNot
+)
+
+// Argument positions for KindMux nodes.
+const (
+	// MuxSel is the control (select) input position.
+	MuxSel = 0
+	// MuxTrue is the data input chosen when the select is nonzero
+	// (the paper's "1 input").
+	MuxTrue = 1
+	// MuxFalse is the data input chosen when the select is zero
+	// (the paper's "0 input").
+	MuxFalse = 2
+)
+
+var kindNames = map[Kind]string{
+	KindInput:  "input",
+	KindConst:  "const",
+	KindOutput: "output",
+	KindAdd:    "+",
+	KindSub:    "-",
+	KindMul:    "*",
+	KindLt:     "<",
+	KindGt:     ">",
+	KindLe:     "<=",
+	KindGe:     ">=",
+	KindEq:     "==",
+	KindNe:     "!=",
+	KindMux:    "mux",
+	KindShl:    "<<",
+	KindShr:    ">>",
+	KindAnd:    "&",
+	KindOr:     "|",
+	KindNot:    "!",
+}
+
+// String returns the conventional operator spelling for the kind.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// IsComparison reports whether the kind is one of the six comparators.
+func (k Kind) IsComparison() bool {
+	switch k {
+	case KindLt, KindGt, KindLe, KindGe, KindEq, KindNe:
+		return true
+	}
+	return false
+}
+
+// IsBoolean reports whether the kind produces a boolean value.
+func (k Kind) IsBoolean() bool {
+	return k.IsComparison() || k == KindAnd || k == KindOr || k == KindNot
+}
+
+// Arity returns the number of arguments nodes of this kind take.
+func (k Kind) Arity() int {
+	switch k {
+	case KindInput, KindConst:
+		return 0
+	case KindOutput, KindNot, KindShl, KindShr:
+		return 1
+	case KindMux:
+		return 3
+	default:
+		return 2
+	}
+}
+
+// Class groups kinds into the resource classes the paper reports on
+// (Table I columns), plus the classes that consume no datapath resources.
+type Class int
+
+const (
+	// ClassIO covers inputs, constants and outputs.
+	ClassIO Class = iota
+	// ClassMux covers multiplexors (weight 1 in the paper's power model).
+	ClassMux
+	// ClassComp covers all comparators (weight 4).
+	ClassComp
+	// ClassAdd covers additions (weight 3).
+	ClassAdd
+	// ClassSub covers subtractions (weight 3).
+	ClassSub
+	// ClassMul covers multiplications (weight 20).
+	ClassMul
+	// ClassWire covers constant shifts: free wiring.
+	ClassWire
+	// ClassLogic covers boolean connectives on condition bits.
+	ClassLogic
+)
+
+// NumClasses is the count of distinct Class values.
+const NumClasses = int(ClassLogic) + 1
+
+var classNames = [NumClasses]string{"io", "mux", "comp", "add", "sub", "mul", "wire", "logic"}
+
+// String returns the lower-case class name.
+func (c Class) String() string {
+	if c >= 0 && int(c) < NumClasses {
+		return classNames[c]
+	}
+	return fmt.Sprintf("class(%d)", int(c))
+}
+
+// ClassOf maps a kind to its resource class.
+func ClassOf(k Kind) Class {
+	switch k {
+	case KindInput, KindConst, KindOutput:
+		return ClassIO
+	case KindMux:
+		return ClassMux
+	case KindAdd:
+		return ClassAdd
+	case KindSub:
+		return ClassSub
+	case KindMul:
+		return ClassMul
+	case KindShl, KindShr:
+		return ClassWire
+	case KindAnd, KindOr, KindNot:
+		return ClassLogic
+	default:
+		if k.IsComparison() {
+			return ClassComp
+		}
+		return ClassIO
+	}
+}
+
+// Latency returns the number of control steps an operation of kind k
+// occupies. Interface nodes and constant shifts are free.
+func Latency(k Kind) int {
+	switch ClassOf(k) {
+	case ClassIO, ClassWire:
+		return 0
+	default:
+		return 1
+	}
+}
+
+// Node is a single CDFG operation.
+type Node struct {
+	// ID is the node's index in its graph.
+	ID NodeID
+	// Kind is the operation type.
+	Kind Kind
+	// Name is a unique, human-readable identifier (the source variable
+	// name where one exists).
+	Name string
+	// Args lists the data inputs in positional order. For KindMux the
+	// order is select, true-input, false-input.
+	Args []NodeID
+	// Value is the constant value for KindConst nodes.
+	Value int64
+	// Shift is the constant shift amount for KindShl/KindShr nodes.
+	Shift int
+}
+
+// Class returns the node's resource class.
+func (n *Node) Class() Class { return ClassOf(n.Kind) }
+
+// Latency returns the node's control-step latency.
+func (n *Node) Latency() int { return Latency(n.Kind) }
+
+// IsOp reports whether the node occupies a datapath execution unit
+// (anything but IO and wiring).
+func (n *Node) IsOp() bool {
+	c := n.Class()
+	return c != ClassIO && c != ClassWire
+}
+
+// ControlEdge is an extra precedence constraint From -> To inserted by the
+// power management pass (paper Fig. 3 step 10).
+type ControlEdge struct {
+	From, To NodeID
+}
+
+// Graph is a CDFG. The zero value is not usable; call New.
+type Graph struct {
+	// Name labels the design (the source function name).
+	Name string
+
+	nodes  []*Node
+	byName map[string]NodeID
+
+	// succs caches dataflow successors (derived from Args).
+	succs [][]NodeID
+
+	controlEdges []ControlEdge
+
+	inputs  []NodeID
+	consts  []NodeID
+	outputs []NodeID
+}
+
+// New returns an empty graph with the given design name.
+func New(name string) *Graph {
+	return &Graph{Name: name, byName: make(map[string]NodeID)}
+}
+
+// NumNodes returns the number of nodes in the graph.
+func (g *Graph) NumNodes() int { return len(g.nodes) }
+
+// Node returns the node with the given ID. It panics if id is out of range.
+func (g *Graph) Node(id NodeID) *Node { return g.nodes[id] }
+
+// Nodes returns the nodes in ID order. The slice is shared; treat it as
+// read-only.
+func (g *Graph) Nodes() []*Node { return g.nodes }
+
+// Inputs returns the IDs of the primary input nodes in creation order.
+func (g *Graph) Inputs() []NodeID { return g.inputs }
+
+// Outputs returns the IDs of the output nodes in creation order.
+func (g *Graph) Outputs() []NodeID { return g.outputs }
+
+// Consts returns the IDs of the constant nodes in creation order.
+func (g *Graph) Consts() []NodeID { return g.consts }
+
+// Lookup finds a node by name, returning InvalidNode if absent.
+func (g *Graph) Lookup(name string) NodeID {
+	if id, ok := g.byName[name]; ok {
+		return id
+	}
+	return InvalidNode
+}
+
+func (g *Graph) add(n *Node) (NodeID, error) {
+	if n.Name == "" {
+		return InvalidNode, errors.New("cdfg: node must have a name")
+	}
+	if _, dup := g.byName[n.Name]; dup {
+		return InvalidNode, fmt.Errorf("cdfg: duplicate node name %q", n.Name)
+	}
+	if want := n.Kind.Arity(); len(n.Args) != want {
+		return InvalidNode, fmt.Errorf("cdfg: %s node %q wants %d args, got %d",
+			n.Kind, n.Name, want, len(n.Args))
+	}
+	for _, a := range n.Args {
+		if a < 0 || int(a) >= len(g.nodes) {
+			return InvalidNode, fmt.Errorf("cdfg: node %q references undefined node %d", n.Name, a)
+		}
+		if g.nodes[a].Kind == KindOutput {
+			return InvalidNode, fmt.Errorf("cdfg: node %q reads from output node %q", n.Name, g.nodes[a].Name)
+		}
+	}
+	n.ID = NodeID(len(g.nodes))
+	g.nodes = append(g.nodes, n)
+	g.succs = append(g.succs, nil)
+	g.byName[n.Name] = n.ID
+	for _, a := range n.Args {
+		g.succs[a] = append(g.succs[a], n.ID)
+	}
+	switch n.Kind {
+	case KindInput:
+		g.inputs = append(g.inputs, n.ID)
+	case KindConst:
+		g.consts = append(g.consts, n.ID)
+	case KindOutput:
+		g.outputs = append(g.outputs, n.ID)
+	}
+	return n.ID, nil
+}
+
+// AddInput appends a primary input node.
+func (g *Graph) AddInput(name string) (NodeID, error) {
+	return g.add(&Node{Kind: KindInput, Name: name})
+}
+
+// AddConst appends a constant node with the given value.
+func (g *Graph) AddConst(name string, value int64) (NodeID, error) {
+	return g.add(&Node{Kind: KindConst, Name: name, Value: value})
+}
+
+// AddOutput appends an output node fed by src.
+func (g *Graph) AddOutput(name string, src NodeID) (NodeID, error) {
+	return g.add(&Node{Kind: KindOutput, Name: name, Args: []NodeID{src}})
+}
+
+// AddOp appends a generic operation node. For multiplexors prefer AddMux,
+// for shifts AddShift.
+func (g *Graph) AddOp(kind Kind, name string, args ...NodeID) (NodeID, error) {
+	return g.add(&Node{Kind: kind, Name: name, Args: args})
+}
+
+// AddMux appends a 2:1 multiplexor selecting t when sel is nonzero and f
+// otherwise.
+func (g *Graph) AddMux(name string, sel, t, f NodeID) (NodeID, error) {
+	return g.add(&Node{Kind: KindMux, Name: name, Args: []NodeID{sel, t, f}})
+}
+
+// AddShift appends a constant shift (KindShl or KindShr) of src by the
+// given amount.
+func (g *Graph) AddShift(kind Kind, name string, src NodeID, by int) (NodeID, error) {
+	if kind != KindShl && kind != KindShr {
+		return InvalidNode, fmt.Errorf("cdfg: AddShift kind must be a shift, got %s", kind)
+	}
+	if by < 0 {
+		return InvalidNode, fmt.Errorf("cdfg: negative shift amount %d", by)
+	}
+	return g.add(&Node{Kind: kind, Name: name, Args: []NodeID{src}, Shift: by})
+}
+
+// MustAdd panics when err is non-nil; it is a convenience for building the
+// benchmark graphs where names are statically known to be unique.
+func MustAdd(id NodeID, err error) NodeID {
+	if err != nil {
+		panic(err)
+	}
+	return id
+}
+
+// Succs returns the dataflow successors of id (nodes that consume its
+// value). The slice is shared; treat it as read-only.
+func (g *Graph) Succs(id NodeID) []NodeID { return g.succs[id] }
+
+// Preds returns the dataflow predecessors of id (its argument list).
+func (g *Graph) Preds(id NodeID) []NodeID { return g.nodes[id].Args }
+
+// AddControlEdge records an extra precedence constraint from -> to. It does
+// not affect dataflow semantics, only scheduling. Self edges are rejected.
+func (g *Graph) AddControlEdge(from, to NodeID) error {
+	if from == to {
+		return fmt.Errorf("cdfg: control self-edge on node %d", from)
+	}
+	if from < 0 || int(from) >= len(g.nodes) || to < 0 || int(to) >= len(g.nodes) {
+		return fmt.Errorf("cdfg: control edge references undefined node (%d -> %d)", from, to)
+	}
+	g.controlEdges = append(g.controlEdges, ControlEdge{From: from, To: to})
+	return nil
+}
+
+// ControlEdges returns the inserted control edges. The slice is shared;
+// treat it as read-only.
+func (g *Graph) ControlEdges() []ControlEdge { return g.controlEdges }
+
+// ClearControlEdges removes all control edges (used when re-running the
+// power management pass with a different configuration).
+func (g *Graph) ClearControlEdges() { g.controlEdges = nil }
+
+// SchedSuccs returns the scheduling successors of id: dataflow successors
+// plus control-edge targets. A fresh slice is returned.
+func (g *Graph) SchedSuccs(id NodeID) []NodeID {
+	out := append([]NodeID(nil), g.succs[id]...)
+	for _, e := range g.controlEdges {
+		if e.From == id {
+			out = append(out, e.To)
+		}
+	}
+	return out
+}
+
+// SchedPreds returns the scheduling predecessors of id: dataflow arguments
+// plus control-edge sources. A fresh slice is returned.
+func (g *Graph) SchedPreds(id NodeID) []NodeID {
+	out := append([]NodeID(nil), g.nodes[id].Args...)
+	for _, e := range g.controlEdges {
+		if e.To == id {
+			out = append(out, e.From)
+		}
+	}
+	return out
+}
+
+// Validate checks structural sanity: correct arities (enforced at build
+// time, re-checked here), every non-IO node reachable from an input or
+// constant, acyclicity including control edges, outputs with exactly one
+// argument, and boolean-valued mux selects.
+func (g *Graph) Validate() error {
+	for _, n := range g.nodes {
+		if want := n.Kind.Arity(); len(n.Args) != want {
+			return fmt.Errorf("cdfg: %s node %q has %d args, want %d", n.Kind, n.Name, len(n.Args), want)
+		}
+		if n.Kind == KindMux {
+			sel := g.nodes[n.Args[MuxSel]]
+			if !sel.Kind.IsBoolean() && sel.Kind != KindInput && sel.Kind != KindConst && sel.Kind != KindMux {
+				return fmt.Errorf("cdfg: mux %q select %q is %s, want boolean-valued", n.Name, sel.Name, sel.Kind)
+			}
+		}
+	}
+	if _, err := g.TopoOrder(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// TopoOrder returns a topological order over the scheduling graph (data +
+// control edges). An error is returned if a cycle exists.
+func (g *Graph) TopoOrder() ([]NodeID, error) {
+	n := len(g.nodes)
+	indeg := make([]int, n)
+	extraSuccs := make(map[NodeID][]NodeID, len(g.controlEdges))
+	for _, e := range g.controlEdges {
+		indeg[e.To]++
+		extraSuccs[e.From] = append(extraSuccs[e.From], e.To)
+	}
+	for _, nd := range g.nodes {
+		indeg[nd.ID] += len(nd.Args)
+	}
+	// Deterministic order: process ready nodes in ID order.
+	queue := make([]NodeID, 0, n)
+	for i := 0; i < n; i++ {
+		if indeg[i] == 0 {
+			queue = append(queue, NodeID(i))
+		}
+	}
+	order := make([]NodeID, 0, n)
+	for len(queue) > 0 {
+		sort.Slice(queue, func(i, j int) bool { return queue[i] < queue[j] })
+		id := queue[0]
+		queue = queue[1:]
+		order = append(order, id)
+		for _, s := range g.succs[id] {
+			indeg[s]--
+			if indeg[s] == 0 {
+				queue = append(queue, s)
+			}
+		}
+		for _, s := range extraSuccs[id] {
+			indeg[s]--
+			if indeg[s] == 0 {
+				queue = append(queue, s)
+			}
+		}
+	}
+	if len(order) != n {
+		return nil, errors.New("cdfg: graph contains a cycle")
+	}
+	return order, nil
+}
+
+// Clone returns a deep copy of the graph, including control edges.
+func (g *Graph) Clone() *Graph {
+	ng := &Graph{
+		Name:         g.Name,
+		nodes:        make([]*Node, len(g.nodes)),
+		byName:       make(map[string]NodeID, len(g.byName)),
+		succs:        make([][]NodeID, len(g.succs)),
+		controlEdges: append([]ControlEdge(nil), g.controlEdges...),
+		inputs:       append([]NodeID(nil), g.inputs...),
+		consts:       append([]NodeID(nil), g.consts...),
+		outputs:      append([]NodeID(nil), g.outputs...),
+	}
+	for i, n := range g.nodes {
+		cp := *n
+		cp.Args = append([]NodeID(nil), n.Args...)
+		ng.nodes[i] = &cp
+	}
+	for name, id := range g.byName {
+		ng.byName[name] = id
+	}
+	for i, s := range g.succs {
+		ng.succs[i] = append([]NodeID(nil), s...)
+	}
+	return ng
+}

@@ -1,0 +1,604 @@
+package cdfg
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// buildAbsDiff constructs the |a-b| CDFG from paper Figures 1-2:
+// out = mux(a>b, a-b, b-a).
+func buildAbsDiff(t *testing.T) *Graph {
+	t.Helper()
+	g := New("absdiff")
+	a := MustAdd(g.AddInput("a"))
+	b := MustAdd(g.AddInput("b"))
+	gt := MustAdd(g.AddOp(KindGt, "g", a, b))
+	d1 := MustAdd(g.AddOp(KindSub, "d1", a, b))
+	d2 := MustAdd(g.AddOp(KindSub, "d2", b, a))
+	m := MustAdd(g.AddMux("m", gt, d1, d2))
+	MustAdd(g.AddOutput("out", m))
+	if err := g.Validate(); err != nil {
+		t.Fatalf("absdiff graph invalid: %v", err)
+	}
+	return g
+}
+
+func TestAddNodesAndLookup(t *testing.T) {
+	g := New("t")
+	a, err := g.AddInput("a")
+	if err != nil {
+		t.Fatalf("AddInput: %v", err)
+	}
+	if got := g.Lookup("a"); got != a {
+		t.Errorf("Lookup(a) = %d, want %d", got, a)
+	}
+	if got := g.Lookup("missing"); got != InvalidNode {
+		t.Errorf("Lookup(missing) = %d, want InvalidNode", got)
+	}
+	if g.NumNodes() != 1 {
+		t.Errorf("NumNodes = %d, want 1", g.NumNodes())
+	}
+	if g.Node(a).Kind != KindInput {
+		t.Errorf("node kind = %v, want input", g.Node(a).Kind)
+	}
+}
+
+func TestDuplicateNameRejected(t *testing.T) {
+	g := New("t")
+	if _, err := g.AddInput("x"); err != nil {
+		t.Fatalf("first add: %v", err)
+	}
+	if _, err := g.AddInput("x"); err == nil {
+		t.Error("duplicate name accepted, want error")
+	}
+}
+
+func TestEmptyNameRejected(t *testing.T) {
+	g := New("t")
+	if _, err := g.AddInput(""); err == nil {
+		t.Error("empty name accepted, want error")
+	}
+}
+
+func TestArityEnforced(t *testing.T) {
+	g := New("t")
+	a := MustAdd(g.AddInput("a"))
+	if _, err := g.AddOp(KindAdd, "bad", a); err == nil {
+		t.Error("1-arg add accepted, want error")
+	}
+	if _, err := g.AddOp(KindNot, "bad2", a, a); err == nil {
+		t.Error("2-arg not accepted, want error")
+	}
+}
+
+func TestUndefinedArgRejected(t *testing.T) {
+	g := New("t")
+	if _, err := g.AddOp(KindNot, "bad", NodeID(42)); err == nil {
+		t.Error("undefined arg accepted, want error")
+	}
+	if _, err := g.AddOp(KindNot, "bad2", NodeID(-1)); err == nil {
+		t.Error("negative arg accepted, want error")
+	}
+}
+
+func TestReadingFromOutputRejected(t *testing.T) {
+	g := New("t")
+	a := MustAdd(g.AddInput("a"))
+	o := MustAdd(g.AddOutput("o", a))
+	if _, err := g.AddOp(KindNot, "bad", o); err == nil {
+		t.Error("reading from output accepted, want error")
+	}
+}
+
+func TestShiftValidation(t *testing.T) {
+	g := New("t")
+	a := MustAdd(g.AddInput("a"))
+	if _, err := g.AddShift(KindShr, "s", a, 3); err != nil {
+		t.Errorf("valid shift rejected: %v", err)
+	}
+	if _, err := g.AddShift(KindAdd, "bad", a, 3); err == nil {
+		t.Error("AddShift with non-shift kind accepted")
+	}
+	if _, err := g.AddShift(KindShl, "bad2", a, -1); err == nil {
+		t.Error("negative shift amount accepted")
+	}
+}
+
+func TestSuccsPreds(t *testing.T) {
+	g := buildAbsDiff(t)
+	a := g.Lookup("a")
+	succs := g.Succs(a)
+	if len(succs) != 3 { // g, d1, d2
+		t.Fatalf("a has %d succs, want 3", len(succs))
+	}
+	m := g.Lookup("m")
+	preds := g.Preds(m)
+	if len(preds) != 3 {
+		t.Fatalf("mux has %d preds, want 3", len(preds))
+	}
+	if preds[MuxSel] != g.Lookup("g") {
+		t.Errorf("mux sel = %d, want comparator", preds[MuxSel])
+	}
+}
+
+func TestTopoOrderRespectsEdges(t *testing.T) {
+	g := buildAbsDiff(t)
+	order, err := g.TopoOrder()
+	if err != nil {
+		t.Fatalf("TopoOrder: %v", err)
+	}
+	pos := make(map[NodeID]int)
+	for i, id := range order {
+		pos[id] = i
+	}
+	for _, n := range g.Nodes() {
+		for _, a := range n.Args {
+			if pos[a] >= pos[n.ID] {
+				t.Errorf("edge %d->%d violates topo order", a, n.ID)
+			}
+		}
+	}
+}
+
+func TestTopoOrderIncludesControlEdges(t *testing.T) {
+	g := buildAbsDiff(t)
+	// control edge comparator -> d1
+	if err := g.AddControlEdge(g.Lookup("g"), g.Lookup("d1")); err != nil {
+		t.Fatalf("AddControlEdge: %v", err)
+	}
+	order, err := g.TopoOrder()
+	if err != nil {
+		t.Fatalf("TopoOrder: %v", err)
+	}
+	pos := make(map[NodeID]int)
+	for i, id := range order {
+		pos[id] = i
+	}
+	if pos[g.Lookup("g")] >= pos[g.Lookup("d1")] {
+		t.Error("control edge not respected in topo order")
+	}
+}
+
+func TestControlEdgeCycleDetected(t *testing.T) {
+	g := buildAbsDiff(t)
+	// d1 precedes m via dataflow; m -> d1 control edge creates a cycle.
+	if err := g.AddControlEdge(g.Lookup("m"), g.Lookup("d1")); err != nil {
+		t.Fatalf("AddControlEdge: %v", err)
+	}
+	if _, err := g.TopoOrder(); err == nil {
+		t.Error("cycle not detected")
+	}
+	if err := g.Validate(); err == nil {
+		t.Error("Validate missed the cycle")
+	}
+}
+
+func TestControlEdgeValidation(t *testing.T) {
+	g := buildAbsDiff(t)
+	if err := g.AddControlEdge(1, 1); err == nil {
+		t.Error("self control edge accepted")
+	}
+	if err := g.AddControlEdge(0, 999); err == nil {
+		t.Error("out-of-range control edge accepted")
+	}
+	g.ClearControlEdges()
+	if len(g.ControlEdges()) != 0 {
+		t.Error("ClearControlEdges did not clear")
+	}
+}
+
+func TestSchedPredsSuccs(t *testing.T) {
+	g := buildAbsDiff(t)
+	gt, d1 := g.Lookup("g"), g.Lookup("d1")
+	if err := g.AddControlEdge(gt, d1); err != nil {
+		t.Fatal(err)
+	}
+	foundSucc := false
+	for _, s := range g.SchedSuccs(gt) {
+		if s == d1 {
+			foundSucc = true
+		}
+	}
+	if !foundSucc {
+		t.Error("SchedSuccs missing control edge target")
+	}
+	foundPred := false
+	for _, p := range g.SchedPreds(d1) {
+		if p == gt {
+			foundPred = true
+		}
+	}
+	if !foundPred {
+		t.Error("SchedPreds missing control edge source")
+	}
+}
+
+func TestTransitiveFanin(t *testing.T) {
+	g := buildAbsDiff(t)
+	cone := g.TransitiveFanin(g.Lookup("d1"))
+	for _, name := range []string{"d1", "a", "b"} {
+		if !cone.Contains(g.Lookup(name)) {
+			t.Errorf("fanin of d1 missing %s", name)
+		}
+	}
+	if cone.Contains(g.Lookup("d2")) || cone.Contains(g.Lookup("g")) {
+		t.Error("fanin of d1 contains unrelated nodes")
+	}
+}
+
+func TestTransitiveFanout(t *testing.T) {
+	g := buildAbsDiff(t)
+	fo := g.TransitiveFanout(g.Lookup("g"))
+	if !fo.Contains(g.Lookup("m")) || !fo.Contains(g.Lookup("out")) {
+		t.Error("fanout of comparator missing mux/out")
+	}
+	if fo.Contains(g.Lookup("d1")) {
+		t.Error("fanout of comparator should not contain d1")
+	}
+}
+
+func TestDepthAndCriticalPath(t *testing.T) {
+	g := buildAbsDiff(t)
+	depth, err := g.Depth()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := depth[g.Lookup("a")]; d != 0 {
+		t.Errorf("input depth = %d, want 0", d)
+	}
+	if d := depth[g.Lookup("d1")]; d != 1 {
+		t.Errorf("sub depth = %d, want 1", d)
+	}
+	if d := depth[g.Lookup("m")]; d != 2 {
+		t.Errorf("mux depth = %d, want 2", d)
+	}
+	cp, err := g.CriticalPath()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp != 2 {
+		t.Errorf("critical path = %d, want 2 (paper Fig. 1)", cp)
+	}
+}
+
+func TestShiftsAreFree(t *testing.T) {
+	g := New("t")
+	a := MustAdd(g.AddInput("a"))
+	s := MustAdd(MustAddErr(g.AddShift(KindShr, "s", a, 2)))
+	b := MustAdd(g.AddOp(KindAdd, "sum", s, a))
+	MustAdd(g.AddOutput("o", b))
+	depth, err := g.Depth()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if depth[s] != 0 {
+		t.Errorf("shift depth = %d, want 0 (free wiring)", depth[s])
+	}
+	cp, _ := g.CriticalPath()
+	if cp != 1 {
+		t.Errorf("critical path = %d, want 1", cp)
+	}
+}
+
+// MustAddErr adapts the two-value return for nesting in tests.
+func MustAddErr(id NodeID, err error) (NodeID, error) { return id, err }
+
+func TestHeightToOutput(t *testing.T) {
+	g := buildAbsDiff(t)
+	h, err := g.HeightToOutput()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h[g.Lookup("m")] != 1 {
+		t.Errorf("mux height = %d, want 1", h[g.Lookup("m")])
+	}
+	if h[g.Lookup("d1")] != 2 {
+		t.Errorf("sub height = %d, want 2", h[g.Lookup("d1")])
+	}
+	if h[g.Lookup("a")] != 2 {
+		t.Errorf("input height = %d, want 2", h[g.Lookup("a")])
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	g := buildAbsDiff(t)
+	st, err := g.ComputeStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.CriticalPath != 2 {
+		t.Errorf("cp = %d, want 2", st.CriticalPath)
+	}
+	if st.Count[ClassMux] != 1 || st.Count[ClassComp] != 1 || st.Count[ClassSub] != 2 {
+		t.Errorf("stats = %v", st)
+	}
+	if st.NumOps() != 4 {
+		t.Errorf("NumOps = %d, want 4", st.NumOps())
+	}
+	if !strings.Contains(st.String(), "cp=2") {
+		t.Errorf("String() = %q", st.String())
+	}
+}
+
+func TestMuxesAndOpsByClass(t *testing.T) {
+	g := buildAbsDiff(t)
+	if got := len(g.Muxes()); got != 1 {
+		t.Errorf("Muxes len = %d, want 1", got)
+	}
+	if got := len(g.OpsByClass(ClassSub)); got != 2 {
+		t.Errorf("subs = %d, want 2", got)
+	}
+	if got := len(g.OpsByClass(ClassMul)); got != 0 {
+		t.Errorf("muls = %d, want 0", got)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	g := buildAbsDiff(t)
+	MustAddControlEdge(t, g, g.Lookup("g"), g.Lookup("d1"))
+	c := g.Clone()
+	if c.NumNodes() != g.NumNodes() {
+		t.Fatalf("clone node count %d != %d", c.NumNodes(), g.NumNodes())
+	}
+	// Mutating the clone must not affect the original.
+	MustAdd(c.AddInput("extra"))
+	if g.Lookup("extra") != InvalidNode {
+		t.Error("clone shares name map with original")
+	}
+	c.ClearControlEdges()
+	if len(g.ControlEdges()) != 1 {
+		t.Error("clone shares control edges with original")
+	}
+	// Node structs must be copies.
+	c.Node(0).Name = "mutated"
+	if g.Node(0).Name == "mutated" {
+		t.Error("clone shares node structs with original")
+	}
+}
+
+func MustAddControlEdge(t *testing.T, g *Graph, from, to NodeID) {
+	t.Helper()
+	if err := g.AddControlEdge(from, to); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDOTOutput(t *testing.T) {
+	g := buildAbsDiff(t)
+	MustAddControlEdge(t, g, g.Lookup("g"), g.Lookup("d1"))
+	dot := g.DOT()
+	for _, want := range []string{"digraph", "invtrapezium", "style=dashed", "sel"} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT output missing %q", want)
+		}
+	}
+	if dot != g.DOT() {
+		t.Error("DOT output is not deterministic")
+	}
+}
+
+func TestKindStringAndClass(t *testing.T) {
+	cases := []struct {
+		k    Kind
+		str  string
+		cls  Class
+		arit int
+	}{
+		{KindAdd, "+", ClassAdd, 2},
+		{KindSub, "-", ClassSub, 2},
+		{KindMul, "*", ClassMul, 2},
+		{KindGt, ">", ClassComp, 2},
+		{KindLe, "<=", ClassComp, 2},
+		{KindMux, "mux", ClassMux, 3},
+		{KindShr, ">>", ClassWire, 1},
+		{KindInput, "input", ClassIO, 0},
+		{KindOutput, "output", ClassIO, 1},
+		{KindNot, "!", ClassLogic, 1},
+		{KindAnd, "&", ClassLogic, 2},
+	}
+	for _, c := range cases {
+		if c.k.String() != c.str {
+			t.Errorf("%v String = %q, want %q", c.k, c.k.String(), c.str)
+		}
+		if ClassOf(c.k) != c.cls {
+			t.Errorf("%v class = %v, want %v", c.k, ClassOf(c.k), c.cls)
+		}
+		if c.k.Arity() != c.arit {
+			t.Errorf("%v arity = %d, want %d", c.k, c.k.Arity(), c.arit)
+		}
+	}
+	if Kind(99).String() == "" {
+		t.Error("unknown kind should still produce a string")
+	}
+	if Class(99).String() == "" {
+		t.Error("unknown class should still produce a string")
+	}
+}
+
+func TestComparisonAndBooleanPredicates(t *testing.T) {
+	for _, k := range []Kind{KindLt, KindGt, KindLe, KindGe, KindEq, KindNe} {
+		if !k.IsComparison() || !k.IsBoolean() {
+			t.Errorf("%v should be comparison and boolean", k)
+		}
+	}
+	for _, k := range []Kind{KindAnd, KindOr, KindNot} {
+		if k.IsComparison() {
+			t.Errorf("%v should not be comparison", k)
+		}
+		if !k.IsBoolean() {
+			t.Errorf("%v should be boolean", k)
+		}
+	}
+	if KindAdd.IsBoolean() {
+		t.Error("+ should not be boolean")
+	}
+}
+
+func TestLatency(t *testing.T) {
+	if Latency(KindAdd) != 1 || Latency(KindMux) != 1 {
+		t.Error("ops should have latency 1")
+	}
+	if Latency(KindShl) != 0 || Latency(KindInput) != 0 || Latency(KindConst) != 0 || Latency(KindOutput) != 0 {
+		t.Error("wiring and IO should have latency 0")
+	}
+}
+
+func TestNodeSetOps(t *testing.T) {
+	s := NewNodeSet(3, 1, 2)
+	if !s.Contains(1) || s.Contains(5) {
+		t.Error("Contains wrong")
+	}
+	sorted := s.Sorted()
+	if len(sorted) != 3 || sorted[0] != 1 || sorted[2] != 3 {
+		t.Errorf("Sorted = %v", sorted)
+	}
+	inter := s.Intersect(NewNodeSet(2, 3, 9))
+	if len(inter) != 2 || !inter.Contains(2) || !inter.Contains(3) {
+		t.Errorf("Intersect = %v", inter)
+	}
+	var nilSet NodeSet
+	if nilSet.Contains(0) {
+		t.Error("nil set should contain nothing")
+	}
+}
+
+// randomDAG builds a random layered DAG for property tests.
+func randomDAG(r *rand.Rand, n int) *Graph {
+	g := New("rand")
+	a := MustAdd(g.AddInput("in0"))
+	b := MustAdd(g.AddInput("in1"))
+	ids := []NodeID{a, b}
+	kinds := []Kind{KindAdd, KindSub, KindMul, KindGt, KindLt, KindEq}
+	for i := 0; i < n; i++ {
+		x := ids[r.Intn(len(ids))]
+		y := ids[r.Intn(len(ids))]
+		k := kinds[r.Intn(len(kinds))]
+		id := MustAdd(g.AddOp(k, nodeName("n", i), x, y))
+		ids = append(ids, id)
+	}
+	MustAdd(g.AddOutput("out", ids[len(ids)-1]))
+	return g
+}
+
+func nodeName(prefix string, i int) string {
+	return prefix + string(rune('A'+i%26)) + string(rune('0'+(i/26)%10)) + string(rune('0'+(i/260)%10))
+}
+
+func TestPropertyTopoOrderValid(t *testing.T) {
+	f := func(seed int64, size uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := randomDAG(r, int(size%40)+1)
+		order, err := g.TopoOrder()
+		if err != nil {
+			return false
+		}
+		if len(order) != g.NumNodes() {
+			return false
+		}
+		pos := make(map[NodeID]int)
+		for i, id := range order {
+			pos[id] = i
+		}
+		for _, nd := range g.Nodes() {
+			for _, arg := range nd.Args {
+				if pos[arg] >= pos[nd.ID] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyDepthMonotonic(t *testing.T) {
+	f := func(seed int64, size uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := randomDAG(r, int(size%40)+1)
+		depth, err := g.Depth()
+		if err != nil {
+			return false
+		}
+		for _, nd := range g.Nodes() {
+			for _, arg := range nd.Args {
+				if depth[arg] >= depth[nd.ID]+1-nd.Latency() && nd.Latency() == 1 && depth[arg] > depth[nd.ID]-1 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyFaninContainsArgsTransitively(t *testing.T) {
+	f := func(seed int64, size uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := randomDAG(r, int(size%40)+1)
+		for _, nd := range g.Nodes() {
+			cone := g.TransitiveFanin(nd.ID)
+			if !cone.Contains(nd.ID) {
+				return false
+			}
+			for id := range cone {
+				for _, arg := range g.Node(id).Args {
+					if !cone.Contains(arg) {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyCloneEquivalent(t *testing.T) {
+	f := func(seed int64, size uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := randomDAG(r, int(size%40)+1)
+		c := g.Clone()
+		ds1, err1 := g.ComputeStats()
+		ds2, err2 := c.ComputeStats()
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return ds1 == ds2 && g.DOT() == c.DOT()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValidateRejectsBadMuxSelect(t *testing.T) {
+	g := New("t")
+	a := MustAdd(g.AddInput("a"))
+	b := MustAdd(g.AddInput("b"))
+	sum := MustAdd(g.AddOp(KindAdd, "sum", a, b))
+	MustAdd(g.AddMux("m", sum, a, b)) // select driven by an adder: invalid
+	if err := g.Validate(); err == nil {
+		t.Error("mux with arithmetic select accepted")
+	}
+}
+
+func TestValidateAcceptsInputAndMuxSelects(t *testing.T) {
+	g := New("t")
+	a := MustAdd(g.AddInput("a"))
+	b := MustAdd(g.AddInput("b"))
+	sel := MustAdd(g.AddInput("sel"))
+	m1 := MustAdd(g.AddMux("m1", sel, a, b))
+	// A mux output can itself be a select (condition routing).
+	MustAdd(g.AddMux("m2", m1, b, a))
+	MustAdd(g.AddOutput("o", g.Lookup("m2")))
+	if err := g.Validate(); err != nil {
+		t.Errorf("valid selects rejected: %v", err)
+	}
+}

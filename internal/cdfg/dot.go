@@ -1,0 +1,54 @@
+package cdfg
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DOT renders the graph in Graphviz dot syntax. Dataflow edges are solid;
+// control edges (inserted by the power management pass) are dashed, mux
+// select edges are dotted — mirroring the dashed arrows of paper Fig. 2(b).
+// Output is deterministic.
+func (g *Graph) DOT() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", g.Name)
+	b.WriteString("  rankdir=TB;\n")
+	for _, n := range g.nodes {
+		shape := "box"
+		label := n.Name
+		switch n.Kind {
+		case KindInput:
+			shape = "ellipse"
+		case KindConst:
+			shape = "plaintext"
+			label = fmt.Sprintf("%s=%d", n.Name, n.Value)
+		case KindOutput:
+			shape = "doublecircle"
+		case KindMux:
+			shape = "invtrapezium"
+		default:
+			label = fmt.Sprintf("%s\\n%s", n.Name, n.Kind)
+		}
+		fmt.Fprintf(&b, "  n%d [label=\"%s\", shape=%s];\n", n.ID, label, shape)
+	}
+	for _, n := range g.nodes {
+		for pos, a := range n.Args {
+			style := ""
+			if n.Kind == KindMux && pos == MuxSel {
+				style = " [style=dotted, label=\"sel\"]"
+			} else if n.Kind == KindMux {
+				lbl := "1"
+				if pos == MuxFalse {
+					lbl = "0"
+				}
+				style = fmt.Sprintf(" [label=%q]", lbl)
+			}
+			fmt.Fprintf(&b, "  n%d -> n%d%s;\n", a, n.ID, style)
+		}
+	}
+	for _, e := range g.controlEdges {
+		fmt.Fprintf(&b, "  n%d -> n%d [style=dashed, color=red];\n", e.From, e.To)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,105 @@
+package cdfg
+
+import "fmt"
+
+// PruneDead returns a copy of g containing only nodes that reach an
+// output, dropping dead computations (assignments the source never uses).
+// Inputs are always kept — they are part of the design's interface even
+// when unused. Node IDs are renumbered densely; names are preserved.
+// Control edges between surviving nodes are carried over.
+func PruneDead(g *Graph) (*Graph, error) {
+	if _, err := g.TopoOrder(); err != nil {
+		return nil, err
+	}
+	live := make(NodeSet)
+	var mark func(id NodeID)
+	mark = func(id NodeID) {
+		if live[id] {
+			return
+		}
+		live[id] = true
+		for _, a := range g.Node(id).Args {
+			mark(a)
+		}
+	}
+	for _, id := range g.Outputs() {
+		mark(id)
+	}
+	for _, id := range g.Inputs() {
+		live[id] = true
+	}
+
+	ng := New(g.Name)
+	remap := make(map[NodeID]NodeID, len(live))
+	order, _ := g.TopoOrder()
+	for _, id := range order {
+		if !live[id] {
+			continue
+		}
+		n := g.Node(id)
+		args := make([]NodeID, len(n.Args))
+		for i, a := range n.Args {
+			na, ok := remap[a]
+			if !ok {
+				return nil, fmt.Errorf("cdfg: prune lost argument %d of %q", a, n.Name)
+			}
+			args[i] = na
+		}
+		var nid NodeID
+		var err error
+		switch n.Kind {
+		case KindInput:
+			nid, err = ng.AddInput(n.Name)
+		case KindConst:
+			nid, err = ng.AddConst(n.Name, n.Value)
+		case KindOutput:
+			nid, err = ng.AddOutput(n.Name, args[0])
+		case KindShl, KindShr:
+			nid, err = ng.AddShift(n.Kind, n.Name, args[0], n.Shift)
+		default:
+			nid, err = ng.AddOp(n.Kind, n.Name, args...)
+		}
+		if err != nil {
+			return nil, err
+		}
+		remap[id] = nid
+	}
+	for _, e := range g.ControlEdges() {
+		nf, okF := remap[e.From]
+		nt, okT := remap[e.To]
+		if okF && okT {
+			if err := ng.AddControlEdge(nf, nt); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return ng, nil
+}
+
+// NumDead returns the count of operation nodes that reach no output.
+func NumDead(g *Graph) (int, error) {
+	if _, err := g.TopoOrder(); err != nil {
+		return 0, err
+	}
+	live := make(NodeSet)
+	var mark func(id NodeID)
+	mark = func(id NodeID) {
+		if live[id] {
+			return
+		}
+		live[id] = true
+		for _, a := range g.Node(id).Args {
+			mark(a)
+		}
+	}
+	for _, id := range g.Outputs() {
+		mark(id)
+	}
+	dead := 0
+	for _, n := range g.Nodes() {
+		if n.IsOp() && !live[n.ID] {
+			dead++
+		}
+	}
+	return dead, nil
+}

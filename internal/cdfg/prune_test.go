@@ -1,0 +1,120 @@
+package cdfg
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func buildWithDead(t *testing.T) *Graph {
+	t.Helper()
+	g := New("dead")
+	a := MustAdd(g.AddInput("a"))
+	b := MustAdd(g.AddInput("b"))
+	live := MustAdd(g.AddOp(KindAdd, "live", a, b))
+	dead1 := MustAdd(g.AddOp(KindMul, "dead1", a, b))
+	MustAdd(g.AddOp(KindSub, "dead2", dead1, a)) // dead chain
+	MustAdd(g.AddOutput("o", live))
+	return g
+}
+
+func TestPruneDeadRemovesDeadChain(t *testing.T) {
+	g := buildWithDead(t)
+	nd, err := NumDead(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nd != 2 {
+		t.Fatalf("NumDead = %d, want 2", nd)
+	}
+	p, err := PruneDead(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Lookup("dead1") != InvalidNode || p.Lookup("dead2") != InvalidNode {
+		t.Error("dead nodes survived pruning")
+	}
+	if p.Lookup("live") == InvalidNode {
+		t.Error("live node pruned")
+	}
+	// Inputs are interface: kept even if unused.
+	if p.Lookup("a") == InvalidNode || p.Lookup("b") == InvalidNode {
+		t.Error("inputs pruned")
+	}
+	if err := p.Validate(); err != nil {
+		t.Error(err)
+	}
+	nd2, _ := NumDead(p)
+	if nd2 != 0 {
+		t.Errorf("pruned graph still has %d dead ops", nd2)
+	}
+}
+
+func TestPruneKeepsUnusedInputs(t *testing.T) {
+	g := New("u")
+	MustAdd(g.AddInput("unused"))
+	a := MustAdd(g.AddInput("a"))
+	MustAdd(g.AddOutput("o", a))
+	p, err := PruneDead(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Lookup("unused") == InvalidNode {
+		t.Error("unused input dropped from the interface")
+	}
+}
+
+func TestPruneCarriesControlEdges(t *testing.T) {
+	g := buildWithDead(t)
+	gt := MustAdd(g.AddOp(KindGt, "gt", g.Lookup("a"), g.Lookup("b")))
+	m := MustAdd(g.AddMux("m", gt, g.Lookup("live"), g.Lookup("a")))
+	MustAdd(g.AddOutput("o2", m))
+	MustAddControlEdge(t, g, gt, g.Lookup("live"))
+	// Control edge whose endpoint dies must be dropped.
+	MustAddControlEdge(t, g, gt, g.Lookup("dead1"))
+	p, err := PruneDead(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.ControlEdges()) != 1 {
+		t.Errorf("control edges = %d, want 1", len(p.ControlEdges()))
+	}
+	e := p.ControlEdges()[0]
+	if p.Node(e.From).Name != "gt" || p.Node(e.To).Name != "live" {
+		t.Error("wrong control edge survived")
+	}
+}
+
+func TestPropertyPrunePreservesLiveStats(t *testing.T) {
+	f := func(seed int64, size uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := randomDAG(r, int(size%30)+2)
+		p, err := PruneDead(g)
+		if err != nil {
+			return false
+		}
+		if err := p.Validate(); err != nil {
+			return false
+		}
+		// Pruning is idempotent.
+		p2, err := PruneDead(p)
+		if err != nil {
+			return false
+		}
+		s1, e1 := p.ComputeStats()
+		s2, e2 := p2.ComputeStats()
+		if e1 != nil || e2 != nil {
+			return false
+		}
+		if s1 != s2 {
+			return false
+		}
+		// Critical path never grows.
+		cpOrig, _ := g.CriticalPath()
+		cpPruned, _ := p.CriticalPath()
+		return cpPruned <= cpOrig
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

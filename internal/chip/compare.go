@@ -1,0 +1,171 @@
+package chip
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/alloc"
+	"repro/internal/cdfg"
+	"repro/internal/core"
+	"repro/internal/ctrl"
+	"repro/internal/sim"
+)
+
+// Report is the Table III comparison between the traditional design
+// ("Orig") and the power managed design ("New") of one circuit at one
+// step budget.
+type Report struct {
+	Name  string
+	Steps int
+	// AreaOrig/AreaNew are NAND2-equivalent netlist areas.
+	AreaOrig, AreaNew float64
+	// PowerOrig/PowerNew are average fanout-weighted toggles per cycle.
+	PowerOrig, PowerNew float64
+	// Samples is the number of random vectors measured.
+	Samples int
+}
+
+// AreaIncrease returns AreaNew / AreaOrig.
+func (r Report) AreaIncrease() float64 {
+	if r.AreaOrig == 0 {
+		return 1
+	}
+	return r.AreaNew / r.AreaOrig
+}
+
+// PowerReductionPct returns the percentage power saving of New vs Orig.
+func (r Report) PowerReductionPct() float64 {
+	if r.PowerOrig == 0 {
+		return 0
+	}
+	return 100 * (1 - r.PowerNew/r.PowerOrig)
+}
+
+// String formats the report as a Table III row.
+func (r Report) String() string {
+	return fmt.Sprintf("%-8s %2d  area %7.0f -> %7.0f (%.2fx)  power %8.1f -> %8.1f  (%.1f%%)",
+		r.Name, r.Steps, r.AreaOrig, r.AreaNew, r.AreaIncrease(),
+		r.PowerOrig, r.PowerNew, r.PowerReductionPct())
+}
+
+// Compare builds the traditional and power managed gate-level designs of
+// graph g at the given budget and measures both on the same random input
+// stream, verifying every sample's outputs against the reference
+// interpreter. It reproduces one Table III row.
+func Compare(g *cdfg.Graph, budget, width, samples int, seed int64) (Report, error) {
+	r := rand.New(rand.NewSource(seed))
+	limit := int64(1) << uint(width)
+	vectors := make([]map[string]int64, samples)
+	for i := range vectors {
+		in := make(map[string]int64, len(g.Inputs()))
+		for _, id := range g.Inputs() {
+			in[g.Node(id).Name] = r.Int63n(limit)
+		}
+		vectors[i] = in
+	}
+	return CompareWithVectors(g, budget, width, vectors)
+}
+
+// CompareWithVectors is Compare with a caller-supplied input stream. The
+// measured savings depend directly on how often the gating conditions fire
+// on the stream — skewed operating points (a condition that is almost
+// always true) gate almost nothing, balanced ones realize the full
+// equiprobable-model savings. This is the gate-level knob behind the
+// Table III sensitivity analysis in EXPERIMENTS.md.
+func CompareWithVectors(g *cdfg.Graph, budget, width int, vectors []map[string]int64) (Report, error) {
+	rep := Report{Name: g.Name, Steps: budget, Samples: len(vectors)}
+	if len(vectors) < 1 {
+		return rep, fmt.Errorf("chip: need at least one sample")
+	}
+
+	// New: the power managed flow.
+	pmRes, err := core.Schedule(g, core.Config{Budget: budget})
+	if err != nil {
+		return rep, err
+	}
+	pmBind := alloc.Bind(pmRes.Schedule, pmRes.Guards)
+	pmCtl, err := ctrl.Build(pmRes.Schedule, pmBind, pmRes.Guards, true)
+	if err != nil {
+		return rep, err
+	}
+	pmChip, err := Build(pmCtl, width)
+	if err != nil {
+		return rep, err
+	}
+
+	// Orig: the traditional flow at the same throughput.
+	baseSched, _, err := core.Baseline(g, budget, 0)
+	if err != nil {
+		return rep, err
+	}
+	baseBind := alloc.Bind(baseSched, nil)
+	baseCtl, err := ctrl.Build(baseSched, baseBind, nil, false)
+	if err != nil {
+		return rep, err
+	}
+	baseChip, err := Build(baseCtl, width)
+	if err != nil {
+		return rep, err
+	}
+
+	rep.AreaOrig = baseChip.Netlist.Area()
+	rep.AreaNew = pmChip.Netlist.Area()
+
+	pmSim, err := pmChip.NewTestbench()
+	if err != nil {
+		return rep, err
+	}
+	baseSim, err := baseChip.NewTestbench()
+	if err != nil {
+		return rep, err
+	}
+
+	// Warm up both chips (initialization transients), then reset stats.
+	warm := vectors[0]
+	if _, err := pmChip.RunSample(pmSim, warm); err != nil {
+		return rep, err
+	}
+	if _, err := baseChip.RunSample(baseSim, warm); err != nil {
+		return rep, err
+	}
+	pmSim.ResetStats()
+	baseSim.ResetStats()
+
+	for i, in := range vectors {
+		want, err := sim.Evaluate(g, in, sim.Options{Width: width})
+		if err != nil {
+			return rep, err
+		}
+		gotPM, err := pmChip.RunSample(pmSim, in)
+		if err != nil {
+			return rep, err
+		}
+		gotBase, err := baseChip.RunSample(baseSim, in)
+		if err != nil {
+			return rep, err
+		}
+		for _, id := range g.Outputs() {
+			port := portOf(g, id)
+			if gotPM[port] != want[g.Node(id).Name] {
+				return rep, fmt.Errorf("chip: PM output %s = %d, reference %d (sample %d, inputs %v)",
+					port, gotPM[port], want[g.Node(id).Name], i, in)
+			}
+			if gotBase[port] != want[g.Node(id).Name] {
+				return rep, fmt.Errorf("chip: baseline output %s = %d, reference %d (sample %d, inputs %v)",
+					port, gotBase[port], want[g.Node(id).Name], i, in)
+			}
+		}
+	}
+	rep.PowerOrig = baseSim.AveragePower()
+	rep.PowerNew = pmSim.AveragePower()
+	return rep, nil
+}
+
+func portOf(g *cdfg.Graph, id cdfg.NodeID) string {
+	name := g.Node(id).Name
+	const prefix = "out:"
+	if len(name) >= len(prefix) && name[:len(prefix)] == prefix {
+		return name[len(prefix):]
+	}
+	return name
+}

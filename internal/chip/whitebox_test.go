@@ -1,0 +1,69 @@
+package chip
+
+import (
+	"testing"
+
+	"repro/internal/alloc"
+	"repro/internal/core"
+	"repro/internal/ctrl"
+	"repro/internal/silage"
+)
+
+// TestGatedRegisterFreezes observes the physical shut-down mechanism: the
+// value register of the deselected subtraction keeps its previous contents
+// across samples — its input latches never open, so the subtractor cone
+// attached to it never switches for that branch.
+func TestGatedRegisterFreezes(t *testing.T) {
+	d := silage.MustCompile(absDiffSrc)
+	r, err := core.Schedule(d.Graph, core.Config{Budget: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := alloc.Bind(r.Schedule, r.Guards)
+	c, err := ctrl.Build(r.Schedule, b, r.Guards, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, err := Build(c, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, err := ch.NewTestbench()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := r.Graph
+	d1Bus := chDbgQ(ch, g.Lookup("d1"))
+	d2Bus := chDbgQ(ch, g.Lookup("d2"))
+
+	// Sample 1: a > b, so d1 executes and d2 stays frozen (zero).
+	if _, err := ch.RunSample(tb, map[string]int64{"a": 200, "b": 50}); err != nil {
+		t.Fatal(err)
+	}
+	if got := tb.ReadBus(d1Bus); got != 150 {
+		t.Errorf("d1 = %d, want 150", got)
+	}
+	frozen := tb.ReadBus(d2Bus)
+
+	// Sample 2: again a > b with different values; d2 must not move.
+	if _, err := ch.RunSample(tb, map[string]int64{"a": 90, "b": 30}); err != nil {
+		t.Fatal(err)
+	}
+	if got := tb.ReadBus(d1Bus); got != 60 {
+		t.Errorf("d1 = %d, want 60", got)
+	}
+	if got := tb.ReadBus(d2Bus); got != frozen {
+		t.Errorf("gated d2 register moved: %d -> %d", frozen, got)
+	}
+
+	// Sample 3: a < b; now d2 loads and d1 freezes at its last value.
+	if _, err := ch.RunSample(tb, map[string]int64{"a": 10, "b": 25}); err != nil {
+		t.Fatal(err)
+	}
+	if got := tb.ReadBus(d2Bus); got != 15 {
+		t.Errorf("d2 = %d, want 15", got)
+	}
+	if got := tb.ReadBus(d1Bus); got != 60 {
+		t.Errorf("gated d1 register moved: got %d, want frozen 60", got)
+	}
+}

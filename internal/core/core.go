@@ -1,0 +1,168 @@
+// Package core implements the power management scheduling algorithm of
+// Monteiro, Devadas, Ashar and Mauskar (DAC'96), the primary contribution
+// of the reproduced paper.
+//
+// Given a CDFG and a throughput constraint (a number of control steps), the
+// algorithm examines each multiplexor and asks whether the operations
+// feeding its data inputs can be scheduled strictly after the operation
+// producing its select signal. When they can, the controller knows — before
+// those operations start — whether their results will be used, and can
+// refuse to load the input registers of the units computing the dead
+// branch: no switching activity, no dynamic power.
+//
+// The entry point is Schedule. It follows the paper's Figure 3:
+//
+//  1. compute ASAP/ALAP for the requested budget;
+//  2. for each multiplexor (outputs first), annotate the transitive fanin
+//     cones of its select and data inputs, derive the maximal gateable sets,
+//     tentatively serialize control-before-data, and commit the mux if every
+//     node still satisfies ASAP <= ALAP;
+//  3. insert control edges from the select driver to the top nodes of each
+//     committed gated cone;
+//  4. hand the augmented graph to the HYPER-substitute list scheduler
+//     (internal/sched) to obtain a minimum-resource schedule.
+//
+// Section IV.A's multiplexor reordering is available through
+// Config.Order; Section IV.B's pipelining through Config.II.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cdfg"
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+// Order selects the multiplexor processing order (paper §III and §IV.A).
+type Order int
+
+const (
+	// OrderOutputsFirst processes muxes closest to the outputs first,
+	// the paper's default: managing an outer mux shuts down the largest
+	// cone.
+	OrderOutputsFirst Order = iota
+	// OrderInputsFirst processes muxes closest to the inputs first; an
+	// ablation showing why the paper chose outputs-first.
+	OrderInputsFirst
+	// OrderGreedyWeight processes muxes in decreasing order of the
+	// power weight of their gateable cones (the §IV.A reordering
+	// pre-process).
+	OrderGreedyWeight
+	// OrderExhaustive tries every permutation of the candidate muxes
+	// (up to a small limit, falling back to greedy) and keeps the order
+	// with the highest expected weighted savings.
+	OrderExhaustive
+)
+
+// String names the order strategy.
+func (o Order) String() string {
+	switch o {
+	case OrderOutputsFirst:
+		return "outputs-first"
+	case OrderInputsFirst:
+		return "inputs-first"
+	case OrderGreedyWeight:
+		return "greedy-weight"
+	case OrderExhaustive:
+		return "exhaustive"
+	default:
+		return fmt.Sprintf("order(%d)", int(o))
+	}
+}
+
+// exhaustiveLimit caps the number of muxes for which OrderExhaustive tries
+// all permutations (8! = 40320 passes).
+const exhaustiveLimit = 8
+
+// Config parameterizes the power management scheduling run.
+type Config struct {
+	// Budget is the number of control steps allowed per sample (the
+	// throughput constraint). It must be at least the critical path.
+	Budget int
+	// II is the initiation interval for pipelined schedules; zero means
+	// II == Budget (no pipelining). A two-stage pipeline over a budget
+	// of 2T uses II = T (paper §IV.B).
+	II int
+	// Order is the multiplexor processing order.
+	Order Order
+	// Resources, when non-nil, fixes the available execution units;
+	// when nil the scheduler minimizes hardware for the given budget,
+	// as HYPER does.
+	Resources sched.Resources
+	// Weights gives the per-class power weight used by the reordering
+	// strategies (nil weights make every operation count 1). The
+	// canonical table lives in internal/power.
+	Weights map[cdfg.Class]float64
+	// ForceDirected selects the force-directed scheduling backend
+	// (Paulin-Knight) instead of list scheduling with minimum-resource
+	// search. Only valid for non-pipelined schedules without fixed
+	// Resources.
+	ForceDirected bool
+}
+
+func (c Config) ii() int {
+	if c.II == 0 {
+		return c.Budget
+	}
+	return c.II
+}
+
+// ManagedMux records one multiplexor selected for power management.
+type ManagedMux struct {
+	// Mux is the multiplexor node.
+	Mux cdfg.NodeID
+	// Sel is the node producing the controlling signal (the "last node
+	// in the control input fanin").
+	Sel cdfg.NodeID
+	// GatedTrue and GatedFalse are the operations shut down when the
+	// select steers the other way, per branch.
+	GatedTrue, GatedFalse []cdfg.NodeID
+}
+
+// GatedCount returns the total number of gated operations for the mux.
+func (m ManagedMux) GatedCount() int { return len(m.GatedTrue) + len(m.GatedFalse) }
+
+// Result is the outcome of power management scheduling.
+type Result struct {
+	// Graph is a private clone of the input with the pass's control
+	// edges inserted.
+	Graph *cdfg.Graph
+	// Schedule is the final schedule on Graph.
+	Schedule *sched.Schedule
+	// Resources is the execution-unit bag the schedule fits in.
+	Resources sched.Resources
+	// Managed lists the power managed muxes in processing order.
+	Managed []ManagedMux
+	// Guards maps every gated operation to its (possibly nested)
+	// gating conditions, in the format the simulator and the
+	// controller generator consume.
+	Guards sim.Guards
+	// Order is the processing order actually used.
+	Order Order
+}
+
+// NumManaged returns the number of power managed multiplexors (the
+// "P.Man. Muxs" column of Table II).
+func (r *Result) NumManaged() int { return len(r.Managed) }
+
+// GatedOps returns the set of all gated operations.
+func (r *Result) GatedOps() cdfg.NodeSet {
+	s := make(cdfg.NodeSet)
+	for id := range r.Guards {
+		s[id] = true
+	}
+	return s
+}
+
+// Baseline schedules g without any power management, the "traditional
+// method" the paper compares against: minimum hardware for the given
+// throughput, no control edges.
+func Baseline(g *cdfg.Graph, budget, ii int) (*sched.Schedule, sched.Resources, error) {
+	work := g.Clone()
+	work.ClearControlEdges()
+	if ii == 0 {
+		ii = budget
+	}
+	return sched.Minimize(work, budget, ii)
+}

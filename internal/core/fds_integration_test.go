@@ -1,0 +1,69 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/cdfg"
+	"repro/internal/sim"
+)
+
+func TestForceDirectedBackend(t *testing.T) {
+	g := compile(t, absDiffSrc)
+	r, err := Schedule(g, Config{Budget: 3, ForceDirected: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.NumManaged() != 1 {
+		t.Errorf("managed = %d, want 1", r.NumManaged())
+	}
+	if err := r.Schedule.Validate(nil); err != nil {
+		t.Error(err)
+	}
+	// Semantics preserved.
+	for _, in := range []map[string]int64{{"a": 9, "b": 4}, {"a": 4, "b": 9}} {
+		ref, err := sim.Evaluate(g, in, sim.Options{Width: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := sim.ExecuteScheduled(r.Schedule, r.Guards, in, sim.Options{Width: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Outputs["out:out"] != ref["out:out"] {
+			t.Errorf("in %v: %d != %d", in, got.Outputs["out:out"], ref["out:out"])
+		}
+	}
+	// Resources reflect actual usage.
+	if r.Resources[cdfg.ClassSub] < 1 {
+		t.Error("missing resource accounting")
+	}
+}
+
+func TestForceDirectedBackendRejectsPipelining(t *testing.T) {
+	g := compile(t, absDiffSrc)
+	if _, err := Schedule(g, Config{Budget: 4, II: 2, ForceDirected: true}); err == nil {
+		t.Error("pipelined FDS accepted")
+	}
+}
+
+func TestForceDirectedComparableToList(t *testing.T) {
+	// On the nested conditional design both backends find a legal PM
+	// schedule; total unit counts stay close.
+	g := compile(t, nestedSrc)
+	cp, _ := g.CriticalPath()
+	list, err := Schedule(g, Config{Budget: cp + 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fds, err := Schedule(g, Config{Budget: cp + 2, ForceDirected: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fds.NumManaged() != list.NumManaged() {
+		t.Errorf("managed differ: fds %d vs list %d", fds.NumManaged(), list.NumManaged())
+	}
+	lt, ft := list.Resources.Total(), fds.Resources.Total()
+	if ft > lt+2 {
+		t.Errorf("FDS units %d much worse than list %d", ft, lt)
+	}
+}

@@ -1,0 +1,202 @@
+package ctrl
+
+import (
+	"testing"
+
+	"repro/internal/alloc"
+	"repro/internal/cdfg"
+	"repro/internal/core"
+	"repro/internal/power"
+	"repro/internal/silage"
+	"repro/internal/sim"
+)
+
+const absDiffSrc = `
+func absdiff(a: num<8>, b: num<8>) out: num<8> =
+begin
+    g   = a > b;
+    d1  = a - b;
+    d2  = b - a;
+    out = if g -> d1 || d2 fi;
+end
+`
+
+func buildControllers(t *testing.T, src string, budget int) (*core.Result, *Controller, *Controller) {
+	t.Helper()
+	d, err := silage.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := core.Schedule(d.Graph, core.Config{Budget: budget, Weights: power.Weights})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := alloc.Bind(r.Schedule, r.Guards)
+	pm, err := Build(r.Schedule, b, r.Guards, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig, err := Build(r.Schedule, b, r.Guards, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r, pm, orig
+}
+
+func TestControllerShape(t *testing.T) {
+	r, pm, orig := buildControllers(t, absDiffSrc, 3)
+	if pm.Steps != 3 || orig.Steps != 3 {
+		t.Errorf("steps = %d/%d, want 3", pm.Steps, orig.Steps)
+	}
+	// Condition registers: the single comparator.
+	if len(pm.CondNodes) != 1 || pm.CondNodes[0] != r.Graph.Lookup("g") {
+		t.Errorf("cond nodes = %v", pm.CondNodes)
+	}
+	// Loads: 2 inputs at step 0 + 4 ops.
+	if len(pm.Loads) != 6 {
+		t.Errorf("loads = %d, want 6", len(pm.Loads))
+	}
+	if len(pm.UnitLoads) != 4 {
+		t.Errorf("unit loads = %d, want 4", len(pm.UnitLoads))
+	}
+	// Unit loads happen one step before execution.
+	for _, ul := range pm.UnitLoads {
+		if ul.Step != r.Schedule.Time[ul.Op]-1 {
+			t.Errorf("unit load for %d at %d, op at %d", ul.Op, ul.Step, r.Schedule.Time[ul.Op])
+		}
+	}
+}
+
+func TestGuardsOnlyInPMController(t *testing.T) {
+	r, pm, orig := buildControllers(t, absDiffSrc, 3)
+	if pm.GuardCost() == 0 {
+		t.Error("PM controller has no guards")
+	}
+	if orig.GuardCost() != 0 {
+		t.Error("baseline controller should have no guards")
+	}
+	if !pm.PM || orig.PM {
+		t.Error("PM flags wrong")
+	}
+	// The gated subs carry exactly one guard each on both load kinds.
+	for _, name := range []string{"d1", "d2"} {
+		id := r.Graph.Lookup(name)
+		found := false
+		for _, ld := range pm.Loads {
+			if ld.Node == id {
+				found = true
+				if len(ld.Guards) != 1 {
+					t.Errorf("%s load guards = %d, want 1", name, len(ld.Guards))
+				}
+			}
+		}
+		if !found {
+			t.Errorf("%s has no load", name)
+		}
+	}
+}
+
+func TestActivationsMatchGatedSim(t *testing.T) {
+	r, pm, orig := buildControllers(t, absDiffSrc, 3)
+	g := r.Graph
+	sel := g.Lookup("g")
+	// Condition true: d1 loads, d2 does not.
+	acts := pm.Activations(map[cdfg.NodeID]bool{sel: true})
+	if !acts[g.Lookup("d1")] || acts[g.Lookup("d2")] {
+		t.Error("PM activations wrong for true condition")
+	}
+	acts = pm.Activations(map[cdfg.NodeID]bool{sel: false})
+	if acts[g.Lookup("d1")] || !acts[g.Lookup("d2")] {
+		t.Error("PM activations wrong for false condition")
+	}
+	// Baseline loads everything regardless.
+	acts = orig.Activations(map[cdfg.NodeID]bool{sel: false})
+	if !acts[g.Lookup("d1")] || !acts[g.Lookup("d2")] {
+		t.Error("baseline should load both subs")
+	}
+	// Cross-check against the gated executor.
+	res, err := sim.ExecuteScheduled(r.Schedule, r.Guards, map[string]int64{"a": 9, "b": 4}, sim.Options{Width: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctl := pm.Activations(map[cdfg.NodeID]bool{sel: true})
+	for _, name := range []string{"g", "d1", "d2", "out"} {
+		id := g.Lookup(name)
+		if ctl[id] != res.Executed[id] {
+			t.Errorf("%s: controller %v, executor %v", name, ctl[id], res.Executed[id])
+		}
+	}
+}
+
+func TestActivationsNestedGuardChain(t *testing.T) {
+	src := `
+func nest(a: num<8>, b: num<8>, x: num<8>) o: num<8> =
+begin
+    outer = a > b;
+    t1    = a - b;
+    inner = t1 > 4;
+    t2    = t1 * 3;
+    t3    = t1 + 7;
+    m     = if inner -> t2 || t3 fi;
+    o     = if outer -> m || x fi;
+end
+`
+	d, err := silage.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp, _ := d.Graph.CriticalPath()
+	r, err := core.Schedule(d.Graph, core.Config{Budget: cp + 2, Weights: power.Weights})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := alloc.Bind(r.Schedule, r.Guards)
+	pm, err := Build(r.Schedule, b, r.Guards, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := r.Graph
+	outer, inner := g.Lookup("outer"), g.Lookup("inner")
+	// Outer false: even with inner "true", the inner ops must not load —
+	// their guard's select never loaded.
+	acts := pm.Activations(map[cdfg.NodeID]bool{outer: false, inner: true})
+	for _, name := range []string{"t1", "inner", "t2", "t3", "m"} {
+		if acts[g.Lookup(name)] {
+			t.Errorf("%s loaded despite outer=false", name)
+		}
+	}
+	acts = pm.Activations(map[cdfg.NodeID]bool{outer: true, inner: false})
+	if !acts[g.Lookup("t3")] || acts[g.Lookup("t2")] {
+		t.Error("inner gating wrong")
+	}
+}
+
+func TestLoadsInStep(t *testing.T) {
+	_, pm, _ := buildControllers(t, absDiffSrc, 3)
+	if n := len(pm.LoadsInStep(0)); n != 2 {
+		t.Errorf("prologue loads = %d, want 2 inputs", n)
+	}
+	total := 0
+	for s := 0; s <= pm.Steps; s++ {
+		total += len(pm.LoadsInStep(s))
+	}
+	if total != len(pm.Loads) {
+		t.Error("LoadsInStep does not partition Loads")
+	}
+}
+
+func TestBuildRejectsForeignBinding(t *testing.T) {
+	d, err := silage.Compile(absDiffSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := core.Schedule(d.Graph, core.Config{Budget: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Empty binding: ops have no units.
+	empty := &alloc.Binding{UnitOf: map[cdfg.NodeID]alloc.Unit{}, Units: map[cdfg.Class]int{}}
+	if _, err := Build(r.Schedule, empty, r.Guards, true); err == nil {
+		t.Error("missing unit binding accepted")
+	}
+}

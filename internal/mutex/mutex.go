@@ -1,0 +1,210 @@
+// Package mutex implements structural mutual-exclusiveness analysis on
+// CDFGs, in the spirit of the condition-graph work (Juan, Chaiyakul,
+// Gajski, ICCAD'94) the paper's §II.C builds on.
+//
+// Two operations are mutually exclusive when, whatever the inputs, the
+// result of at most one of them is used. The power management pass derives
+// exclusiveness from its own gating decisions; this package derives it
+// from the graph structure alone — every value consumed exclusively
+// through opposite data inputs of the same multiplexor is exclusive, even
+// in designs scheduled without power management. Allocation uses either
+// source to share execution units.
+//
+// The analysis computes, for every operation, a set of condition literals
+// (mux select, branch) under which its result is used, by walking from the
+// outputs backwards. Two operations with complementary literals on the
+// same select are exclusive.
+package mutex
+
+import (
+	"sort"
+
+	"repro/internal/cdfg"
+	"repro/internal/sim"
+)
+
+// Literal is one usage condition: the value of Sel steering a mux toward
+// the operation's cone.
+type Literal struct {
+	Sel      cdfg.NodeID
+	WhenTrue bool
+}
+
+// Analysis holds the per-node usage conditions.
+type Analysis struct {
+	g *cdfg.Graph
+	// conds[id] lists the condition sets (one per use path, each a
+	// conjunction of literals) under which id's value is used. A node
+	// with an unconditional use has one empty conjunction.
+	conds map[cdfg.NodeID][]map[Literal]bool
+}
+
+// maxPaths bounds the number of distinct use-path conjunctions tracked per
+// node; beyond it the node is treated as unconditionally used (safe).
+const maxPaths = 16
+
+// Analyze computes usage conditions for every node.
+func Analyze(g *cdfg.Graph) (*Analysis, error) {
+	order, err := g.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	a := &Analysis{g: g, conds: make(map[cdfg.NodeID][]map[Literal]bool)}
+	// Walk outputs-first (reverse topological): a node's conditions are
+	// the union over its consumers of (consumer conditions ∧ edge
+	// literal), where the edge literal exists only for mux data inputs.
+	for i := len(order) - 1; i >= 0; i-- {
+		id := order[i]
+		n := g.Node(id)
+		if n.Kind == cdfg.KindOutput {
+			a.conds[id] = []map[Literal]bool{{}}
+		}
+		// Push conditions to the arguments.
+		for pos, arg := range n.Args {
+			var lit *Literal
+			if n.Kind == cdfg.KindMux && pos != cdfg.MuxSel {
+				lit = &Literal{Sel: n.Args[cdfg.MuxSel], WhenTrue: pos == cdfg.MuxTrue}
+			}
+			for _, cond := range a.conds[id] {
+				merged := make(map[Literal]bool, len(cond)+1)
+				contradiction := false
+				for l := range cond {
+					merged[l] = true
+				}
+				if lit != nil {
+					// A conjunction containing both polarities
+					// of one select is unsatisfiable: drop it.
+					if merged[Literal{Sel: lit.Sel, WhenTrue: !lit.WhenTrue}] {
+						contradiction = true
+					}
+					merged[*lit] = true
+				}
+				if !contradiction {
+					a.addCond(arg, merged)
+				}
+			}
+		}
+	}
+	return a, nil
+}
+
+// addCond records one use-path conjunction, deduplicating and absorbing:
+// a weaker condition (subset literals) absorbs a stronger one.
+func (a *Analysis) addCond(id cdfg.NodeID, cond map[Literal]bool) {
+	existing := a.conds[id]
+	for _, e := range existing {
+		if subset(e, cond) {
+			return // already used under a weaker condition
+		}
+	}
+	kept := existing[:0]
+	for _, e := range existing {
+		if !subset(cond, e) {
+			kept = append(kept, e)
+		}
+	}
+	kept = append(kept, cond)
+	if len(kept) > maxPaths {
+		// Too many paths: conservatively mark unconditional.
+		kept = []map[Literal]bool{{}}
+	}
+	a.conds[id] = kept
+}
+
+// subset reports whether every literal of small is in big.
+func subset(small, big map[Literal]bool) bool {
+	if len(small) > len(big) {
+		return false
+	}
+	for l := range small {
+		if !big[l] {
+			return false
+		}
+	}
+	return true
+}
+
+// Used reports whether the node's value is ever used (dead nodes have no
+// conditions).
+func (a *Analysis) Used(id cdfg.NodeID) bool { return len(a.conds[id]) > 0 }
+
+// Exclusive reports whether x and y are provably mutually exclusive: every
+// pair of use conjunctions contains complementary literals on some common
+// select.
+func (a *Analysis) Exclusive(x, y cdfg.NodeID) bool {
+	cx, cy := a.conds[x], a.conds[y]
+	if len(cx) == 0 || len(cy) == 0 {
+		// A dead node conflicts with nothing; sharing is safe.
+		return true
+	}
+	for _, condX := range cx {
+		for _, condY := range cy {
+			if !contradict(condX, condY) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// contradict reports whether the two conjunctions contain opposite
+// polarities of the same select.
+func contradict(x, y map[Literal]bool) bool {
+	for l := range x {
+		if y[Literal{Sel: l.Sel, WhenTrue: !l.WhenTrue}] {
+			return true
+		}
+	}
+	return false
+}
+
+// Guards converts the analysis into gating guards for nodes whose every
+// use is conditional on a common literal set — the same shape the power
+// management pass produces. Only nodes with a single use conjunction are
+// converted (multi-path nodes would need OR-guards, which the controller
+// model does not express).
+func (a *Analysis) Guards() sim.Guards {
+	out := make(sim.Guards)
+	for id, conds := range a.conds {
+		if len(conds) != 1 || len(conds[0]) == 0 {
+			continue
+		}
+		if !a.g.Node(id).IsOp() {
+			continue
+		}
+		lits := make([]Literal, 0, len(conds[0]))
+		for l := range conds[0] {
+			lits = append(lits, l)
+		}
+		sort.Slice(lits, func(i, j int) bool {
+			if lits[i].Sel != lits[j].Sel {
+				return lits[i].Sel < lits[j].Sel
+			}
+			return !lits[i].WhenTrue
+		})
+		for _, l := range lits {
+			out[id] = append(out[id], sim.Guard{Sel: l.Sel, WhenTrue: l.WhenTrue})
+		}
+	}
+	return out
+}
+
+// ExclusivePairs returns all exclusive op pairs (x < y), useful for
+// reporting and tests.
+func (a *Analysis) ExclusivePairs() [][2]cdfg.NodeID {
+	var ops []cdfg.NodeID
+	for _, n := range a.g.Nodes() {
+		if n.IsOp() {
+			ops = append(ops, n.ID)
+		}
+	}
+	var out [][2]cdfg.NodeID
+	for i := 0; i < len(ops); i++ {
+		for j := i + 1; j < len(ops); j++ {
+			if a.Exclusive(ops[i], ops[j]) {
+				out = append(out, [2]cdfg.NodeID{ops[i], ops[j]})
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,235 @@
+// Package power implements the paper's datapath power model.
+//
+// The paper assigns every operation class a relative power weight obtained
+// from timing simulation of 8-bit units with random vectors — MUX:1,
+// COMP:4, +:3, -:3, *:20 — and reports, per schedule, the average number of
+// times each operation executes in one computation assuming every
+// multiplexor selects either input with equal probability (Table II). The
+// datapath power reduction is then
+//
+//	1 - sum(weight*expected executions) / sum(weight*total ops).
+//
+// This package computes the expected activations exactly, by enumerating
+// the joint outcomes of the distinct controlling signals (selects shared by
+// several muxes are fully correlated — cordic's x/y/z updates share one
+// sign bit per iteration), and cross-checks with a Monte Carlo executor
+// that runs the gated schedule on random input vectors.
+package power
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/cdfg"
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+// Weights is the paper's relative power weight table (Section V).
+var Weights = map[cdfg.Class]float64{
+	cdfg.ClassMux:  1,
+	cdfg.ClassComp: 4,
+	cdfg.ClassAdd:  3,
+	cdfg.ClassSub:  3,
+	cdfg.ClassMul:  20,
+}
+
+// maxExactSelects bounds the exhaustive enumeration: 2^20 outcomes.
+const maxExactSelects = 20
+
+// Activity holds per-node execution probabilities under the equiprobable
+// select model. Interface nodes and wiring have probability 1 but carry no
+// weight.
+type Activity struct {
+	// Prob is indexed by NodeID.
+	Prob []float64
+}
+
+// ExpectedOps returns the expected number of executions per class: the
+// "Number of Operations" columns of Table II.
+func (a Activity) ExpectedOps(g *cdfg.Graph) map[cdfg.Class]float64 {
+	out := make(map[cdfg.Class]float64)
+	for _, n := range g.Nodes() {
+		if n.IsOp() {
+			out[n.Class()] += a.Prob[n.ID]
+		}
+	}
+	return out
+}
+
+// WeightedPower returns sum(weight * probability) over all operations: the
+// average datapath power per computation in weight units.
+func (a Activity) WeightedPower(g *cdfg.Graph, weights map[cdfg.Class]float64) float64 {
+	total := 0.0
+	for _, n := range g.Nodes() {
+		if !n.IsOp() {
+			continue
+		}
+		w, ok := weights[n.Class()]
+		if !ok {
+			w = 1
+		}
+		total += w * a.Prob[n.ID]
+	}
+	return total
+}
+
+// Ungated returns the all-ops-execute activity, the paper's baseline
+// ("without power management all the operations are always executed").
+func Ungated(g *cdfg.Graph) Activity {
+	p := make([]float64, g.NumNodes())
+	for i := range p {
+		p[i] = 1
+	}
+	return Activity{Prob: p}
+}
+
+// Reduction returns the fractional datapath power saving of the gated
+// activity against the ungated baseline (the last column of Table II).
+func Reduction(g *cdfg.Graph, gated Activity, weights map[cdfg.Class]float64) float64 {
+	base := Ungated(g).WeightedPower(g, weights)
+	if base == 0 {
+		return 0
+	}
+	return 1 - gated.WeightedPower(g, weights)/base
+}
+
+// distinctSelects returns the sorted distinct select sources appearing in
+// the guard map.
+func distinctSelects(guards sim.Guards) []cdfg.NodeID {
+	set := make(map[cdfg.NodeID]bool)
+	for _, gl := range guards {
+		for _, gd := range gl {
+			set[gd.Sel] = true
+		}
+	}
+	out := make([]cdfg.NodeID, 0, len(set))
+	for id := range set {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// AnalyzeExact computes execution probabilities by enumerating all 2^k
+// joint outcomes of the k distinct controlling signals. An operation
+// executes under an outcome when, for every guard, the select has the
+// required value AND the select-producing operation itself executes
+// (nested shut-down: a dead comparator enables nothing).
+//
+// When k exceeds maxExactSelects the function falls back to the
+// independence approximation 2^-#guards and reports it via the bool result
+// (false = approximate).
+func AnalyzeExact(g *cdfg.Graph, guards sim.Guards) (Activity, bool) {
+	n := g.NumNodes()
+	prob := make([]float64, n)
+	if len(guards) == 0 {
+		for i := range prob {
+			prob[i] = 1
+		}
+		return Activity{Prob: prob}, true
+	}
+	sels := distinctSelects(guards)
+	if len(sels) > maxExactSelects {
+		for _, nd := range g.Nodes() {
+			p := 1.0
+			for range guards[nd.ID] {
+				p /= 2
+			}
+			prob[nd.ID] = p
+		}
+		return Activity{Prob: prob}, false
+	}
+	selIndex := make(map[cdfg.NodeID]int, len(sels))
+	for i, s := range sels {
+		selIndex[s] = i
+	}
+	// Evaluate nodes in topological order so that exec(sel) is known
+	// before any node guarded on sel (selects precede their muxes'
+	// branch cones by construction).
+	order, err := g.TopoOrder()
+	if err != nil {
+		// Callers hold validated graphs; treat as all-on.
+		return Ungated(g), false
+	}
+	counts := make([]int, n)
+	exec := make([]bool, n)
+	total := 1 << uint(len(sels))
+	for v := 0; v < total; v++ {
+		for _, id := range order {
+			e := true
+			for _, gd := range guards[id] {
+				if !exec[gd.Sel] {
+					e = false
+					break
+				}
+				bit := v>>uint(selIndex[gd.Sel])&1 == 1
+				if bit != gd.WhenTrue {
+					e = false
+					break
+				}
+			}
+			exec[id] = e
+			if e {
+				counts[id]++
+			}
+		}
+	}
+	for i := range prob {
+		prob[i] = float64(counts[i]) / float64(total)
+	}
+	return Activity{Prob: prob}, true
+}
+
+// MonteCarlo estimates execution probabilities by running the gated
+// schedule on random input vectors (uniform over the datapath width). This
+// reflects true data correlations rather than the equiprobable-select
+// idealization; the paper's Table II uses the idealization, so tests treat
+// this as a sanity oracle.
+func MonteCarlo(s *sched.Schedule, guards sim.Guards, width, runs int, seed int64) (Activity, error) {
+	if runs <= 0 {
+		return Activity{}, fmt.Errorf("power: runs must be positive, got %d", runs)
+	}
+	g := s.Graph
+	r := rand.New(rand.NewSource(seed))
+	counts := make([]int, g.NumNodes())
+	limit := int64(1) << uint(width)
+	for i := 0; i < runs; i++ {
+		in := make(map[string]int64, len(g.Inputs()))
+		for _, id := range g.Inputs() {
+			in[g.Node(id).Name] = r.Int63n(limit)
+		}
+		res, err := sim.ExecuteScheduled(s, guards, in, sim.Options{Width: width})
+		if err != nil {
+			return Activity{}, err
+		}
+		for id, ex := range res.Executed {
+			if ex {
+				counts[id]++
+			}
+		}
+	}
+	prob := make([]float64, g.NumNodes())
+	for i, c := range counts {
+		prob[i] = float64(c) / float64(runs)
+	}
+	return Activity{Prob: prob}, nil
+}
+
+// DeriveWeights computes a weight table from gate-level unit costs (a
+// function of the datapath width), used by the ablation that replaces the
+// paper's measured weights with weights derived from this repository's own
+// RTL generators. The costs map gives per-class energy-per-operation in
+// arbitrary units; classes absent default to weight 1.
+func DeriveWeights(costs map[cdfg.Class]float64) map[cdfg.Class]float64 {
+	base, ok := costs[cdfg.ClassMux]
+	if !ok || base <= 0 {
+		base = 1
+	}
+	out := make(map[cdfg.Class]float64, len(costs))
+	for c, v := range costs {
+		out[c] = v / base
+	}
+	return out
+}

@@ -1,0 +1,83 @@
+package rtl
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestVCDDump(t *testing.T) {
+	n := New("counter")
+	q := n.FeedbackRegister(4, func(q []Net) []Net {
+		s, _ := n.RippleAdder(q, n.ConstBus(1, 4), Zero)
+		return s
+	})
+	n.Output("q", q)
+	sim, err := NewSimulator(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	rec := NewVCDRecorder(sim, &buf)
+	if err := rec.Watch("count", q); err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.Watch("lsb", q[:1]); err != nil {
+		t.Fatal(err)
+	}
+	sim.Propagate()
+	for i := 0; i < 5; i++ {
+		if err := rec.Sample(); err != nil {
+			t.Fatal(err)
+		}
+		sim.Step()
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"$timescale", "$var wire 4", "$var wire 1", "$enddefinitions",
+		"#0", "#1", "b1 ", "b10 ",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("VCD missing %q:\n%s", want, out)
+		}
+	}
+	// Unchanged values are not re-emitted: the 4 samples after #0 each
+	// change count, so every timestep appears. Timestep markers start a
+	// line ('#' can also appear inside variable identifier codes).
+	if got := strings.Count(out, "\n#"); got != 5 {
+		t.Errorf("timesteps = %d, want 5", got)
+	}
+}
+
+func TestVCDWatchValidation(t *testing.T) {
+	n := New("t")
+	a := n.Input("a", 2)
+	sim, err := NewSimulator(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	rec := NewVCDRecorder(sim, &buf)
+	if err := rec.Watch("a", a); err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.Watch("a", a); err == nil {
+		t.Error("duplicate watch accepted")
+	}
+	if err := rec.Sample(); err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.Watch("late", a); err == nil {
+		t.Error("watch after sample accepted")
+	}
+}
+
+func TestVCDCodes(t *testing.T) {
+	seen := make(map[string]bool)
+	for i := 0; i < 200; i++ {
+		c := vcdCode(i)
+		if c == "" || seen[c] {
+			t.Fatalf("code %d = %q duplicate/empty", i, c)
+		}
+		seen[c] = true
+	}
+}

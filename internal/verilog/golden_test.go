@@ -1,0 +1,19 @@
+package verilog
+
+import (
+	"os"
+	"testing"
+)
+
+// TestGoldenAbsDiff locks the emitted Verilog for the canonical example.
+func TestGoldenAbsDiff(t *testing.T) {
+	got := generate(t, absDiffSrc, 3, true)
+	want, err := os.ReadFile("testdata/absdiff_pm.v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != string(want) {
+		t.Error("Verilog output drifted from testdata/absdiff_pm.v; " +
+			"if intentional, regenerate the golden file from the new output")
+	}
+}

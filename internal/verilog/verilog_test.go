@@ -1,0 +1,143 @@
+package verilog
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/alloc"
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/ctrl"
+	"repro/internal/power"
+	"repro/internal/silage"
+)
+
+const absDiffSrc = `
+func absdiff(a: num<8>, b: num<8>) out: num<8> =
+begin
+    g   = a > b;
+    d1  = a - b;
+    d2  = b - a;
+    out = if g -> d1 || d2 fi;
+end
+`
+
+func generate(t *testing.T, src string, budget int, pm bool) string {
+	t.Helper()
+	d, err := silage.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := core.Schedule(d.Graph, core.Config{Budget: budget, Weights: power.Weights})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := alloc.Bind(r.Schedule, r.Guards)
+	c, err := ctrl.Build(r.Schedule, b, r.Guards, pm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text, err := Generate(c, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return text
+}
+
+func TestModulesPresent(t *testing.T) {
+	text := generate(t, absDiffSrc, 3, true)
+	for _, want := range []string{
+		"module absdiff_datapath", "module absdiff_controller",
+		"module absdiff (", "endmodule", "always @(posedge clk)",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+	if strings.Count(text, "endmodule") != 3 {
+		t.Errorf("endmodule count = %d, want 3", strings.Count(text, "endmodule"))
+	}
+}
+
+func TestPMGuardsInVerilogController(t *testing.T) {
+	pm := generate(t, absDiffSrc, 3, true)
+	orig := generate(t, absDiffSrc, 3, false)
+	if !strings.Contains(pm, "& cond_g") || !strings.Contains(pm, "& ~cond_g") {
+		t.Error("PM controller lacks guard terms")
+	}
+	if strings.Contains(orig, "& cond_g") {
+		t.Error("baseline controller should not have guard terms")
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	if generate(t, absDiffSrc, 3, true) != generate(t, absDiffSrc, 3, true) {
+		t.Error("not deterministic")
+	}
+}
+
+func TestNoIllegalIdentifiers(t *testing.T) {
+	text := generate(t, absDiffSrc, 3, true)
+	if strings.Contains(text, "out:") || strings.Contains(text, "c:") {
+		t.Error("internal prefixes leaked")
+	}
+}
+
+func TestAllBenchmarksEmit(t *testing.T) {
+	for _, c := range bench.All() {
+		r, err := core.Schedule(c.Graph(), core.Config{Budget: c.Budgets[0], Weights: power.Weights})
+		if err != nil {
+			t.Fatalf("%s: %v", c.Name, err)
+		}
+		b := alloc.Bind(r.Schedule, r.Guards)
+		ctlr, err := ctrl.Build(r.Schedule, b, r.Guards, true)
+		if err != nil {
+			t.Fatalf("%s: %v", c.Name, err)
+		}
+		text, err := Generate(ctlr, 8)
+		if err != nil {
+			t.Fatalf("%s: %v", c.Name, err)
+		}
+		if !strings.Contains(text, "module "+c.Name+" (") {
+			t.Errorf("%s: missing top module", c.Name)
+		}
+		// Balanced begin/end within always blocks: each "if (... begin"
+		// has a matching end.
+		if strings.Count(text, " begin") < strings.Count(text, "    end\n")-strings.Count(text, "  end\n") {
+			t.Errorf("%s: unbalanced begin/end", c.Name)
+		}
+	}
+}
+
+func TestWidthValidation(t *testing.T) {
+	d, err := silage.Compile(absDiffSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := core.Schedule(d.Graph, core.Config{Budget: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := alloc.Bind(r.Schedule, r.Guards)
+	c, err := ctrl.Build(r.Schedule, b, r.Guards, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Generate(c, 0); err == nil {
+		t.Error("width 0 accepted")
+	}
+	if _, err := Generate(c, 99); err == nil {
+		t.Error("width 99 accepted")
+	}
+}
+
+func TestSanitize(t *testing.T) {
+	cases := map[string]string{
+		"out:x": "out_x", "9a": "n9a", "": "sig", "_t3": "_t3",
+	}
+	for in, want := range cases {
+		if got := sanitize(in); got != want {
+			t.Errorf("sanitize(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,21 @@
+package vhdl
+
+import (
+	"os"
+	"testing"
+)
+
+// TestGoldenAbsDiff locks the emitted VHDL for the canonical example. If a
+// deliberate backend change breaks this, regenerate the file by running
+// the generator snippet in the test failure message.
+func TestGoldenAbsDiff(t *testing.T) {
+	got := generate(t, absDiffSrc, 3, true)
+	want, err := os.ReadFile("testdata/absdiff_pm.vhd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != string(want) {
+		t.Error("VHDL output drifted from testdata/absdiff_pm.vhd; " +
+			"if intentional, regenerate the golden file from the new output")
+	}
+}

@@ -1,0 +1,197 @@
+package vhdl
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/alloc"
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/ctrl"
+	"repro/internal/power"
+	"repro/internal/silage"
+)
+
+const absDiffSrc = `
+func absdiff(a: num<8>, b: num<8>) out: num<8> =
+begin
+    g   = a > b;
+    d1  = a - b;
+    d2  = b - a;
+    out = if g -> d1 || d2 fi;
+end
+`
+
+func generate(t *testing.T, src string, budget int, pm bool) string {
+	t.Helper()
+	d, err := silage.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := core.Schedule(d.Graph, core.Config{Budget: budget, Weights: power.Weights})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := alloc.Bind(r.Schedule, r.Guards)
+	c, err := ctrl.Build(r.Schedule, b, r.Guards, pm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text, err := Generate(c, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return text
+}
+
+func TestGenerateContainsEntities(t *testing.T) {
+	text := generate(t, absDiffSrc, 3, true)
+	for _, want := range []string{
+		"entity absdiff_datapath is",
+		"entity absdiff_controller is",
+		"entity absdiff is",
+		"architecture rtl of absdiff_datapath",
+		"architecture fsm of absdiff_controller",
+		"architecture structure of absdiff",
+		"use ieee.numeric_std.all;",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+}
+
+func TestPMControllerHasGuards(t *testing.T) {
+	pm := generate(t, absDiffSrc, 3, true)
+	orig := generate(t, absDiffSrc, 3, false)
+	// The PM controller qualifies the subtraction loads with the
+	// comparator's condition bit.
+	if !strings.Contains(pm, "cond_g = '1'") || !strings.Contains(pm, "cond_g = '0'") {
+		t.Error("PM controller lacks condition-qualified enables")
+	}
+	if strings.Contains(orig, "and cond_g") {
+		t.Error("baseline controller should not gate on conditions")
+	}
+	// Both route the condition bit (the mux select needs it).
+	if !strings.Contains(orig, "cond_g : in std_logic") {
+		t.Error("baseline controller missing condition input")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := generate(t, absDiffSrc, 3, true)
+	b := generate(t, absDiffSrc, 3, true)
+	if a != b {
+		t.Error("generation is not deterministic")
+	}
+}
+
+func TestBalancedConstructs(t *testing.T) {
+	text := generate(t, absDiffSrc, 3, true)
+	pairs := [][2]string{
+		{"\nentity ", "end entity;"},
+		{"process (clk)", "end process;"},
+		{"\narchitecture ", "end architecture;"},
+	}
+	for _, p := range pairs {
+		open := strings.Count(text, p[0])
+		close := strings.Count(text, p[1])
+		if open != close {
+			t.Errorf("%q count %d != %q count %d", p[0], open, p[1], close)
+		}
+	}
+	// No unsanitized characters from internal names.
+	if strings.Contains(text, "out:") || strings.Contains(text, "c:") {
+		t.Error("internal name prefixes leaked into VHDL")
+	}
+}
+
+func TestGenerateAllBenchmarks(t *testing.T) {
+	for _, c := range bench.All() {
+		budget := c.Budgets[0]
+		r, err := core.Schedule(c.Graph(), core.Config{Budget: budget, Weights: power.Weights})
+		if err != nil {
+			t.Fatalf("%s: %v", c.Name, err)
+		}
+		b := alloc.Bind(r.Schedule, r.Guards)
+		ctlr, err := ctrl.Build(r.Schedule, b, r.Guards, true)
+		if err != nil {
+			t.Fatalf("%s: %v", c.Name, err)
+		}
+		text, err := Generate(ctlr, 8)
+		if err != nil {
+			t.Fatalf("%s: %v", c.Name, err)
+		}
+		if !strings.Contains(text, "entity "+c.Name+" is") {
+			t.Errorf("%s: missing top entity", c.Name)
+		}
+		// Every output port appears in the top entity.
+		for _, id := range c.Graph().Outputs() {
+			port := silage.PortName(c.Graph().Node(id).Name)
+			if !strings.Contains(text, port+" : out") {
+				t.Errorf("%s: missing output port %s", c.Name, port)
+			}
+		}
+	}
+}
+
+func TestGenerateWidthValidation(t *testing.T) {
+	d, err := silage.Compile(absDiffSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := core.Schedule(d.Graph, core.Config{Budget: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := alloc.Bind(r.Schedule, r.Guards)
+	c, err := ctrl.Build(r.Schedule, b, r.Guards, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Generate(c, 0); err == nil {
+		t.Error("width 0 accepted")
+	}
+	if _, err := Generate(c, 65); err == nil {
+		t.Error("width 65 accepted")
+	}
+}
+
+func TestSanitize(t *testing.T) {
+	cases := map[string]string{
+		"out:x":  "out_x",
+		"c:-5":   "c__5",
+		"_t1":    "_t1",
+		"9lives": "n9lives",
+		"":       "sig",
+		"normal": "normal",
+	}
+	for in, want := range cases {
+		if got := sanitize(in); got != want {
+			t.Errorf("sanitize(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestVenderMultiplierEmitted(t *testing.T) {
+	v := bench.Vender()
+	r, err := core.Schedule(v.Graph(), core.Config{Budget: 5, Weights: power.Weights})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := alloc.Bind(r.Schedule, r.Guards)
+	c, err := ctrl.Build(r.Schedule, b, r.Guards, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text, err := Generate(c, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text, "resize(") {
+		t.Error("multiplier core not emitted")
+	}
+	if !strings.Contains(text, "shift_") && strings.Contains(v.Source, ">>") {
+		t.Error("expected shift wiring")
+	}
+}

@@ -1,0 +1,335 @@
+// Package pmsynth is a behavioral synthesis library with power management
+// aware scheduling, reproducing Monteiro, Devadas, Ashar and Mauskar,
+// "Scheduling Techniques to Enable Power Management", DAC 1996.
+//
+// The flow compiles a Silage-style behavioral description into a control
+// data flow graph, schedules it so that controlling signals are computed
+// before the operations they select among (maximizing shut-down
+// opportunities), binds operations to execution units (sharing units
+// between mutually exclusive operations), generates a condition-qualified
+// FSM controller, and can emit VHDL or a gate-level netlist whose
+// switching activity quantifies the power saved.
+//
+// Quick start:
+//
+//	design, _ := pmsynth.Compile(src)
+//	syn, _ := pmsynth.Synthesize(design, pmsynth.Options{Budget: 3})
+//	fmt.Println(syn.Row())     // Table II style summary
+//	text, _ := syn.VHDL()      // RTL output
+//
+// See examples/ for complete programs and DESIGN.md for the architecture.
+package pmsynth
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"repro/internal/alloc"
+	"repro/internal/cdfg"
+	"repro/internal/chip"
+	"repro/internal/core"
+	"repro/internal/ctrl"
+	"repro/internal/power"
+	"repro/internal/rtl"
+	"repro/internal/sched"
+	"repro/internal/silage"
+	"repro/internal/sim"
+	"repro/internal/verilog"
+	"repro/internal/vhdl"
+)
+
+// Design is a compiled behavioral description.
+type Design = silage.Design
+
+// Order selects the multiplexor processing order (paper §III, §IV.A).
+type Order = core.Order
+
+// Mux processing orders.
+const (
+	// OrderOutputsFirst is the paper's default.
+	OrderOutputsFirst = core.OrderOutputsFirst
+	// OrderInputsFirst is the ablation order.
+	OrderInputsFirst = core.OrderInputsFirst
+	// OrderGreedyWeight is the §IV.A reordering heuristic.
+	OrderGreedyWeight = core.OrderGreedyWeight
+	// OrderExhaustive tries all orders for small designs.
+	OrderExhaustive = core.OrderExhaustive
+)
+
+// Weights is the paper's relative power cost table (MUX 1, COMP 4, +/- 3,
+// * 20).
+var Weights = power.Weights
+
+// Compile parses and elaborates a Silage-style source text.
+func Compile(src string) (*Design, error) { return silage.Compile(src) }
+
+// MustCompile is Compile for statically known-good sources.
+func MustCompile(src string) *Design { return silage.MustCompile(src) }
+
+// Options configures Synthesize.
+type Options struct {
+	// Budget is the number of control steps per sample (throughput
+	// constraint). It must be at least the critical path.
+	Budget int
+	// II is the pipeline initiation interval; 0 means no pipelining
+	// (II = Budget). See paper §IV.B.
+	II int
+	// Order is the mux processing order (default outputs-first).
+	Order Order
+	// Resources optionally fixes the execution-unit budget per class;
+	// nil lets the scheduler minimize hardware.
+	Resources map[cdfg.Class]int
+	// ForceDirected selects the force-directed scheduling backend
+	// (Paulin-Knight) instead of list scheduling with minimum-resource
+	// search. Non-pipelined schedules only.
+	ForceDirected bool
+}
+
+// Synthesis is the result of the full flow on one design.
+type Synthesis struct {
+	// Design is the compiled input.
+	Design *Design
+	// PM is the power management scheduling result.
+	PM *core.Result
+	// Binding maps the PM schedule onto units and registers.
+	Binding *alloc.Binding
+	// Controller is the condition-qualified FSM.
+	Controller *ctrl.Controller
+	// Baseline artifacts: the traditional flow at the same throughput.
+	BaselineSchedule *sched.Schedule
+	BaselineBinding  *alloc.Binding
+	// Activity holds the exact per-node execution probabilities under
+	// the equiprobable-select model.
+	Activity power.Activity
+	// ActivityExact reports whether Activity was computed exactly.
+	ActivityExact bool
+}
+
+// Synthesize runs the complete power management flow.
+func Synthesize(d *Design, opt Options) (*Synthesis, error) {
+	if d == nil || d.Graph == nil {
+		return nil, fmt.Errorf("pmsynth: nil design")
+	}
+	var res sched.Resources
+	if opt.Resources != nil {
+		res = make(sched.Resources, len(opt.Resources))
+		for c, n := range opt.Resources {
+			res[c] = n
+		}
+	}
+	pm, err := core.Schedule(d.Graph, core.Config{
+		Budget:        opt.Budget,
+		II:            opt.II,
+		Order:         opt.Order,
+		Resources:     res,
+		Weights:       power.Weights,
+		ForceDirected: opt.ForceDirected,
+	})
+	if err != nil {
+		return nil, err
+	}
+	binding := alloc.Bind(pm.Schedule, pm.Guards)
+	controller, err := ctrl.Build(pm.Schedule, binding, pm.Guards, true)
+	if err != nil {
+		return nil, err
+	}
+	baseSched, _, err := core.Baseline(d.Graph, opt.Budget, opt.II)
+	if err != nil {
+		return nil, err
+	}
+	baseBind := alloc.Bind(baseSched, nil)
+	act, exact := power.AnalyzeExact(pm.Graph, pm.Guards)
+	return &Synthesis{
+		Design:           d,
+		PM:               pm,
+		Binding:          binding,
+		Controller:       controller,
+		BaselineSchedule: baseSched,
+		BaselineBinding:  baseBind,
+		Activity:         act,
+		ActivityExact:    exact,
+	}, nil
+}
+
+// Row is a Table II style summary row.
+type Row struct {
+	Circuit      string
+	Steps        int
+	PMMuxes      int
+	AreaIncrease float64
+	// Expected executions per computation, under equiprobable selects.
+	Mux, Comp, Add, Sub, Mul float64
+	// PowerReductionPct is the datapath power saving in percent.
+	PowerReductionPct float64
+}
+
+// String formats the row like the paper's Table II.
+func (r Row) String() string {
+	return fmt.Sprintf("%-8s %3d  %2d  %.2f  %6.2f %6.2f %6.2f %6.2f %6.2f  %6.2f%%",
+		r.Circuit, r.Steps, r.PMMuxes, r.AreaIncrease,
+		r.Mux, r.Comp, r.Add, r.Sub, r.Mul, r.PowerReductionPct)
+}
+
+// Row computes the Table II summary of the synthesis.
+func (s *Synthesis) Row() Row {
+	ops := s.Activity.ExpectedOps(s.PM.Graph)
+	return Row{
+		Circuit:           s.Design.Graph.Name,
+		Steps:             s.PM.Schedule.Steps,
+		PMMuxes:           s.PM.NumManaged(),
+		AreaIncrease:      alloc.AreaIncrease(s.Binding, s.BaselineBinding, s.Design.Width),
+		Mux:               ops[cdfg.ClassMux],
+		Comp:              ops[cdfg.ClassComp],
+		Add:               ops[cdfg.ClassAdd],
+		Sub:               ops[cdfg.ClassSub],
+		Mul:               ops[cdfg.ClassMul],
+		PowerReductionPct: 100 * power.Reduction(s.PM.Graph, s.Activity, power.Weights),
+	}
+}
+
+// VHDL emits the power managed design (datapath, controller, top).
+func (s *Synthesis) VHDL() (string, error) {
+	return vhdl.Generate(s.Controller, s.Design.Width)
+}
+
+// BaselineVHDL emits the traditional design at the same throughput.
+func (s *Synthesis) BaselineVHDL() (string, error) {
+	c, err := ctrl.Build(s.BaselineSchedule, s.BaselineBinding, nil, false)
+	if err != nil {
+		return "", err
+	}
+	return vhdl.Generate(c, s.Design.Width)
+}
+
+// Verilog emits the power managed design in Verilog-2001.
+func (s *Synthesis) Verilog() (string, error) {
+	return verilog.Generate(s.Controller, s.Design.Width)
+}
+
+// DOT renders the scheduled CDFG (control edges dashed) in Graphviz
+// format.
+func (s *Synthesis) DOT() string { return s.PM.Graph.DOT() }
+
+// GateLevelReport builds both gate-level chips and measures switching
+// activity over the given number of random samples: one Table III row.
+func (s *Synthesis) GateLevelReport(samples int, seed int64) (chip.Report, error) {
+	return chip.Compare(s.Design.Graph, s.PM.Schedule.Steps, s.Design.Width, samples, seed)
+}
+
+// DumpVCD simulates the power managed gate-level chip for the given number
+// of random samples and writes a Value Change Dump of the design's inputs
+// and outputs to w (viewable in GTKWave).
+func (s *Synthesis) DumpVCD(samples int, seed int64, w io.Writer) error {
+	ch, err := chip.Build(s.Controller, s.Design.Width)
+	if err != nil {
+		return err
+	}
+	tb, err := ch.NewTestbench()
+	if err != nil {
+		return err
+	}
+	rec := rtl.NewVCDRecorder(tb, w)
+	g := s.Design.Graph
+	for name, bus := range ch.Netlist.InputNames() {
+		if err := rec.Watch("in_"+name, bus); err != nil {
+			return err
+		}
+	}
+	for _, id := range g.Outputs() {
+		name := silage.PortName(g.Node(id).Name)
+		if err := rec.Watch("out_"+name, ch.Netlist.OutputBus(name)); err != nil {
+			return err
+		}
+	}
+	rnd := rand.New(rand.NewSource(seed))
+	limit := int64(1) << uint(s.Design.Width)
+	for i := 0; i < samples; i++ {
+		in := make(map[string]int64, len(g.Inputs()))
+		for _, id := range g.Inputs() {
+			in[g.Node(id).Name] = rnd.Int63n(limit)
+		}
+		for name, v := range in {
+			if err := tb.SetInput(name, v); err != nil {
+				return err
+			}
+		}
+		tb.Propagate()
+		for c := 0; c < ch.CyclesPerSample; c++ {
+			if err := rec.Sample(); err != nil {
+				return err
+			}
+			tb.Step()
+		}
+	}
+	return rec.Sample()
+}
+
+// Verify checks output equivalence of the gated schedule against the
+// reference interpreter on n pseudo-random input vectors.
+func (s *Synthesis) Verify(n int, seed int64) error {
+	g := s.Design.Graph
+	rnd := seed
+	next := func() int64 {
+		rnd = rnd*6364136223846793005 + 1442695040888963407
+		v := rnd >> 33
+		if v < 0 {
+			v = -v
+		}
+		return v % (1 << uint(s.Design.Width))
+	}
+	for i := 0; i < n; i++ {
+		in := make(map[string]int64)
+		for _, id := range g.Inputs() {
+			in[g.Node(id).Name] = next()
+		}
+		want, err := sim.Evaluate(g, in, sim.Options{Width: s.Design.Width})
+		if err != nil {
+			return err
+		}
+		got, err := sim.ExecuteScheduled(s.PM.Schedule, s.PM.Guards, in, sim.Options{Width: s.Design.Width})
+		if err != nil {
+			return fmt.Errorf("pmsynth: gated execution failed on %v: %w", in, err)
+		}
+		for k, v := range want {
+			if got.Outputs[k] != v {
+				return fmt.Errorf("pmsynth: output %s mismatch on %v: gated %d, reference %d",
+					k, in, got.Outputs[k], v)
+			}
+		}
+	}
+	return nil
+}
+
+// Evaluate runs the compiled behavior on one input vector (reference
+// semantics, masked to the design width). Outputs are keyed by port name.
+func Evaluate(d *Design, inputs map[string]int64) (map[string]int64, error) {
+	raw, err := sim.Evaluate(d.Graph, inputs, sim.Options{Width: d.Width})
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]int64, len(raw))
+	for k, v := range raw {
+		out[silage.PortName(k)] = v
+	}
+	return out, nil
+}
+
+// CriticalPath returns the design's minimum feasible control-step count.
+func CriticalPath(d *Design) (int, error) { return d.Graph.CriticalPath() }
+
+// Explain reports, per multiplexor, whether power management succeeded at
+// the given budget and why not otherwise — the designer-facing diagnostic
+// for deciding between relaxing throughput and restructuring the behavior.
+func Explain(d *Design, opt Options) (string, error) {
+	reports, err := core.Explain(d.Graph, core.Config{
+		Budget:  opt.Budget,
+		II:      opt.II,
+		Order:   opt.Order,
+		Weights: power.Weights,
+	})
+	if err != nil {
+		return "", err
+	}
+	return core.FormatReports(d.Graph, reports), nil
+}
