@@ -229,6 +229,37 @@ func BenchmarkSchedulerThroughput(b *testing.B) {
 	}
 }
 
+// BenchmarkSweepGCD measures the design-space sweep engine on the gcd
+// benchmark (12 configurations: budgets 5-10 x two mux orders), serial
+// vs parallel, so later PRs can track the concurrency speedup.
+func BenchmarkSweepGCD(b *testing.B) {
+	c := bench.GCD()
+	spec := SweepSpec{
+		BudgetMin: 5, BudgetMax: 10,
+		Orders: []Order{OrderOutputsFirst, OrderGreedyWeight},
+	}
+	for _, mode := range []struct {
+		name    string
+		workers int
+	}{{"serial", 1}, {"parallel", 0}} {
+		mode := mode
+		b.Run(mode.name, func(b *testing.B) {
+			spec := spec
+			spec.Workers = mode.workers
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := Sweep(c.Design, spec)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res.Points) != 12 {
+					b.Fatalf("%d points, want 12", len(res.Points))
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkGateLevelSimulation measures the toggle simulator itself.
 func BenchmarkGateLevelSimulation(b *testing.B) {
 	syn, err := Synthesize(bench.Vender().Design, Options{Budget: 6})

@@ -10,12 +10,15 @@
 //	pmsched -src design.sil -steps 6 -order greedy     # §IV.A reordering
 //	pmsched -src design.sil -steps 6 -gates -samples 200
 //	pmsched -builtin gcd -steps 7                      # run a paper benchmark
+//	pmsched -builtin gcd -sweep 5:10                   # concurrent budget sweep
+//	pmsched -builtin gcd -sweep 5:10 -pareto           # Pareto-optimal points only
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	"repro"
@@ -26,6 +29,24 @@ import (
 func fail(format string, args ...interface{}) {
 	fmt.Fprintf(os.Stderr, "pmsched: "+format+"\n", args...)
 	os.Exit(1)
+}
+
+// parseRange parses a "lo:hi" budget range (a single "n" means n:n).
+func parseRange(s string) (lo, hi int, err error) {
+	parts := strings.SplitN(s, ":", 2)
+	if lo, err = strconv.Atoi(parts[0]); err != nil {
+		return 0, 0, fmt.Errorf("bad -sweep range %q", s)
+	}
+	hi = lo
+	if len(parts) == 2 {
+		if hi, err = strconv.Atoi(parts[1]); err != nil {
+			return 0, 0, fmt.Errorf("bad -sweep range %q", s)
+		}
+	}
+	if lo < 1 || hi < lo {
+		return 0, 0, fmt.Errorf("bad -sweep range %q", s)
+	}
+	return lo, hi, nil
 }
 
 func main() {
@@ -43,6 +64,9 @@ func main() {
 	vcdPath := flag.String("vcd", "", "dump gate-level waveforms (VCD) to this file")
 	samples := flag.Int("samples", 100, "random vectors for -gates")
 	verify := flag.Int("verify", 200, "random vectors for output-equivalence check (0 disables)")
+	sweep := flag.String("sweep", "", "budget sweep range lo:hi — evaluate every budget concurrently")
+	pareto := flag.Bool("pareto", false, "with -sweep, report the Pareto-optimal points and the best configuration")
+	workers := flag.Int("workers", 0, "sweep worker pool size (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	var design *pmsynth.Design
@@ -97,6 +121,56 @@ func main() {
 		order = pmsynth.OrderExhaustive
 	default:
 		fail("unknown order %q", *orderName)
+	}
+
+	if *sweep == "" {
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "pareto" || f.Name == "workers" {
+				fail("-%s requires -sweep", f.Name)
+			}
+		})
+	} else {
+		// Single-run flags have no meaning across a sweep; reject them
+		// loudly rather than silently dropping their output.
+		incompatible := map[string]bool{
+			"steps": true, "gates": true, "samples": true, "vcd": true,
+			"vhdl": true, "verilog": true, "dot": true, "explain": true,
+			"verify": true,
+		}
+		flag.Visit(func(f *flag.Flag) {
+			if incompatible[f.Name] {
+				fail("-%s cannot be combined with -sweep", f.Name)
+			}
+		})
+		lo, hi, err := parseRange(*sweep)
+		if err != nil {
+			fail("%v", err)
+		}
+		spec := pmsynth.SweepSpec{
+			BudgetMin: lo, BudgetMax: hi,
+			IIs:           []int{*ii},
+			Orders:        []pmsynth.Order{order},
+			ForceDirected: []bool{*fds},
+			Workers:       *workers,
+		}
+		res, err := pmsynth.Sweep(design, spec)
+		if err != nil {
+			fail("%v", err)
+		}
+		fmt.Printf("design %q: critical path %d, sweeping budgets %d..%d\n",
+			design.Graph.Name, cp, lo, hi)
+		fmt.Print(res.Table())
+		if *pareto {
+			fmt.Println("\nPARETO FRONT (max power reduction, min area, min steps)")
+			for _, p := range res.Pareto() {
+				fmt.Printf("  budget %d: %s\n", p.Options.Budget, p.Row)
+			}
+			if best := res.Best(pmsynth.MaxPowerReduction); best != nil {
+				fmt.Printf("best power reduction: budget %d (%.2f%%)\n",
+					best.Options.Budget, best.Row.PowerReductionPct)
+			}
+		}
+		return
 	}
 
 	syn, err := pmsynth.Synthesize(design, pmsynth.Options{

@@ -1,11 +1,13 @@
 package bench
 
 import (
+	"context"
 	"strings"
 	"testing"
 
 	"repro/internal/cdfg"
 	"repro/internal/core"
+	"repro/internal/flow"
 	"repro/internal/power"
 	"repro/internal/sim"
 )
@@ -139,31 +141,39 @@ func TestCordicSourceShape(t *testing.T) {
 	}
 }
 
-// TestPMFeasibilityAcrossBudgets sweeps the Table II budgets and checks the
-// qualitative claims: the number of managed muxes and the datapath power
-// reduction are non-decreasing in the budget, and savings fall in the
-// paper's reported band (roughly 10-45%) at the largest budget.
+// TestPMFeasibilityAcrossBudgets sweeps the Table II budgets through the
+// concurrent sweep engine and checks the qualitative claims: the number of
+// managed muxes and the datapath power reduction are non-decreasing in the
+// budget, and savings fall in the paper's reported band (roughly 10-45%)
+// at the largest budget.
 func TestPMFeasibilityAcrossBudgets(t *testing.T) {
 	for _, c := range All() {
 		if c.Name == "cordic" && testing.Short() {
 			continue
 		}
+		cfgs := make([]core.Config, len(c.Budgets))
+		for i, budget := range c.Budgets {
+			cfgs[i] = core.Config{Budget: budget, Weights: power.Weights}
+		}
+		ctxs, err := flow.RunAll(context.Background(), c.Graph(), c.Design.Width, cfgs, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", c.Name, err)
+		}
 		prevManaged := -1
 		prevRed := -1.0
-		for _, budget := range c.Budgets {
-			r, err := core.Schedule(c.Graph(), core.Config{Budget: budget, Weights: power.Weights})
-			if err != nil {
-				t.Fatalf("%s@%d: %v", c.Name, budget, err)
+		for i, fc := range ctxs {
+			budget := c.Budgets[i]
+			if fc.Err != nil {
+				t.Fatalf("%s@%d: %v", c.Name, budget, fc.Err)
 			}
-			act, _ := power.AnalyzeExact(r.Graph, r.Guards)
-			red := power.Reduction(r.Graph, act, power.Weights)
-			if r.NumManaged() < prevManaged {
-				t.Errorf("%s@%d: managed %d decreased (prev %d)", c.Name, budget, r.NumManaged(), prevManaged)
+			red := power.Reduction(fc.PM.Graph, fc.Activity, power.Weights)
+			if fc.PM.NumManaged() < prevManaged {
+				t.Errorf("%s@%d: managed %d decreased (prev %d)", c.Name, budget, fc.PM.NumManaged(), prevManaged)
 			}
 			if red < prevRed-1e-9 {
 				t.Errorf("%s@%d: reduction %.3f decreased (prev %.3f)", c.Name, budget, red, prevRed)
 			}
-			prevManaged, prevRed = r.NumManaged(), red
+			prevManaged, prevRed = fc.PM.NumManaged(), red
 		}
 		if prevRed < 0.10 || prevRed > 0.50 {
 			t.Errorf("%s: final reduction %.3f outside the paper's band", c.Name, prevRed)

@@ -47,20 +47,12 @@ func (s NodeSet) Intersect(t NodeSet) NodeSet {
 
 // TransitiveFanin returns the set of nodes from which root is reachable via
 // dataflow edges. The root itself is included. Input and constant nodes are
-// included; callers filter as needed.
+// included; callers filter as needed. The result is memoized and shared
+// across calls (and across Clones made after it was computed): treat it as
+// strictly read-only — mutating it would corrupt the cache and race with
+// concurrent sweep workers reading the same set.
 func (g *Graph) TransitiveFanin(root NodeID) NodeSet {
-	seen := make(NodeSet)
-	stack := []NodeID{root}
-	for len(stack) > 0 {
-		id := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		if seen[id] {
-			continue
-		}
-		seen[id] = true
-		stack = append(stack, g.nodes[id].Args...)
-	}
-	return seen
+	return g.faninMemo(root)
 }
 
 // TransitiveFanout returns the set of nodes reachable from root via
@@ -83,46 +75,19 @@ func (g *Graph) TransitiveFanout(root NodeID) NodeSet {
 // Depth returns, for every node, the earliest control step it could occupy
 // considering only dataflow edges (1-based for unit-latency ops; zero for
 // free nodes feeding nothing yet). This is the unconstrained ASAP level.
+// The underlying computation is memoized; the returned slice is a fresh
+// copy the caller may modify.
 func (g *Graph) Depth() ([]int, error) {
-	order, err := g.TopoOrder()
-	if err != nil {
-		return nil, err
-	}
-	depth := make([]int, len(g.nodes))
-	for _, id := range order {
-		n := g.nodes[id]
-		earliest := 0
-		for _, a := range n.Args {
-			if depth[a] > earliest {
-				earliest = depth[a]
-			}
-		}
-		depth[id] = earliest + n.Latency()
-	}
-	return depth, nil
+	return append([]int(nil), g.depthMemo()...), nil
 }
 
 // HeightToOutput returns, for every node, the longest latency-weighted path
 // from the node to any output (the node's own latency included). Nodes that
-// reach no output have height equal to their own latency.
+// reach no output have height equal to their own latency. The underlying
+// computation is memoized; the returned slice is a fresh copy the caller
+// may modify.
 func (g *Graph) HeightToOutput() ([]int, error) {
-	order, err := g.TopoOrder()
-	if err != nil {
-		return nil, err
-	}
-	height := make([]int, len(g.nodes))
-	for i := len(order) - 1; i >= 0; i-- {
-		id := order[i]
-		n := g.nodes[id]
-		below := 0
-		for _, s := range g.succs[id] {
-			if height[s] > below {
-				below = height[s]
-			}
-		}
-		height[id] = below + n.Latency()
-	}
-	return height, nil
+	return append([]int(nil), g.heightMemo()...), nil
 }
 
 // CriticalPath returns the minimum number of control steps needed to
@@ -130,17 +95,7 @@ func (g *Graph) HeightToOutput() ([]int, error) {
 // edges are deliberately excluded — this is the Table I "Critical Path"
 // column, a property of the original behavior.
 func (g *Graph) CriticalPath() (int, error) {
-	depth, err := g.Depth()
-	if err != nil {
-		return 0, err
-	}
-	max := 0
-	for _, d := range depth {
-		if d > max {
-			max = d
-		}
-	}
-	return max, nil
+	return g.criticalMemo(), nil
 }
 
 // Stats summarizes a graph the way Table I does.

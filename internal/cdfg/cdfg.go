@@ -259,6 +259,10 @@ type Graph struct {
 	inputs  []NodeID
 	consts  []NodeID
 	outputs []NodeID
+
+	// memo caches the pure-dataflow analyses (see memo.go). Graphs are
+	// always handled by pointer; the zero memo is an empty cache.
+	memo analysisMemo
 }
 
 // New returns an empty graph with the given design name.
@@ -313,6 +317,7 @@ func (g *Graph) add(n *Node) (NodeID, error) {
 		}
 	}
 	n.ID = NodeID(len(g.nodes))
+	g.invalidateAnalyses()
 	g.nodes = append(g.nodes, n)
 	g.succs = append(g.succs, nil)
 	g.byName[n.Name] = n.ID
@@ -520,5 +525,6 @@ func (g *Graph) Clone() *Graph {
 	for i, s := range g.succs {
 		ng.succs[i] = append([]NodeID(nil), s...)
 	}
+	g.shareAnalyses(ng)
 	return ng
 }

@@ -1,0 +1,156 @@
+package cdfg
+
+import "sync"
+
+// analysisMemo caches the pure-dataflow analyses of a graph: transitive
+// fanin cones, ASAP depth, height to output, and the critical path derived
+// from depth. These depend only on the node list and the dataflow edges
+// (Args), both of which are append-only, so the cache is invalidated only
+// when a node is added. Control edges never affect them.
+//
+// The cache is safe for concurrent use: the design-space sweep engine
+// evaluates many configurations of one design in parallel, and every
+// worker's clones share the entries that were warm at clone time.
+type analysisMemo struct {
+	mu       sync.Mutex
+	fanin    map[NodeID]NodeSet
+	depth    []int
+	height   []int
+	critOK   bool
+	critical int
+}
+
+// invalidateAnalyses drops every cached analysis. Called when the node list
+// changes (the only mutation the analyses depend on).
+func (g *Graph) invalidateAnalyses() {
+	g.memo.mu.Lock()
+	g.memo.fanin = nil
+	g.memo.depth = nil
+	g.memo.height = nil
+	g.memo.critOK = false
+	g.memo.mu.Unlock()
+}
+
+// shareAnalyses copies the warm cache entries of g into ng (a fresh clone
+// with an identical node list). The maps are fresh so later fills do not
+// race across graphs; the cached sets and slices themselves are immutable
+// once computed and safely shared.
+func (g *Graph) shareAnalyses(ng *Graph) {
+	g.memo.mu.Lock()
+	defer g.memo.mu.Unlock()
+	if g.memo.fanin != nil {
+		ng.memo.fanin = make(map[NodeID]NodeSet, len(g.memo.fanin))
+		for id, s := range g.memo.fanin {
+			ng.memo.fanin[id] = s
+		}
+	}
+	ng.memo.depth = g.memo.depth
+	ng.memo.height = g.memo.height
+	ng.memo.critOK = g.memo.critOK
+	ng.memo.critical = g.memo.critical
+}
+
+// PrewarmAnalyses computes and caches the analyses the synthesis flow
+// queries repeatedly: depth, height to output, the critical path, and the
+// fanin cone of every multiplexor argument. A sweep calls this once on the
+// shared design so every per-configuration clone starts warm.
+func (g *Graph) PrewarmAnalyses() {
+	_, _ = g.Depth()
+	_, _ = g.HeightToOutput()
+	for _, m := range g.Muxes() {
+		for _, a := range g.Node(m).Args {
+			g.TransitiveFanin(a)
+		}
+	}
+}
+
+// fanin returns the cached fanin cone for root, computing it on a miss.
+func (g *Graph) faninMemo(root NodeID) NodeSet {
+	g.memo.mu.Lock()
+	defer g.memo.mu.Unlock()
+	if s, ok := g.memo.fanin[root]; ok {
+		return s
+	}
+	seen := make(NodeSet)
+	stack := []NodeID{root}
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[id] {
+			continue
+		}
+		seen[id] = true
+		stack = append(stack, g.nodes[id].Args...)
+	}
+	if g.memo.fanin == nil {
+		g.memo.fanin = make(map[NodeID]NodeSet)
+	}
+	g.memo.fanin[root] = seen
+	return seen
+}
+
+// depthMemo returns the cached ASAP depth slice, computing it on a miss.
+// Node IDs are a dataflow topological order by construction (add rejects
+// forward argument references), so a single pass in ID order suffices.
+func (g *Graph) depthMemo() []int {
+	g.memo.mu.Lock()
+	defer g.memo.mu.Unlock()
+	if g.memo.depth != nil {
+		return g.memo.depth
+	}
+	depth := make([]int, len(g.nodes))
+	for _, n := range g.nodes {
+		earliest := 0
+		for _, a := range n.Args {
+			if depth[a] > earliest {
+				earliest = depth[a]
+			}
+		}
+		depth[n.ID] = earliest + n.Latency()
+	}
+	g.memo.depth = depth
+	return depth
+}
+
+// heightMemo returns the cached height-to-output slice, computing it on a
+// miss. Reverse ID order is a reverse dataflow topological order.
+func (g *Graph) heightMemo() []int {
+	g.memo.mu.Lock()
+	defer g.memo.mu.Unlock()
+	if g.memo.height != nil {
+		return g.memo.height
+	}
+	height := make([]int, len(g.nodes))
+	for i := len(g.nodes) - 1; i >= 0; i-- {
+		n := g.nodes[i]
+		below := 0
+		for _, s := range g.succs[n.ID] {
+			if height[s] > below {
+				below = height[s]
+			}
+		}
+		height[n.ID] = below + n.Latency()
+	}
+	g.memo.height = height
+	return height
+}
+
+// criticalMemo returns the cached critical path, deriving it from the depth
+// cache on a miss.
+func (g *Graph) criticalMemo() int {
+	depth := g.depthMemo()
+	g.memo.mu.Lock()
+	defer g.memo.mu.Unlock()
+	if g.memo.critOK {
+		return g.memo.critical
+	}
+	max := 0
+	for _, d := range depth {
+		if d > max {
+			max = d
+		}
+	}
+	g.memo.critical = max
+	g.memo.critOK = true
+	return max
+}

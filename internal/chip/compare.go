@@ -4,10 +4,9 @@ import (
 	"fmt"
 	"math/rand"
 
-	"repro/internal/alloc"
 	"repro/internal/cdfg"
 	"repro/internal/core"
-	"repro/internal/ctrl"
+	"repro/internal/flow"
 	"repro/internal/sim"
 )
 
@@ -48,22 +47,30 @@ func (r Report) String() string {
 		r.PowerOrig, r.PowerNew, r.PowerReductionPct())
 }
 
-// Compare builds the traditional and power managed gate-level designs of
-// graph g at the given budget and measures both on the same random input
-// stream, verifying every sample's outputs against the reference
-// interpreter. It reproduces one Table III row.
-func Compare(g *cdfg.Graph, budget, width, samples int, seed int64) (Report, error) {
-	r := rand.New(rand.NewSource(seed))
+// RandomVectors draws the given number of uniform random input vectors for
+// g at the given datapath width from rnd. The generator is injectable so
+// gate-level power measurements are reproducible regardless of which sweep
+// worker runs them.
+func RandomVectors(g *cdfg.Graph, width, samples int, rnd *rand.Rand) []map[string]int64 {
 	limit := int64(1) << uint(width)
 	vectors := make([]map[string]int64, samples)
 	for i := range vectors {
 		in := make(map[string]int64, len(g.Inputs()))
 		for _, id := range g.Inputs() {
-			in[g.Node(id).Name] = r.Int63n(limit)
+			in[g.Node(id).Name] = rnd.Int63n(limit)
 		}
 		vectors[i] = in
 	}
-	return CompareWithVectors(g, budget, width, vectors)
+	return vectors
+}
+
+// Compare builds the traditional and power managed gate-level designs of
+// graph g at the given budget and measures both on the same random input
+// stream, verifying every sample's outputs against the reference
+// interpreter. It reproduces one Table III row.
+func Compare(g *cdfg.Graph, budget, width, samples int, seed int64) (Report, error) {
+	rnd := rand.New(rand.NewSource(seed))
+	return CompareWithVectors(g, budget, width, RandomVectors(g, width, samples, rnd))
 }
 
 // CompareWithVectors is Compare with a caller-supplied input stream. The
@@ -73,37 +80,41 @@ func Compare(g *cdfg.Graph, budget, width, samples int, seed int64) (Report, err
 // equiprobable-model savings. This is the gate-level knob behind the
 // Table III sensitivity analysis in EXPERIMENTS.md.
 func CompareWithVectors(g *cdfg.Graph, budget, width int, vectors []map[string]int64) (Report, error) {
-	rep := Report{Name: g.Name, Steps: budget, Samples: len(vectors)}
+	if len(vectors) < 1 {
+		return Report{Name: g.Name, Steps: budget}, fmt.Errorf("chip: need at least one sample")
+	}
+	fc := &flow.Context{Graph: g, Width: width, Config: core.Config{Budget: budget}}
+	// The standard pipeline minus the activity pass: the gate-level
+	// comparison measures switching directly and never reads the
+	// probabilistic activity model.
+	pipe := flow.New(flow.SchedulePass{}, flow.BindPass{}, flow.ControllerPass{}, flow.BaselinePass{})
+	if err := pipe.Run(fc); err != nil {
+		return Report{Name: g.Name, Steps: budget, Samples: len(vectors)}, err
+	}
+	return CompareContext(fc, vectors)
+}
+
+// CompareContext measures the gate-level chips of an already-run pipeline
+// context on the given input stream. Both controllers (power managed and
+// baseline) come straight from the context, so callers that already
+// synthesized a design — the sweep engine, the root Synthesis — do not
+// re-run any scheduling or binding.
+func CompareContext(fc *flow.Context, vectors []map[string]int64) (Report, error) {
+	if fc == nil || fc.PM == nil || fc.Controller == nil || fc.BaselineController == nil {
+		return Report{Samples: len(vectors)}, fmt.Errorf("chip: context is missing pipeline artifacts")
+	}
+	g := fc.Graph
+	rep := Report{Name: g.Name, Samples: len(vectors)}
+	rep.Steps = fc.PM.Schedule.Steps
 	if len(vectors) < 1 {
 		return rep, fmt.Errorf("chip: need at least one sample")
 	}
 
-	// New: the power managed flow.
-	pmRes, err := core.Schedule(g, core.Config{Budget: budget})
+	pmChip, err := Build(fc.Controller, fc.Width)
 	if err != nil {
 		return rep, err
 	}
-	pmBind := alloc.Bind(pmRes.Schedule, pmRes.Guards)
-	pmCtl, err := ctrl.Build(pmRes.Schedule, pmBind, pmRes.Guards, true)
-	if err != nil {
-		return rep, err
-	}
-	pmChip, err := Build(pmCtl, width)
-	if err != nil {
-		return rep, err
-	}
-
-	// Orig: the traditional flow at the same throughput.
-	baseSched, _, err := core.Baseline(g, budget, 0)
-	if err != nil {
-		return rep, err
-	}
-	baseBind := alloc.Bind(baseSched, nil)
-	baseCtl, err := ctrl.Build(baseSched, baseBind, nil, false)
-	if err != nil {
-		return rep, err
-	}
-	baseChip, err := Build(baseCtl, width)
+	baseChip, err := Build(fc.BaselineController, fc.Width)
 	if err != nil {
 		return rep, err
 	}
@@ -132,7 +143,7 @@ func CompareWithVectors(g *cdfg.Graph, budget, width int, vectors []map[string]i
 	baseSim.ResetStats()
 
 	for i, in := range vectors {
-		want, err := sim.Evaluate(g, in, sim.Options{Width: width})
+		want, err := sim.Evaluate(g, in, sim.Options{Width: fc.Width})
 		if err != nil {
 			return rep, err
 		}

@@ -1,0 +1,160 @@
+// Package flow decomposes the power management synthesis flow of Monteiro
+// et al. (DAC'96) into named passes over a shared context, and provides a
+// bounded-concurrency engine that evaluates many configurations of one
+// design — the architectural seam between the per-run algorithms
+// (internal/core, internal/alloc, internal/ctrl, internal/power) and the
+// layers that explore a design space (the root pmsynth.Sweep API,
+// cmd/pmsched -sweep, cmd/tables, the benchmark harness).
+//
+// A Pass is one stage of the flow; a Pipeline runs passes in order over a
+// Context, recording per-pass wall-clock timings and diagnostics. The
+// Standard pipeline reproduces the paper's fixed sequence:
+//
+//	schedule -> bind -> controller -> baseline -> activity
+//
+// See DESIGN.md at the repository root for the architecture.
+package flow
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/alloc"
+	"repro/internal/cdfg"
+	"repro/internal/core"
+	"repro/internal/ctrl"
+	"repro/internal/power"
+	"repro/internal/sched"
+)
+
+// Context carries one configuration's inputs and every artifact the passes
+// produce, plus per-pass timings and human-readable diagnostics. A Context
+// is used by one goroutine at a time; distinct Contexts may run
+// concurrently even when they share the input Graph (passes treat the
+// input as read-only and work on private clones).
+type Context struct {
+	// Ctx carries cancellation for long runs; nil means never canceled.
+	Ctx context.Context
+
+	// Graph is the input CDFG. Passes must not mutate it.
+	Graph *cdfg.Graph
+	// Width is the datapath bit width of the design.
+	Width int
+	// Config is the scheduling configuration under evaluation.
+	Config core.Config
+
+	// PM is the power management scheduling result (schedule pass).
+	PM *core.Result
+	// Binding maps the PM schedule onto units and registers (bind pass).
+	Binding *alloc.Binding
+	// Controller is the condition-qualified FSM (controller pass).
+	Controller *ctrl.Controller
+	// BaselineSchedule/BaselineResources/BaselineBinding/
+	// BaselineController are the traditional flow at the same throughput
+	// (baseline pass).
+	BaselineSchedule   *sched.Schedule
+	BaselineResources  sched.Resources
+	BaselineBinding    *alloc.Binding
+	BaselineController *ctrl.Controller
+	// Activity holds the exact per-node execution probabilities under the
+	// equiprobable-select model (activity pass); ActivityExact reports
+	// whether it was computed exactly.
+	Activity      power.Activity
+	ActivityExact bool
+
+	// Err records the pipeline failure when the Context was produced by
+	// the sweep engine (RunAll); a directly-run Pipeline returns the
+	// error instead.
+	Err error
+
+	// Timings lists per-pass wall-clock durations in execution order.
+	Timings []PassTiming
+	// Diags collects human-readable per-pass diagnostics.
+	Diags []string
+}
+
+// PassTiming records how long one pass took.
+type PassTiming struct {
+	Pass    string
+	Elapsed time.Duration
+}
+
+// Diag appends a formatted diagnostic line.
+func (c *Context) Diag(format string, args ...interface{}) {
+	c.Diags = append(c.Diags, fmt.Sprintf(format, args...))
+}
+
+// Elapsed returns the total time spent in passes so far.
+func (c *Context) Elapsed() time.Duration {
+	var total time.Duration
+	for _, t := range c.Timings {
+		total += t.Elapsed
+	}
+	return total
+}
+
+// canceled reports the cancellation state of the run.
+func (c *Context) canceled() error {
+	if c.Ctx == nil {
+		return nil
+	}
+	return c.Ctx.Err()
+}
+
+// Pass is one stage of the synthesis flow. Run reads earlier artifacts
+// from the context and stores its own.
+type Pass interface {
+	// Name identifies the pass in timings and error messages.
+	Name() string
+	// Run executes the pass over the context.
+	Run(c *Context) error
+}
+
+// Pipeline is an ordered sequence of passes.
+type Pipeline struct {
+	passes []Pass
+}
+
+// New composes a pipeline from the given passes.
+func New(passes ...Pass) *Pipeline {
+	return &Pipeline{passes: append([]Pass(nil), passes...)}
+}
+
+// Names returns the pass names in execution order.
+func (p *Pipeline) Names() []string {
+	out := make([]string, len(p.passes))
+	for i, pass := range p.passes {
+		out[i] = pass.Name()
+	}
+	return out
+}
+
+// Run executes the passes in order, recording a timing per pass. The first
+// pass error aborts the pipeline; cancellation of c.Ctx is checked between
+// passes.
+func (p *Pipeline) Run(c *Context) error {
+	if c == nil || c.Graph == nil {
+		return errors.New("flow: nil context or graph")
+	}
+	for _, pass := range p.passes {
+		if err := c.canceled(); err != nil {
+			return fmt.Errorf("flow: canceled before pass %q: %w", pass.Name(), err)
+		}
+		start := time.Now()
+		err := pass.Run(c)
+		c.Timings = append(c.Timings, PassTiming{Pass: pass.Name(), Elapsed: time.Since(start)})
+		if err != nil {
+			return fmt.Errorf("flow: pass %q: %w", pass.Name(), err)
+		}
+	}
+	return nil
+}
+
+// Standard returns the canonical pipeline of the paper's flow: schedule for
+// shut-down, bind, build the controller, schedule the traditional baseline,
+// and analyze switching activity.
+func Standard() *Pipeline {
+	return New(SchedulePass{}, BindPass{}, ControllerPass{}, BaselinePass{}, ActivityPass{})
+}

@@ -1,0 +1,179 @@
+package flow
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/power"
+	"repro/internal/silage"
+)
+
+const absDiffSrc = `
+func absdiff(a: num<8>, b: num<8>) out: num<8> =
+begin
+    g   = a > b;
+    d1  = a - b;
+    d2  = b - a;
+    out = if g -> d1 || d2 fi;
+end
+`
+
+func compile(t *testing.T) *silage.Design {
+	t.Helper()
+	d, err := silage.Compile(absDiffSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestStandardPassOrder(t *testing.T) {
+	want := []string{"schedule", "bind", "controller", "baseline", "activity"}
+	got := Standard().Names()
+	if len(got) != len(want) {
+		t.Fatalf("names = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("names = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestStandardProducesAllArtifacts(t *testing.T) {
+	d := compile(t)
+	fc := &Context{
+		Graph:  d.Graph,
+		Width:  d.Width,
+		Config: core.Config{Budget: 3, Weights: power.Weights},
+	}
+	if err := Standard().Run(fc); err != nil {
+		t.Fatal(err)
+	}
+	if fc.PM == nil || fc.Binding == nil || fc.Controller == nil {
+		t.Fatal("missing PM artifacts")
+	}
+	if fc.BaselineSchedule == nil || fc.BaselineBinding == nil || fc.BaselineController == nil {
+		t.Fatal("missing baseline artifacts")
+	}
+	if !fc.ActivityExact {
+		t.Error("absdiff activity should be exact")
+	}
+	if len(fc.Timings) != 5 {
+		t.Errorf("timings = %d entries, want 5", len(fc.Timings))
+	}
+	if fc.Elapsed() <= 0 {
+		t.Error("elapsed not recorded")
+	}
+	if len(fc.Diags) == 0 {
+		t.Error("no diagnostics recorded")
+	}
+	if fc.PM.NumManaged() != 1 {
+		t.Errorf("absdiff@3 managed = %d, want 1", fc.PM.NumManaged())
+	}
+}
+
+func TestPipelineErrorAbortsAndIsAttributed(t *testing.T) {
+	d := compile(t)
+	fc := &Context{Graph: d.Graph, Width: d.Width, Config: core.Config{Budget: 1}}
+	err := Standard().Run(fc)
+	if err == nil {
+		t.Fatal("budget below critical path should fail")
+	}
+	if !strings.Contains(err.Error(), `pass "schedule"`) {
+		t.Errorf("error %q does not name the failing pass", err)
+	}
+	if len(fc.Timings) != 1 {
+		t.Errorf("timings = %d entries, want 1 (abort after first failure)", len(fc.Timings))
+	}
+	if fc.Binding != nil {
+		t.Error("later passes ran after a failure")
+	}
+}
+
+// cancelPass cancels the run's context, simulating a shutdown arriving
+// while a pass executes.
+type cancelPass struct{ cancel context.CancelFunc }
+
+func (cancelPass) Name() string         { return "cancel" }
+func (p cancelPass) Run(*Context) error { p.cancel(); return nil }
+
+func TestPipelineChecksCancellationBetweenPasses(t *testing.T) {
+	d := compile(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	fc := &Context{Ctx: ctx, Graph: d.Graph, Width: d.Width, Config: core.Config{Budget: 3}}
+	err := New(cancelPass{cancel}, SchedulePass{}).Run(fc)
+	if err == nil || !strings.Contains(err.Error(), "canceled") {
+		t.Fatalf("err = %v, want cancellation", err)
+	}
+	if fc.PM != nil {
+		t.Error("schedule pass ran after cancellation")
+	}
+}
+
+func TestRunAllDeterministicAcrossWorkerCounts(t *testing.T) {
+	d := compile(t)
+	var cfgs []core.Config
+	for b := 2; b <= 6; b++ {
+		cfgs = append(cfgs, core.Config{Budget: b, Weights: power.Weights})
+	}
+	var want []string
+	for _, workers := range []int{1, 2, 8} {
+		ctxs, err := RunAll(context.Background(), d.Graph, d.Width, cfgs, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := make([]string, len(ctxs))
+		for i, fc := range ctxs {
+			if fc.Err != nil {
+				t.Fatalf("workers=%d cfg %d: %v", workers, i, fc.Err)
+			}
+			got[i] = fc.PM.Schedule.String()
+		}
+		if want == nil {
+			want = got
+			continue
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Errorf("workers=%d cfg %d: schedule differs from workers=1", workers, i)
+			}
+		}
+	}
+}
+
+func TestRunAllRecordsPerConfigErrors(t *testing.T) {
+	d := compile(t)
+	cfgs := []core.Config{
+		{Budget: 3, Weights: power.Weights},
+		{Budget: 1}, // below the critical path
+		{Budget: 4, Weights: power.Weights},
+	}
+	ctxs, err := RunAll(context.Background(), d.Graph, d.Width, cfgs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ctxs[0].Err != nil || ctxs[2].Err != nil {
+		t.Errorf("good configs failed: %v, %v", ctxs[0].Err, ctxs[2].Err)
+	}
+	if ctxs[1].Err == nil {
+		t.Error("infeasible config did not record an error")
+	}
+}
+
+func TestRunAllCanceled(t *testing.T) {
+	d := compile(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cfgs := []core.Config{{Budget: 3}, {Budget: 4}}
+	ctxs, err := RunAll(ctx, d.Graph, d.Width, cfgs, 1)
+	if err == nil {
+		t.Fatal("canceled context should surface an error")
+	}
+	if len(ctxs) != len(cfgs) {
+		t.Fatalf("got %d contexts, want %d slots", len(ctxs), len(cfgs))
+	}
+}

@@ -1,0 +1,109 @@
+package flow
+
+import (
+	"errors"
+
+	"repro/internal/alloc"
+	"repro/internal/core"
+	"repro/internal/ctrl"
+	"repro/internal/power"
+)
+
+// SchedulePass runs the power management scheduling algorithm (paper
+// Fig. 3) and stores the Result.
+type SchedulePass struct{}
+
+// Name implements Pass.
+func (SchedulePass) Name() string { return "schedule" }
+
+// Run implements Pass.
+func (SchedulePass) Run(c *Context) error {
+	pm, err := core.Schedule(c.Graph, c.Config)
+	if err != nil {
+		return err
+	}
+	c.PM = pm
+	c.Diag("schedule: %d steps, %d power managed muxes, units %v",
+		pm.Schedule.Steps, pm.NumManaged(), pm.Resources)
+	return nil
+}
+
+// BindPass maps the PM schedule onto execution units and registers.
+type BindPass struct{}
+
+// Name implements Pass.
+func (BindPass) Name() string { return "bind" }
+
+// Run implements Pass.
+func (BindPass) Run(c *Context) error {
+	if c.PM == nil {
+		return errors.New("bind requires the schedule pass")
+	}
+	c.Binding = alloc.Bind(c.PM.Schedule, c.PM.Guards)
+	c.Diag("bind: units %v, %d registers", c.Binding.Units, c.Binding.Registers)
+	return nil
+}
+
+// ControllerPass builds the condition-qualified FSM controller.
+type ControllerPass struct{}
+
+// Name implements Pass.
+func (ControllerPass) Name() string { return "controller" }
+
+// Run implements Pass.
+func (ControllerPass) Run(c *Context) error {
+	if c.PM == nil || c.Binding == nil {
+		return errors.New("controller requires the schedule and bind passes")
+	}
+	ctl, err := ctrl.Build(c.PM.Schedule, c.Binding, c.PM.Guards, true)
+	if err != nil {
+		return err
+	}
+	c.Controller = ctl
+	return nil
+}
+
+// BaselinePass schedules, binds and builds the controller of the
+// traditional (non power managed) flow at the same throughput — the "Orig"
+// design every comparison measures against.
+type BaselinePass struct{}
+
+// Name implements Pass.
+func (BaselinePass) Name() string { return "baseline" }
+
+// Run implements Pass.
+func (BaselinePass) Run(c *Context) error {
+	s, res, err := core.Baseline(c.Graph, c.Config.Budget, c.Config.II)
+	if err != nil {
+		return err
+	}
+	c.BaselineSchedule = s
+	c.BaselineResources = res
+	c.BaselineBinding = alloc.Bind(s, nil)
+	ctl, err := ctrl.Build(s, c.BaselineBinding, nil, false)
+	if err != nil {
+		return err
+	}
+	c.BaselineController = ctl
+	c.Diag("baseline: units %v", res)
+	return nil
+}
+
+// ActivityPass computes the exact per-node execution probabilities of the
+// gated design under the equiprobable-select model.
+type ActivityPass struct{}
+
+// Name implements Pass.
+func (ActivityPass) Name() string { return "activity" }
+
+// Run implements Pass.
+func (ActivityPass) Run(c *Context) error {
+	if c.PM == nil {
+		return errors.New("activity requires the schedule pass")
+	}
+	c.Activity, c.ActivityExact = power.AnalyzeExact(c.PM.Graph, c.PM.Guards)
+	if !c.ActivityExact {
+		c.Diag("activity: falling back to sampled analysis (too many selects for the exact enumeration)")
+	}
+	return nil
+}

@@ -1,0 +1,66 @@
+package flow
+
+import (
+	"context"
+	"runtime"
+	"sync"
+
+	"repro/internal/cdfg"
+	"repro/internal/core"
+)
+
+// RunAll evaluates the standard pipeline once per configuration over a
+// bounded worker pool and returns one Context per configuration, in input
+// order. Results are deterministic: the worker count affects wall-clock
+// time only, never the artifacts.
+//
+// The shared read-only analyses of g (fanin cones, depth, height, critical
+// path) are prewarmed once and flow into every worker's private clones, so
+// the per-configuration runs do not recompute them.
+//
+// A configuration whose pipeline fails has its error recorded in the
+// Context's Err field; RunAll itself returns an error only when ctx is
+// canceled, in which case the contexts evaluated so far are still
+// returned (unevaluated slots are nil).
+func RunAll(ctx context.Context, g *cdfg.Graph, width int, cfgs []core.Config, workers int) ([]*Context, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(cfgs) {
+		workers = len(cfgs)
+	}
+	out := make([]*Context, len(cfgs))
+	if len(cfgs) == 0 {
+		return out, ctx.Err()
+	}
+
+	g.PrewarmAnalyses()
+
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				fc := &Context{Ctx: ctx, Graph: g, Width: width, Config: cfgs[i]}
+				fc.Err = Standard().Run(fc)
+				out[i] = fc
+			}
+		}()
+	}
+feed:
+	for i := range cfgs {
+		select {
+		case jobs <- i:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	return out, ctx.Err()
+}

@@ -5,6 +5,7 @@
 package tables
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -13,6 +14,7 @@ import (
 	"repro/internal/cdfg"
 	"repro/internal/chip"
 	"repro/internal/core"
+	"repro/internal/flow"
 	"repro/internal/power"
 	"repro/internal/sched"
 )
@@ -46,36 +48,62 @@ type RowII struct {
 	PowerRedPct              float64
 }
 
-// MeasureRowII runs the full PM flow for one circuit and budget.
-func MeasureRowII(c *bench.Circuit, budget int) (RowII, error) {
-	r, err := core.Schedule(c.Graph(), core.Config{Budget: budget, Weights: power.Weights})
-	if err != nil {
-		return RowII{}, err
-	}
-	act, _ := power.AnalyzeExact(r.Graph, r.Guards)
-	ops := act.ExpectedOps(r.Graph)
-	pmBind := alloc.Bind(r.Schedule, r.Guards)
-	baseSched, _, err := core.Baseline(c.Graph(), budget, 0)
-	if err != nil {
-		return RowII{}, err
-	}
-	baseBind := alloc.Bind(baseSched, nil)
+// rowFromContext projects one completed pipeline context into a Table II
+// row.
+func rowFromContext(c *bench.Circuit, fc *flow.Context) RowII {
+	ops := fc.Activity.ExpectedOps(fc.PM.Graph)
 	return RowII{
 		Circuit:     c.Name,
-		Steps:       budget,
-		PMMuxes:     r.NumManaged(),
-		AreaIncr:    alloc.AreaIncrease(pmBind, baseBind, c.Design.Width),
+		Steps:       fc.Config.Budget,
+		PMMuxes:     fc.PM.NumManaged(),
+		AreaIncr:    alloc.AreaIncrease(fc.Binding, fc.BaselineBinding, c.Design.Width),
 		Mux:         ops[cdfg.ClassMux],
 		Comp:        ops[cdfg.ClassComp],
 		Add:         ops[cdfg.ClassAdd],
 		Sub:         ops[cdfg.ClassSub],
 		Mul:         ops[cdfg.ClassMul],
-		PowerRedPct: 100 * power.Reduction(r.Graph, act, power.Weights),
-	}, nil
+		PowerRedPct: 100 * power.Reduction(fc.PM.Graph, fc.Activity, power.Weights),
+	}
+}
+
+// MeasureRowII runs the full PM flow for one circuit and budget through the
+// standard pass pipeline.
+func MeasureRowII(c *bench.Circuit, budget int) (RowII, error) {
+	fc := &flow.Context{
+		Graph:  c.Graph(),
+		Width:  c.Design.Width,
+		Config: core.Config{Budget: budget, Weights: power.Weights},
+	}
+	if err := flow.Standard().Run(fc); err != nil {
+		return RowII{}, err
+	}
+	return rowFromContext(c, fc), nil
+}
+
+// MeasureTableII evaluates a circuit's full budget sweep concurrently
+// through the sweep engine, one row per budget in order.
+func MeasureTableII(c *bench.Circuit, budgets []int) ([]RowII, error) {
+	cfgs := make([]core.Config, len(budgets))
+	for i, budget := range budgets {
+		cfgs[i] = core.Config{Budget: budget, Weights: power.Weights}
+	}
+	ctxs, err := flow.RunAll(context.Background(), c.Graph(), c.Design.Width, cfgs, 0)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]RowII, len(ctxs))
+	for i, fc := range ctxs {
+		if fc.Err != nil {
+			return nil, fmt.Errorf("%s@%d: %w", c.Name, budgets[i], fc.Err)
+		}
+		rows[i] = rowFromContext(c, fc)
+	}
+	return rows, nil
 }
 
 // TableII renders the power management sweep with the paper's rows
-// interleaved for comparison.
+// interleaved for comparison. Each circuit's budget sweep runs through the
+// concurrent sweep engine.
 func TableII() (string, error) {
 	var b strings.Builder
 	b.WriteString("TABLE II — AVERAGE OPERATIONS EXECUTED WITH POWER MANAGEMENT\n")
@@ -83,11 +111,11 @@ func TableII() (string, error) {
 	b.WriteString(" so shapes — monotone growth, saturation, op mix — are the comparison)\n")
 	b.WriteString("Circuit  Steps PM  Area    MUX   COMP      +      -      *    PowerRed\n")
 	for _, c := range bench.All() {
-		for _, budget := range c.Budgets {
-			row, err := MeasureRowII(c, budget)
-			if err != nil {
-				return "", err
-			}
+		rows, err := MeasureTableII(c, c.Budgets)
+		if err != nil {
+			return "", err
+		}
+		for _, row := range rows {
 			fmt.Fprintf(&b, "%-8s %3d  %2d  %.2f  %6.2f %6.2f %6.2f %6.2f %6.2f  %6.2f%%\n",
 				row.Circuit, row.Steps, row.PMMuxes, row.AreaIncr,
 				row.Mux, row.Comp, row.Add, row.Sub, row.Mul, row.PowerRedPct)

@@ -30,6 +30,7 @@ import (
 	"repro/internal/chip"
 	"repro/internal/core"
 	"repro/internal/ctrl"
+	"repro/internal/flow"
 	"repro/internal/power"
 	"repro/internal/rtl"
 	"repro/internal/sched"
@@ -86,10 +87,33 @@ type Options struct {
 	ForceDirected bool
 }
 
+// coreConfig translates the public Options into the scheduler's Config.
+func (opt Options) coreConfig() core.Config {
+	var res sched.Resources
+	if opt.Resources != nil {
+		res = make(sched.Resources, len(opt.Resources))
+		for c, n := range opt.Resources {
+			res[c] = n
+		}
+	}
+	return core.Config{
+		Budget:        opt.Budget,
+		II:            opt.II,
+		Order:         opt.Order,
+		Resources:     res,
+		Weights:       power.Weights,
+		ForceDirected: opt.ForceDirected,
+	}
+}
+
 // Synthesis is the result of the full flow on one design.
 type Synthesis struct {
 	// Design is the compiled input.
 	Design *Design
+	// Flow is the pass-pipeline context that produced the synthesis: all
+	// artifacts below alias it, and it additionally carries per-pass
+	// timings and diagnostics.
+	Flow *flow.Context
 	// PM is the power management scheduling result.
 	PM *core.Result
 	// Binding maps the PM schedule onto units and registers.
@@ -106,50 +130,33 @@ type Synthesis struct {
 	ActivityExact bool
 }
 
-// Synthesize runs the complete power management flow.
+// newSynthesis projects a completed pipeline context into the public
+// Synthesis shape.
+func newSynthesis(d *Design, fc *flow.Context) *Synthesis {
+	return &Synthesis{
+		Design:           d,
+		Flow:             fc,
+		PM:               fc.PM,
+		Binding:          fc.Binding,
+		Controller:       fc.Controller,
+		BaselineSchedule: fc.BaselineSchedule,
+		BaselineBinding:  fc.BaselineBinding,
+		Activity:         fc.Activity,
+		ActivityExact:    fc.ActivityExact,
+	}
+}
+
+// Synthesize runs the complete power management flow: a thin wrapper over
+// the standard pass pipeline in internal/flow.
 func Synthesize(d *Design, opt Options) (*Synthesis, error) {
 	if d == nil || d.Graph == nil {
 		return nil, fmt.Errorf("pmsynth: nil design")
 	}
-	var res sched.Resources
-	if opt.Resources != nil {
-		res = make(sched.Resources, len(opt.Resources))
-		for c, n := range opt.Resources {
-			res[c] = n
-		}
-	}
-	pm, err := core.Schedule(d.Graph, core.Config{
-		Budget:        opt.Budget,
-		II:            opt.II,
-		Order:         opt.Order,
-		Resources:     res,
-		Weights:       power.Weights,
-		ForceDirected: opt.ForceDirected,
-	})
-	if err != nil {
+	fc := &flow.Context{Graph: d.Graph, Width: d.Width, Config: opt.coreConfig()}
+	if err := flow.Standard().Run(fc); err != nil {
 		return nil, err
 	}
-	binding := alloc.Bind(pm.Schedule, pm.Guards)
-	controller, err := ctrl.Build(pm.Schedule, binding, pm.Guards, true)
-	if err != nil {
-		return nil, err
-	}
-	baseSched, _, err := core.Baseline(d.Graph, opt.Budget, opt.II)
-	if err != nil {
-		return nil, err
-	}
-	baseBind := alloc.Bind(baseSched, nil)
-	act, exact := power.AnalyzeExact(pm.Graph, pm.Guards)
-	return &Synthesis{
-		Design:           d,
-		PM:               pm,
-		Binding:          binding,
-		Controller:       controller,
-		BaselineSchedule: baseSched,
-		BaselineBinding:  baseBind,
-		Activity:         act,
-		ActivityExact:    exact,
-	}, nil
+	return newSynthesis(d, fc), nil
 }
 
 // Row is a Table II style summary row.
@@ -193,11 +200,20 @@ func (s *Synthesis) VHDL() (string, error) {
 	return vhdl.Generate(s.Controller, s.Design.Width)
 }
 
-// BaselineVHDL emits the traditional design at the same throughput.
+// BaselineVHDL emits the traditional design at the same throughput, reusing
+// the controller the baseline pass already built.
 func (s *Synthesis) BaselineVHDL() (string, error) {
-	c, err := ctrl.Build(s.BaselineSchedule, s.BaselineBinding, nil, false)
-	if err != nil {
-		return "", err
+	var c *ctrl.Controller
+	if s.Flow != nil {
+		c = s.Flow.BaselineController
+	}
+	if c == nil {
+		// Synthesis built outside the standard pipeline: fall back.
+		var err error
+		c, err = ctrl.Build(s.BaselineSchedule, s.BaselineBinding, nil, false)
+		if err != nil {
+			return "", err
+		}
 	}
 	return vhdl.Generate(c, s.Design.Width)
 }
@@ -214,13 +230,31 @@ func (s *Synthesis) DOT() string { return s.PM.Graph.DOT() }
 // GateLevelReport builds both gate-level chips and measures switching
 // activity over the given number of random samples: one Table III row.
 func (s *Synthesis) GateLevelReport(samples int, seed int64) (chip.Report, error) {
-	return chip.Compare(s.Design.Graph, s.PM.Schedule.Steps, s.Design.Width, samples, seed)
+	return s.GateLevelReportRand(samples, rand.New(rand.NewSource(seed)))
+}
+
+// GateLevelReportRand is GateLevelReport with an injectable random vector
+// source, so measurements stay reproducible no matter which sweep worker
+// runs them. The chips are built from this synthesis's own pipeline
+// context — no part of the flow is re-run.
+func (s *Synthesis) GateLevelReportRand(samples int, rnd *rand.Rand) (chip.Report, error) {
+	vectors := chip.RandomVectors(s.Design.Graph, s.Design.Width, samples, rnd)
+	if s.Flow == nil {
+		// Synthesis built outside the standard pipeline: run the flow.
+		return chip.CompareWithVectors(s.Design.Graph, s.PM.Schedule.Steps, s.Design.Width, vectors)
+	}
+	return chip.CompareContext(s.Flow, vectors)
 }
 
 // DumpVCD simulates the power managed gate-level chip for the given number
 // of random samples and writes a Value Change Dump of the design's inputs
 // and outputs to w (viewable in GTKWave).
 func (s *Synthesis) DumpVCD(samples int, seed int64, w io.Writer) error {
+	return s.DumpVCDRand(samples, rand.New(rand.NewSource(seed)), w)
+}
+
+// DumpVCDRand is DumpVCD with an injectable random vector source.
+func (s *Synthesis) DumpVCDRand(samples int, rnd *rand.Rand, w io.Writer) error {
 	ch, err := chip.Build(s.Controller, s.Design.Width)
 	if err != nil {
 		return err
@@ -242,7 +276,6 @@ func (s *Synthesis) DumpVCD(samples int, seed int64, w io.Writer) error {
 			return err
 		}
 	}
-	rnd := rand.New(rand.NewSource(seed))
 	limit := int64(1) << uint(s.Design.Width)
 	for i := 0; i < samples; i++ {
 		in := make(map[string]int64, len(g.Inputs()))

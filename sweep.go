@@ -1,0 +1,272 @@
+package pmsynth
+
+// Design-space sweep API: evaluate many synthesis configurations of one
+// design concurrently through the pass-pipeline engine (internal/flow) and
+// query the result table for the best or Pareto-optimal operating points.
+// This is how the paper's Tables II/III question — how do savings evolve
+// across step budgets, initiation intervals and mux orders — is asked
+// programmatically.
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/cdfg"
+	"repro/internal/core"
+	"repro/internal/flow"
+)
+
+// SweepSpec enumerates the configurations of a design-space sweep as the
+// cross product of its axes. Zero-valued axes default to a single neutral
+// entry, so the zero SweepSpec evaluates exactly one configuration at the
+// design's critical path.
+type SweepSpec struct {
+	// Budgets lists the control-step budgets to evaluate. When nil, the
+	// inclusive range BudgetMin..BudgetMax is used; when that is empty
+	// too, the design's critical path is the single budget.
+	Budgets []int
+	// BudgetMin and BudgetMax define an inclusive budget range used when
+	// Budgets is nil.
+	BudgetMin, BudgetMax int
+	// IIs lists pipeline initiation intervals; 0 means no pipelining.
+	// Nil defaults to {0}.
+	IIs []int
+	// Orders lists mux processing orders. Nil defaults to
+	// {OrderOutputsFirst}.
+	Orders []Order
+	// ForceDirected lists scheduler backend selections. Nil defaults to
+	// {false} (list scheduling with minimum-resource search).
+	ForceDirected []bool
+	// Resources lists execution-unit budgets; a nil entry lets the
+	// scheduler minimize hardware. Nil defaults to {nil}.
+	Resources []map[cdfg.Class]int
+	// Workers bounds the evaluation pool; <= 0 uses GOMAXPROCS. The
+	// worker count never affects the results, only the wall-clock time.
+	Workers int
+}
+
+// Enumerate expands the spec into the concrete option sets, in
+// deterministic order (budgets outermost, then IIs, orders, backends,
+// resources).
+func (s SweepSpec) Enumerate(d *Design) ([]Options, error) {
+	budgets := s.Budgets
+	if budgets == nil {
+		lo, hi := s.BudgetMin, s.BudgetMax
+		if lo == 0 && hi == 0 {
+			cp, err := d.Graph.CriticalPath()
+			if err != nil {
+				return nil, err
+			}
+			lo, hi = cp, cp
+		}
+		if lo < 1 || hi < lo {
+			return nil, fmt.Errorf("pmsynth: bad budget range %d..%d", lo, hi)
+		}
+		for b := lo; b <= hi; b++ {
+			budgets = append(budgets, b)
+		}
+	}
+	if len(budgets) == 0 {
+		return nil, fmt.Errorf("pmsynth: sweep enumerates no budgets")
+	}
+	iis := s.IIs
+	if len(iis) == 0 {
+		iis = []int{0}
+	}
+	orders := s.Orders
+	if len(orders) == 0 {
+		orders = []Order{OrderOutputsFirst}
+	}
+	backends := s.ForceDirected
+	if len(backends) == 0 {
+		backends = []bool{false}
+	}
+	resources := s.Resources
+	if len(resources) == 0 {
+		resources = []map[cdfg.Class]int{nil}
+	}
+	var out []Options
+	for _, b := range budgets {
+		for _, ii := range iis {
+			for _, o := range orders {
+				for _, fds := range backends {
+					for _, res := range resources {
+						out = append(out, Options{
+							Budget: b, II: ii, Order: o,
+							ForceDirected: fds, Resources: res,
+						})
+					}
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// SweepPoint is one evaluated configuration.
+type SweepPoint struct {
+	// Options is the configuration.
+	Options Options
+	// Synthesis holds the full artifacts when the run succeeded.
+	Synthesis *Synthesis
+	// Row is the Table II style summary (zero when Err is set).
+	Row Row
+	// Err records a per-configuration failure (e.g. a budget below the
+	// critical path, or pipelining with the force-directed backend).
+	Err error
+	// Elapsed is the time the pipeline spent on this configuration.
+	Elapsed time.Duration
+}
+
+// SweepResult is the full result table of a sweep.
+type SweepResult struct {
+	// Design is the swept design.
+	Design *Design
+	// Points lists one entry per enumerated configuration, in
+	// enumeration order.
+	Points []SweepPoint
+}
+
+// Sweep evaluates every configuration of the spec concurrently and returns
+// the full result table. Results are deterministic: identical to running
+// Synthesize per configuration serially, in enumeration order.
+func Sweep(d *Design, spec SweepSpec) (*SweepResult, error) {
+	return SweepContext(context.Background(), d, spec)
+}
+
+// SweepContext is Sweep with cancellation: when ctx is canceled the sweep
+// stops handing out configurations, waits for in-flight evaluations, and
+// returns ctx's error.
+func SweepContext(ctx context.Context, d *Design, spec SweepSpec) (*SweepResult, error) {
+	if d == nil || d.Graph == nil {
+		return nil, fmt.Errorf("pmsynth: nil design")
+	}
+	opts, err := spec.Enumerate(d)
+	if err != nil {
+		return nil, err
+	}
+	cfgs := make([]core.Config, len(opts))
+	for i, o := range opts {
+		cfgs[i] = o.coreConfig()
+	}
+	ctxs, err := flow.RunAll(ctx, d.Graph, d.Width, cfgs, spec.Workers)
+	if err != nil {
+		return nil, err
+	}
+	res := &SweepResult{Design: d, Points: make([]SweepPoint, len(opts))}
+	for i, fc := range ctxs {
+		p := &res.Points[i]
+		p.Options = opts[i]
+		if fc == nil {
+			p.Err = fmt.Errorf("pmsynth: configuration not evaluated")
+			continue
+		}
+		p.Elapsed = fc.Elapsed()
+		if fc.Err != nil {
+			p.Err = fc.Err
+			continue
+		}
+		p.Synthesis = newSynthesis(d, fc)
+		p.Row = p.Synthesis.Row()
+	}
+	return res, nil
+}
+
+// Objective scores a summary row; higher is better. Use with Best.
+type Objective func(Row) float64
+
+// Canonical sweep objectives.
+var (
+	// MaxPowerReduction prefers the largest datapath power saving.
+	MaxPowerReduction Objective = func(r Row) float64 { return r.PowerReductionPct }
+	// MinAreaIncrease prefers the smallest area ratio.
+	MinAreaIncrease Objective = func(r Row) float64 { return -r.AreaIncrease }
+	// MinSteps prefers the tightest throughput.
+	MinSteps Objective = func(r Row) float64 { return -float64(r.Steps) }
+)
+
+// Best returns the successful point maximizing the objective, breaking
+// ties toward the earliest enumerated configuration. It returns nil when
+// every point failed.
+func (sr *SweepResult) Best(obj Objective) *SweepPoint {
+	var best *SweepPoint
+	var bestScore float64
+	for i := range sr.Points {
+		p := &sr.Points[i]
+		if p.Err != nil {
+			continue
+		}
+		score := obj(p.Row)
+		if best == nil || score > bestScore {
+			best = p
+			bestScore = score
+		}
+	}
+	return best
+}
+
+// Pareto returns the non-dominated successful points of the sweep under
+// the three natural criteria: maximize power reduction, minimize area
+// increase, minimize steps. A point is dominated when another point is at
+// least as good on all three and strictly better on one. Points appear in
+// enumeration order.
+func (sr *SweepResult) Pareto() []*SweepPoint {
+	dominates := func(a, b Row) bool {
+		if a.PowerReductionPct < b.PowerReductionPct ||
+			a.AreaIncrease > b.AreaIncrease || a.Steps > b.Steps {
+			return false
+		}
+		return a.PowerReductionPct > b.PowerReductionPct ||
+			a.AreaIncrease < b.AreaIncrease || a.Steps < b.Steps
+	}
+	var out []*SweepPoint
+	for i := range sr.Points {
+		p := &sr.Points[i]
+		if p.Err != nil {
+			continue
+		}
+		dominated := false
+		for j := range sr.Points {
+			q := &sr.Points[j]
+			if j == i || q.Err != nil {
+				continue
+			}
+			if dominates(q.Row, p.Row) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Table formats the sweep as a Table II style listing, one line per
+// configuration.
+func (sr *SweepResult) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "SWEEP %s — %d configurations\n", sr.Design.Graph.Name, len(sr.Points))
+	b.WriteString("Budget  II  Order          FDS  Steps PM  Area    MUX   COMP      +      -      *    PowerRed\n")
+	for i := range sr.Points {
+		p := &sr.Points[i]
+		o := p.Options
+		fds := " "
+		if o.ForceDirected {
+			fds = "y"
+		}
+		fmt.Fprintf(&b, "%6d %3d  %-14s %3s  ", o.Budget, o.II, o.Order, fds)
+		if p.Err != nil {
+			fmt.Fprintf(&b, "error: %v\n", p.Err)
+			continue
+		}
+		r := p.Row
+		fmt.Fprintf(&b, "%5d %2d  %.2f  %6.2f %6.2f %6.2f %6.2f %6.2f  %6.2f%%\n",
+			r.Steps, r.PMMuxes, r.AreaIncrease,
+			r.Mux, r.Comp, r.Add, r.Sub, r.Mul, r.PowerReductionPct)
+	}
+	return b.String()
+}
