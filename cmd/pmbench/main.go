@@ -1,0 +1,69 @@
+// Command pmbench measures design-space sweep performance over the paper's
+// benchmark circuits and writes a machine-readable report
+// (BENCH_sweep.json by default), so the performance trajectory of the
+// engine is tracked across PRs.
+//
+// Usage:
+//
+//	pmbench [-out BENCH_sweep.json] [-workers 1,0] [-extras]
+//
+// -workers takes a comma-separated list of evaluation pool sizes; 0 means
+// GOMAXPROCS. -extras adds the non-paper circuits (diffeq, ewf, decode).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/bench"
+	"repro/internal/benchreport"
+)
+
+func main() {
+	out := flag.String("out", "BENCH_sweep.json", "output path, or - for stdout")
+	workersFlag := flag.String("workers", "1,0", "comma-separated worker counts (0 = GOMAXPROCS)")
+	extras := flag.Bool("extras", false, "include the non-paper circuits")
+	flag.Parse()
+
+	var workers []int
+	for _, f := range strings.Split(*workersFlag, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n < 0 {
+			fmt.Fprintf(os.Stderr, "pmbench: bad -workers entry %q\n", f)
+			os.Exit(2)
+		}
+		workers = append(workers, n)
+	}
+
+	circuits := bench.All()
+	if *extras {
+		circuits = append(circuits, bench.Extras()...)
+	}
+	rep, err := benchreport.MeasureSweeps(circuits, workers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pmbench: %v\n", err)
+		os.Exit(1)
+	}
+
+	w := os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pmbench: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := rep.WriteJSON(w); err != nil {
+		fmt.Fprintf(os.Stderr, "pmbench: %v\n", err)
+		os.Exit(1)
+	}
+	for _, p := range rep.Points {
+		fmt.Fprintf(os.Stderr, "%-8s %2d configs  %2d workers  %8.2fms  best %.2f%%\n",
+			p.Circuit, p.Configs, p.Workers, float64(p.WallNs)/1e6, p.BestPowerRedPct)
+	}
+}

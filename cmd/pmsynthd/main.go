@@ -1,0 +1,80 @@
+// Command pmsynthd serves the power-management synthesis engine over
+// HTTP/JSON: one-shot synthesis with content-addressed caching and
+// singleflight deduplication, plus asynchronous design-space sweep jobs
+// with streamed progress. See internal/server for the API surface and
+// DESIGN.md ("Serving layer") for the architecture.
+//
+// Usage:
+//
+//	pmsynthd [-addr 127.0.0.1:8357] [-cache-entries 1024]
+//	         [-job-workers 2] [-sweep-workers 0] [-job-ttl 1h]
+//
+// The process shuts down gracefully on SIGINT/SIGTERM: the listener stops
+// accepting, in-flight requests drain (bounded by -drain), and running
+// jobs are canceled.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8357", "listen address")
+	cacheEntries := flag.Int("cache-entries", 1024, "synthesize result cache capacity (entries)")
+	jobWorkers := flag.Int("job-workers", 2, "maximum concurrently running sweep jobs")
+	sweepWorkers := flag.Int("sweep-workers", 0, "flow workers per sweep job (0 = GOMAXPROCS)")
+	jobTTL := flag.Duration("job-ttl", time.Hour, "how long finished jobs stay queryable")
+	drain := flag.Duration("drain", 10*time.Second, "graceful shutdown drain timeout")
+	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintf(os.Stderr, "pmsynthd: unexpected arguments %v\n", flag.Args())
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	srv := server.New(server.Config{
+		CacheEntries: *cacheEntries,
+		JobWorkers:   *jobWorkers,
+		SweepWorkers: *sweepWorkers,
+		JobTTL:       *jobTTL,
+	})
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("pmsynthd listening on http://%s", *addr)
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		log.Fatalf("pmsynthd: serve: %v", err)
+	case <-ctx.Done():
+	}
+
+	log.Printf("pmsynthd: shutting down (drain %s)", *drain)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("pmsynthd: drain: %v", err)
+	}
+	srv.Close() // cancels running jobs and stops the manager
+	log.Printf("pmsynthd: bye")
+}

@@ -1,0 +1,126 @@
+// Package benchreport produces machine-readable benchmark results over
+// the circuits of internal/bench. It is a separate package (rather than
+// part of internal/bench) because it drives the flow engine, and
+// internal/power's in-package tests import the circuits — bench itself
+// must stay leaf-like below the flow layer.
+package benchreport
+
+// MeasureSweeps times full
+// design-space sweeps through the flow engine at chosen worker counts and
+// serializes the measurements as JSON (BENCH_sweep.json at the repository
+// root, written by cmd/pmbench), so the performance trajectory is tracked
+// across PRs instead of living in scrollback.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/flow"
+	"repro/internal/power"
+)
+
+// SweepBenchSchema versions the JSON layout of SweepBenchReport.
+const SweepBenchSchema = "pmsynth-bench-sweep/v1"
+
+// SweepBenchPoint is one (circuit, worker count) measurement.
+type SweepBenchPoint struct {
+	// Circuit is the benchmark name.
+	Circuit string `json:"circuit"`
+	// Configs is the number of configurations the sweep evaluated.
+	Configs int `json:"configs"`
+	// Workers is the evaluation pool bound (0 was resolved to
+	// GOMAXPROCS before recording).
+	Workers int `json:"workers"`
+	// WallNs is the wall-clock time of the whole sweep.
+	WallNs int64 `json:"wallNs"`
+	// NsPerConfig is WallNs / Configs, the serving-relevant unit cost.
+	NsPerConfig int64 `json:"nsPerConfig"`
+	// Failed counts configurations whose pipeline errored.
+	Failed int `json:"failed"`
+	// BestPowerRedPct is the best datapath power reduction found, as a
+	// cross-check that timing runs still compute real results.
+	BestPowerRedPct float64 `json:"bestPowerRedPct"`
+}
+
+// SweepBenchReport is the full result file.
+type SweepBenchReport struct {
+	// Schema identifies the layout for downstream tooling.
+	Schema string `json:"schema"`
+	// GeneratedAt stamps the run (RFC 3339).
+	GeneratedAt string `json:"generatedAt"`
+	// GoVersion, GOOS, GOARCH and GOMAXPROCS describe the machine.
+	GoVersion  string `json:"goVersion"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	// Points holds one measurement per (circuit, worker count), in
+	// deterministic order: circuits as given, worker counts as given.
+	Points []SweepBenchPoint `json:"points"`
+}
+
+// MeasureSweeps runs every circuit's Table II budget sweep once per worker
+// count and records wall-clock timings. Worker count 0 means GOMAXPROCS.
+func MeasureSweeps(circuits []*bench.Circuit, workerCounts []int) (*SweepBenchReport, error) {
+	if len(workerCounts) == 0 {
+		workerCounts = []int{1, 0}
+	}
+	rep := &SweepBenchReport{
+		Schema:      SweepBenchSchema,
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+	}
+	for _, c := range circuits {
+		cfgs := make([]core.Config, len(c.Budgets))
+		for i, b := range c.Budgets {
+			cfgs[i] = core.Config{Budget: b, Weights: power.Weights}
+		}
+		for _, workers := range workerCounts {
+			resolved := workers
+			if resolved <= 0 {
+				resolved = runtime.GOMAXPROCS(0)
+			}
+			start := time.Now()
+			ctxs, err := flow.RunAll(nil, c.Graph(), c.Design.Width, cfgs, workers)
+			wall := time.Since(start)
+			if err != nil {
+				return nil, fmt.Errorf("bench: %s sweep: %w", c.Name, err)
+			}
+			p := SweepBenchPoint{
+				Circuit: c.Name,
+				Configs: len(cfgs),
+				Workers: resolved,
+				WallNs:  wall.Nanoseconds(),
+			}
+			if len(cfgs) > 0 {
+				p.NsPerConfig = wall.Nanoseconds() / int64(len(cfgs))
+			}
+			for _, fc := range ctxs {
+				if fc == nil || fc.Err != nil {
+					p.Failed++
+					continue
+				}
+				red := 100 * power.Reduction(fc.PM.Graph, fc.Activity, power.Weights)
+				if red > p.BestPowerRedPct {
+					p.BestPowerRedPct = red
+				}
+			}
+			rep.Points = append(rep.Points, p)
+		}
+	}
+	return rep, nil
+}
+
+// WriteJSON serializes the report, indented for diff-friendly commits.
+func (r *SweepBenchReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

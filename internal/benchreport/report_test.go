@@ -1,0 +1,46 @@
+package benchreport
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/bench"
+)
+
+func TestMeasureSweeps(t *testing.T) {
+	circuits := []*bench.Circuit{bench.AbsDiff(), bench.Dealer()}
+	rep, err := MeasureSweeps(circuits, []int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schema != SweepBenchSchema || rep.GOMAXPROCS < 1 || rep.GeneratedAt == "" {
+		t.Fatalf("report header incomplete: %+v", rep)
+	}
+	if len(rep.Points) != len(circuits)*2 {
+		t.Fatalf("points = %d, want %d", len(rep.Points), len(circuits)*2)
+	}
+	for _, p := range rep.Points {
+		if p.Configs < 1 || p.WallNs <= 0 || p.NsPerConfig <= 0 {
+			t.Fatalf("degenerate measurement: %+v", p)
+		}
+		if p.Failed > 0 {
+			t.Fatalf("%s at %d workers: %d failed configurations", p.Circuit, p.Workers, p.Failed)
+		}
+		if p.BestPowerRedPct <= 0 {
+			t.Fatalf("%s: timing run computed no real savings: %+v", p.Circuit, p)
+		}
+	}
+	// Serialized form round-trips under the declared schema.
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back SweepBenchReport
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Schema != SweepBenchSchema || len(back.Points) != len(rep.Points) {
+		t.Fatalf("round-trip lost data: %+v", back)
+	}
+}

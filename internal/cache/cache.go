@@ -1,0 +1,216 @@
+// Package cache is a content-addressed, sharded LRU result cache with
+// singleflight deduplication — the memory of the pmsynthd serving layer.
+//
+// Keys are canonical content hashes (pmsynth.Fingerprint /
+// pmsynth.SweepFingerprint), so a cache hit is a proof of semantic
+// equality: the cached value answers the request exactly. The cache is
+// sharded to keep lock contention off the serving hot path, each shard
+// maintaining its own LRU list, and computations are deduplicated: when N
+// goroutines ask for the same missing key concurrently, exactly one runs
+// the compute function and the other N-1 wait for its result. That is the
+// property the server's concurrency test pins down — eight identical
+// in-flight POST /v1/synthesize requests must run one synthesis.
+package cache
+
+import (
+	"container/list"
+	"errors"
+	"hash/fnv"
+	"sync"
+	"sync/atomic"
+)
+
+// numShards fixes the shard count; a power of two so the hash spreads
+// evenly. Sixteen keeps per-shard contention negligible at serving
+// concurrency without bloating the per-cache footprint.
+const numShards = 16
+
+// Stats is a point-in-time snapshot of the cache counters.
+type Stats struct {
+	// Hits counts lookups answered without running the compute function:
+	// entries found resident plus callers coalesced onto an in-flight
+	// computation.
+	Hits int64
+	// Misses counts compute executions started.
+	Misses int64
+	// Inflight is the number of computations currently running.
+	Inflight int64
+	// Evictions counts entries dropped by LRU pressure.
+	Evictions int64
+	// Entries is the current number of resident values.
+	Entries int64
+}
+
+// Cache is a sharded LRU keyed by content hash. The zero value is not
+// usable; call New.
+type Cache[V any] struct {
+	shards    [numShards]shard[V]
+	hits      atomic.Int64
+	misses    atomic.Int64
+	inflight  atomic.Int64
+	evictions atomic.Int64
+}
+
+// shard is one lock domain of the cache.
+type shard[V any] struct {
+	mu       sync.Mutex
+	capacity int
+	entries  map[string]*list.Element // key -> element whose Value is *entry[V]
+	lru      list.List                // front = most recently used
+	calls    map[string]*call[V]      // in-flight computations
+}
+
+// entry is one resident value.
+type entry[V any] struct {
+	key string
+	val V
+}
+
+// call is one in-flight computation that late arrivals join.
+type call[V any] struct {
+	done chan struct{}
+	val  V
+	err  error
+}
+
+// New returns a cache holding at most capacity entries (minimum one per
+// shard). Capacity is split evenly across shards, so per-key eviction is
+// approximate — the standard sharded-LRU trade for lock locality.
+func New[V any](capacity int) *Cache[V] {
+	perShard := capacity / numShards
+	if perShard < 1 {
+		perShard = 1
+	}
+	c := &Cache[V]{}
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.capacity = perShard
+		s.entries = make(map[string]*list.Element)
+		s.calls = make(map[string]*call[V])
+	}
+	return c
+}
+
+// shardOf picks the lock domain for a key (FNV-1a, cheap and uniform for
+// hex hash keys).
+func (c *Cache[V]) shardOf(key string) *shard[V] {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return &c.shards[h.Sum32()%numShards]
+}
+
+// Get returns the resident value for key, if any, marking it recently
+// used. It never joins an in-flight computation.
+func (c *Cache[V]) Get(key string) (V, bool) {
+	s := c.shardOf(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.entries[key]; ok {
+		s.lru.MoveToFront(el)
+		c.hits.Add(1)
+		return el.Value.(*entry[V]).val, true
+	}
+	var zero V
+	return zero, false
+}
+
+// GetOrCompute returns the value for key, running compute at most once per
+// key across all concurrent callers. Resident values and joins onto an
+// in-flight computation count as hits; each compute execution counts as a
+// miss. A compute error is returned to every waiting caller and nothing is
+// cached, so a later request retries.
+func (c *Cache[V]) GetOrCompute(key string, compute func() (V, error)) (V, error) {
+	s := c.shardOf(key)
+	s.mu.Lock()
+	if el, ok := s.entries[key]; ok {
+		s.lru.MoveToFront(el)
+		s.mu.Unlock()
+		c.hits.Add(1)
+		return el.Value.(*entry[V]).val, nil
+	}
+	if cl, ok := s.calls[key]; ok {
+		// Coalesce onto the in-flight computation.
+		s.mu.Unlock()
+		c.hits.Add(1)
+		<-cl.done
+		return cl.val, cl.err
+	}
+	cl := &call[V]{done: make(chan struct{})}
+	s.calls[key] = cl
+	s.mu.Unlock()
+
+	c.misses.Add(1)
+	c.inflight.Add(1)
+	// The cleanup must run even when compute panics (handlers run
+	// arbitrary compiler code on untrusted input, and net/http recovers
+	// handler panics): otherwise the in-flight call would stay registered
+	// forever and every later request for the key would block on it. On a
+	// panic the waiters get an error and the panic keeps propagating on
+	// the computing goroutine.
+	completed := false
+	defer func() {
+		c.inflight.Add(-1)
+		if !completed {
+			cl.err = errors.New("cache: compute panicked")
+		}
+		s.mu.Lock()
+		delete(s.calls, key)
+		if cl.err == nil {
+			c.insert(s, key, cl.val)
+		}
+		s.mu.Unlock()
+		close(cl.done)
+	}()
+	cl.val, cl.err = compute()
+	completed = true
+	return cl.val, cl.err
+}
+
+// Put inserts or refreshes a value directly.
+func (c *Cache[V]) Put(key string, val V) {
+	s := c.shardOf(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.entries[key]; ok {
+		el.Value.(*entry[V]).val = val
+		s.lru.MoveToFront(el)
+		return
+	}
+	c.insert(s, key, val)
+}
+
+// insert adds a fresh entry to a locked shard, evicting from the LRU tail
+// past capacity.
+func (c *Cache[V]) insert(s *shard[V], key string, val V) {
+	s.entries[key] = s.lru.PushFront(&entry[V]{key: key, val: val})
+	for s.lru.Len() > s.capacity {
+		tail := s.lru.Back()
+		ev := tail.Value.(*entry[V])
+		s.lru.Remove(tail)
+		delete(s.entries, ev.key)
+		c.evictions.Add(1)
+	}
+}
+
+// Len returns the number of resident entries.
+func (c *Cache[V]) Len() int {
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += s.lru.Len()
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Stats snapshots the counters.
+func (c *Cache[V]) Stats() Stats {
+	return Stats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Inflight:  c.inflight.Load(),
+		Evictions: c.evictions.Load(),
+		Entries:   int64(c.Len()),
+	}
+}

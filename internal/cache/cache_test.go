@@ -1,0 +1,174 @@
+package cache
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestGetOrComputeBasics(t *testing.T) {
+	c := New[int](64)
+	calls := 0
+	v, err := c.GetOrCompute("k", func() (int, error) { calls++; return 42, nil })
+	if err != nil || v != 42 {
+		t.Fatalf("first compute = %d, %v", v, err)
+	}
+	v, err = c.GetOrCompute("k", func() (int, error) { calls++; return 0, nil })
+	if err != nil || v != 42 {
+		t.Fatalf("cached read = %d, %v", v, err)
+	}
+	if calls != 1 {
+		t.Fatalf("compute ran %d times, want 1", calls)
+	}
+	st := c.Stats()
+	if st.Misses != 1 || st.Hits != 1 || st.Entries != 1 {
+		t.Fatalf("stats = %+v, want 1 miss / 1 hit / 1 entry", st)
+	}
+	if got, ok := c.Get("k"); !ok || got != 42 {
+		t.Fatalf("Get = %d, %v", got, ok)
+	}
+	if _, ok := c.Get("absent"); ok {
+		t.Fatal("Get on absent key reported a value")
+	}
+}
+
+func TestSingleflightDedup(t *testing.T) {
+	c := New[int](64)
+	const callers = 32
+	var computes atomic.Int64
+	gate := make(chan struct{})
+	var wg sync.WaitGroup
+	results := make([]int, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, err := c.GetOrCompute("shared", func() (int, error) {
+				computes.Add(1)
+				<-gate // hold the computation open so everyone piles on
+				return 7, nil
+			})
+			if err != nil {
+				t.Errorf("caller %d: %v", i, err)
+			}
+			results[i] = v
+		}(i)
+	}
+	// Let callers reach the cache, then release the single computation.
+	for c.Stats().Inflight == 0 {
+		runtime.Gosched()
+	}
+	close(gate)
+	wg.Wait()
+	if n := computes.Load(); n != 1 {
+		t.Fatalf("compute ran %d times under %d concurrent callers, want 1", n, callers)
+	}
+	for i, v := range results {
+		if v != 7 {
+			t.Fatalf("caller %d got %d, want 7", i, v)
+		}
+	}
+	st := c.Stats()
+	if st.Misses != 1 || st.Hits != callers-1 {
+		t.Fatalf("stats = %+v, want misses 1 hits %d", st, callers-1)
+	}
+}
+
+func TestComputeErrorNotCached(t *testing.T) {
+	c := New[int](64)
+	boom := errors.New("boom")
+	if _, err := c.GetOrCompute("k", func() (int, error) { return 0, boom }); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if c.Len() != 0 {
+		t.Fatalf("failed compute left %d entries resident", c.Len())
+	}
+	// Retry succeeds and caches.
+	if v, err := c.GetOrCompute("k", func() (int, error) { return 9, nil }); err != nil || v != 9 {
+		t.Fatalf("retry = %d, %v", v, err)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("entries = %d, want 1", c.Len())
+	}
+}
+
+func TestComputePanicDoesNotPoisonKey(t *testing.T) {
+	c := New[int](64)
+	waiterErr := make(chan error, 1)
+	inCompute := make(chan struct{})
+	release := make(chan struct{})
+
+	go func() {
+		defer func() { recover() }() // the computing goroutine keeps its panic
+		c.GetOrCompute("k", func() (int, error) {
+			close(inCompute)
+			<-release
+			panic("compiler bug")
+		})
+	}()
+	<-inCompute
+	go func() {
+		// Either joins the doomed in-flight call (gets its error) or,
+		// if the panic cleanup already ran, computes fresh (gets 1).
+		// The bug this test pins is the third outcome: blocking forever
+		// on a done channel nobody will close.
+		v, err := c.GetOrCompute("k", func() (int, error) { return 1, nil })
+		if err == nil && v != 1 {
+			t.Errorf("fresh compute after panic = %d, want 1", v)
+		}
+		waiterErr <- err
+	}()
+	close(release)
+
+	select {
+	case <-waiterErr:
+	case <-time.After(5 * time.Second):
+		t.Fatal("waiter still blocked after the compute panicked")
+	}
+	// The key is not poisoned: a later request succeeds — either the
+	// waiter's fresh value (1) if it repopulated the entry, or this
+	// compute's own (7). A panicked value is never cached.
+	v, err := c.GetOrCompute("k", func() (int, error) { return 7, nil })
+	if err != nil || (v != 1 && v != 7) {
+		t.Fatalf("retry after panic = %d, %v", v, err)
+	}
+	if st := c.Stats(); st.Inflight != 0 {
+		t.Fatalf("inflight = %d after panic, want 0", st.Inflight)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	// Capacity below the shard count clamps to one entry per shard: keys
+	// landing in the same shard evict each other, oldest first.
+	c := New[int](1)
+	const n = 200
+	for i := 0; i < n; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		if _, err := c.GetOrCompute(k, func() (int, error) { return i, nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := c.Stats()
+	if st.Entries > numShards {
+		t.Fatalf("entries = %d, want <= %d (one per shard)", st.Entries, numShards)
+	}
+	if st.Evictions != int64(n)-st.Entries {
+		t.Fatalf("evictions = %d, want %d", st.Evictions, int64(n)-st.Entries)
+	}
+}
+
+func TestPutRefresh(t *testing.T) {
+	c := New[string](64)
+	c.Put("k", "a")
+	c.Put("k", "b")
+	if v, ok := c.Get("k"); !ok || v != "b" {
+		t.Fatalf("Get = %q, %v; want b", v, ok)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("entries = %d, want 1", c.Len())
+	}
+}

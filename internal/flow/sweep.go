@@ -23,6 +23,20 @@ import (
 // canceled, in which case the contexts evaluated so far are still
 // returned (unevaluated slots are nil).
 func RunAll(ctx context.Context, g *cdfg.Graph, width int, cfgs []core.Config, workers int) ([]*Context, error) {
+	return RunAllObserved(ctx, g, width, cfgs, workers, nil)
+}
+
+// RunAllObserved is RunAll with a completion observer: observe(i, fc) is
+// called once per configuration, immediately after its pipeline finishes
+// (successfully or not), with the configuration's input index and its
+// Context. Observers feed progress reporting in the layers above (the
+// pmsynth sweep API and the pmsynthd job manager).
+//
+// The observer is called from the worker goroutines, so calls may arrive
+// out of input order and concurrently; it must be safe for concurrent use.
+// Observation never influences the artifacts: results remain identical to
+// an unobserved run.
+func RunAllObserved(ctx context.Context, g *cdfg.Graph, width int, cfgs []core.Config, workers int, observe func(i int, fc *Context)) ([]*Context, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -49,6 +63,9 @@ func RunAll(ctx context.Context, g *cdfg.Graph, width int, cfgs []core.Config, w
 				fc := &Context{Ctx: ctx, Graph: g, Width: width, Config: cfgs[i]}
 				fc.Err = Standard().Run(fc)
 				out[i] = fc
+				if observe != nil {
+					observe(i, fc)
+				}
 			}
 		}()
 	}

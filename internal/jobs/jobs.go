@@ -1,0 +1,408 @@
+// Package jobs is the asynchronous job manager of the pmsynthd serving
+// layer: long-running work (design-space sweeps) becomes a trackable job
+// with a lifecycle state machine, per-job progress counters, an ordered
+// event log that clients can stream, cancellation, and TTL-based garbage
+// collection of finished jobs.
+//
+// Lifecycle:
+//
+//	pending ──► running ──► succeeded
+//	    │           │  ╲──► failed
+//	    ╰───────────┴────► canceled
+//
+// Jobs run on a bounded worker pool: Submit never blocks, excess jobs
+// queue in the pending state. The manager is function-agnostic — it runs
+// any Func — so the synthesis layers stay out of its dependency cone and
+// it can be tested with microsecond workloads.
+package jobs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// State is a job lifecycle state.
+type State string
+
+// The job lifecycle states.
+const (
+	StatePending   State = "pending"
+	StateRunning   State = "running"
+	StateSucceeded State = "succeeded"
+	StateFailed    State = "failed"
+	StateCanceled  State = "canceled"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	return s == StateSucceeded || s == StateFailed || s == StateCanceled
+}
+
+// Event is one entry of a job's ordered event log. Seq increases by one
+// per event; progress events carry a strictly increasing Done counter, so
+// a streamed log is monotonic by construction.
+type Event struct {
+	Seq   int64     `json:"seq"`
+	Time  time.Time `json:"time"`
+	Type  string    `json:"type"` // created|started|progress|succeeded|failed|canceled
+	Done  int       `json:"done"`
+	Total int       `json:"total"`
+	Err   string    `json:"err,omitempty"`
+}
+
+// Func is the work a job runs. It must honor ctx cancellation and may
+// report progress (safe to call concurrently; the job keeps a high-water
+// mark, so out-of-order calls never produce a regressing counter).
+type Func func(ctx context.Context, progress func(done, total int)) (interface{}, error)
+
+// Info is a point-in-time snapshot of a job.
+type Info struct {
+	ID       string    `json:"id"`
+	Name     string    `json:"name"`
+	State    State     `json:"state"`
+	Created  time.Time `json:"created"`
+	Started  time.Time `json:"started"`
+	Finished time.Time `json:"finished"`
+	Done     int       `json:"done"`
+	Total    int       `json:"total"`
+	Err      string    `json:"err,omitempty"`
+}
+
+// Job is one unit of tracked work.
+type Job struct {
+	id   string
+	name string
+
+	mu       sync.Mutex
+	state    State
+	created  time.Time
+	started  time.Time
+	finished time.Time
+	done     int
+	total    int
+	err      error
+	result   interface{}
+	events   []Event
+	notify   chan struct{} // closed and replaced on every append
+	cancel   context.CancelFunc
+}
+
+// ID returns the job's identifier.
+func (j *Job) ID() string { return j.id }
+
+// Snapshot returns the job's current state.
+func (j *Job) Snapshot() Info {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	info := Info{
+		ID: j.id, Name: j.name, State: j.state,
+		Created: j.created, Started: j.started, Finished: j.finished,
+		Done: j.done, Total: j.total,
+	}
+	if j.err != nil {
+		info.Err = j.err.Error()
+	}
+	return info
+}
+
+// Result returns the job's result value once it has succeeded. ok is
+// false while the job is still pending or running; a terminal err is
+// returned for failed and canceled jobs.
+func (j *Job) Result() (val interface{}, err error, ok bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if !j.state.Terminal() {
+		return nil, nil, false
+	}
+	return j.result, j.err, true
+}
+
+// EventsSince returns the events with Seq > seq, a channel that is closed
+// when further events arrive, and whether the log is complete (the job is
+// terminal and events holds its tail). Streaming clients loop: drain,
+// then wait on the channel unless done.
+func (j *Job) EventsSince(seq int64) (events []Event, more <-chan struct{}, done bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	for i := range j.events {
+		if j.events[i].Seq > seq {
+			events = append(events, j.events[i])
+		}
+	}
+	return events, j.notify, j.state.Terminal()
+}
+
+// append records an event under j.mu and wakes streamers.
+func (j *Job) append(typ string, now time.Time) {
+	ev := Event{
+		Seq: int64(len(j.events)) + 1, Time: now, Type: typ,
+		Done: j.done, Total: j.total,
+	}
+	if j.err != nil {
+		ev.Err = j.err.Error()
+	}
+	j.events = append(j.events, ev)
+	close(j.notify)
+	j.notify = make(chan struct{})
+}
+
+// progress is the high-water-mark progress sink handed to Func. Regressing
+// or duplicate ticks are dropped, so the event log's Done counter is
+// strictly increasing.
+func (j *Job) progress(done, total int) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateRunning || done <= j.done {
+		return
+	}
+	j.done = done
+	if total > 0 {
+		j.total = total
+	}
+	j.append("progress", time.Now())
+}
+
+// Manager owns the job table and the worker pool.
+type Manager struct {
+	mu          sync.Mutex
+	jobs        map[string]*Job
+	sem         chan struct{}
+	ttl         time.Duration
+	base        context.Context
+	stop        context.CancelFunc
+	wg          sync.WaitGroup
+	janitorDone chan struct{}
+
+	created   atomic.Int64
+	completed atomic.Int64
+}
+
+// Config parameterizes a Manager.
+type Config struct {
+	// Workers bounds how many jobs run concurrently; <= 0 means 1.
+	Workers int
+	// TTL is how long finished jobs stay queryable; <= 0 means 1 hour.
+	TTL time.Duration
+	// GCInterval is how often the janitor sweeps; <= 0 means TTL/4
+	// (clamped to at least a second).
+	GCInterval time.Duration
+}
+
+// NewManager starts a manager with its janitor goroutine. Call Close to
+// stop it.
+func NewManager(cfg Config) *Manager {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 1
+	}
+	if cfg.TTL <= 0 {
+		cfg.TTL = time.Hour
+	}
+	if cfg.GCInterval <= 0 {
+		cfg.GCInterval = cfg.TTL / 4
+		if cfg.GCInterval < time.Second {
+			cfg.GCInterval = time.Second
+		}
+	}
+	base, stop := context.WithCancel(context.Background())
+	m := &Manager{
+		jobs:        make(map[string]*Job),
+		sem:         make(chan struct{}, cfg.Workers),
+		ttl:         cfg.TTL,
+		base:        base,
+		stop:        stop,
+		janitorDone: make(chan struct{}),
+	}
+	go m.janitor(cfg.GCInterval)
+	return m
+}
+
+// Submit registers and asynchronously runs a job. total may be 0 when the
+// amount of work is unknown up front; progress ticks refine it.
+func (m *Manager) Submit(name string, total int, fn Func) *Job {
+	ctx, cancel := context.WithCancel(m.base)
+	now := time.Now()
+	j := &Job{
+		id: newID(), name: name, state: StatePending,
+		created: now, total: total,
+		notify: make(chan struct{}),
+		cancel: cancel,
+	}
+	j.append("created", now)
+
+	m.mu.Lock()
+	m.jobs[j.id] = j
+	m.mu.Unlock()
+	m.created.Add(1)
+
+	m.wg.Add(1)
+	go m.run(ctx, j, fn)
+	return j
+}
+
+// run waits for a worker slot, executes fn, and finalizes the job.
+func (m *Manager) run(ctx context.Context, j *Job, fn Func) {
+	defer m.wg.Done()
+	// Release the job's context child from the manager's base context
+	// even on normal completion; otherwise every finished job would stay
+	// registered there until Close, growing the daemon's memory forever.
+	defer j.cancel()
+	select {
+	case m.sem <- struct{}{}:
+		defer func() { <-m.sem }()
+	case <-ctx.Done():
+		// Canceled while queued: never ran.
+		m.finish(j, nil, ctx.Err())
+		return
+	}
+	j.mu.Lock()
+	j.state = StateRunning
+	j.started = time.Now()
+	j.append("started", j.started)
+	j.mu.Unlock()
+
+	val, err := fn(ctx, j.progress)
+	if err == nil && ctx.Err() != nil {
+		err = ctx.Err()
+	}
+	m.finish(j, val, err)
+}
+
+// finish drives the job to its terminal state and appends the terminal
+// event.
+func (m *Manager) finish(j *Job, val interface{}, err error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state.Terminal() {
+		return
+	}
+	j.finished = time.Now()
+	switch {
+	case err == nil:
+		j.state = StateSucceeded
+		j.result = val
+		if j.total > 0 {
+			j.done = j.total
+		}
+	case errors.Is(err, context.Canceled):
+		j.state = StateCanceled
+		j.err = context.Canceled
+		// Keep whatever the Func chose to return alongside the
+		// cancellation error. The sweep Func returns nil here, so a
+		// canceled sweep has no result view; a Func that hands back
+		// partial work keeps it queryable.
+		j.result = val
+	default:
+		j.state = StateFailed
+		j.err = err
+	}
+	j.append(string(j.state), j.finished)
+	m.completed.Add(1)
+}
+
+// Get returns the job with the given id.
+func (m *Manager) Get(id string) (*Job, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	return j, ok
+}
+
+// Cancel requests cancellation of a pending or running job. It returns
+// false when the job does not exist or is already terminal. The state
+// flips to canceled once the job's function returns.
+func (m *Manager) Cancel(id string) bool {
+	j, ok := m.Get(id)
+	if !ok {
+		return false
+	}
+	j.mu.Lock()
+	terminal := j.state.Terminal()
+	j.mu.Unlock()
+	if terminal {
+		return false
+	}
+	j.cancel()
+	return true
+}
+
+// List snapshots every tracked job, oldest first.
+func (m *Manager) List() []Info {
+	m.mu.Lock()
+	jobs := make([]*Job, 0, len(m.jobs))
+	for _, j := range m.jobs {
+		jobs = append(jobs, j)
+	}
+	m.mu.Unlock()
+	out := make([]Info, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.Snapshot()
+	}
+	sort.Slice(out, func(i, k int) bool {
+		if !out[i].Created.Equal(out[k].Created) {
+			return out[i].Created.Before(out[k].Created)
+		}
+		return out[i].ID < out[k].ID
+	})
+	return out
+}
+
+// Counters reports how many jobs were ever created and completed.
+func (m *Manager) Counters() (created, completed int64) {
+	return m.created.Load(), m.completed.Load()
+}
+
+// janitor periodically garbage-collects expired jobs until Close.
+func (m *Manager) janitor(interval time.Duration) {
+	defer close(m.janitorDone)
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			m.gc(time.Now())
+		case <-m.base.Done():
+			return
+		}
+	}
+}
+
+// gc removes terminal jobs whose finish time is older than the TTL,
+// returning how many were dropped.
+func (m *Manager) gc(now time.Time) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := 0
+	for id, j := range m.jobs {
+		j.mu.Lock()
+		expired := j.state.Terminal() && now.Sub(j.finished) > m.ttl
+		j.mu.Unlock()
+		if expired {
+			delete(m.jobs, id)
+			n++
+		}
+	}
+	return n
+}
+
+// Close cancels every job, waits for the pool to drain, and stops the
+// janitor.
+func (m *Manager) Close() {
+	m.stop()
+	m.wg.Wait()
+	<-m.janitorDone
+}
+
+// newID returns a random 16-hex-digit job id.
+func newID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic("jobs: no entropy: " + err.Error())
+	}
+	return hex.EncodeToString(b[:])
+}

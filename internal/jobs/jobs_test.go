@@ -1,0 +1,257 @@
+package jobs
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// newTestManager returns a manager whose janitor never interferes with the
+// test and closes it on cleanup.
+func newTestManager(t *testing.T, workers int) *Manager {
+	t.Helper()
+	m := NewManager(Config{Workers: workers, TTL: time.Hour, GCInterval: time.Hour})
+	t.Cleanup(m.Close)
+	return m
+}
+
+// waitTerminal polls until the job reaches a terminal state.
+func waitTerminal(t *testing.T, j *Job) Info {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if info := j.Snapshot(); info.State.Terminal() {
+			return info
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("job %s never reached a terminal state: %+v", j.ID(), j.Snapshot())
+	return Info{}
+}
+
+func TestJobLifecycleSucceeds(t *testing.T) {
+	m := newTestManager(t, 2)
+	j := m.Submit("ok", 3, func(ctx context.Context, progress func(int, int)) (interface{}, error) {
+		for i := 1; i <= 3; i++ {
+			progress(i, 3)
+		}
+		return "result", nil
+	})
+	info := waitTerminal(t, j)
+	if info.State != StateSucceeded || info.Done != 3 || info.Total != 3 {
+		t.Fatalf("info = %+v, want succeeded 3/3", info)
+	}
+	val, err, ok := j.Result()
+	if !ok || err != nil || val != "result" {
+		t.Fatalf("Result = %v, %v, %v", val, err, ok)
+	}
+	if info.Started.IsZero() || info.Finished.Before(info.Started) {
+		t.Fatalf("timestamps inconsistent: %+v", info)
+	}
+}
+
+func TestJobFailure(t *testing.T) {
+	m := newTestManager(t, 1)
+	boom := errors.New("boom")
+	j := m.Submit("bad", 0, func(ctx context.Context, progress func(int, int)) (interface{}, error) {
+		return nil, boom
+	})
+	info := waitTerminal(t, j)
+	if info.State != StateFailed || info.Err != "boom" {
+		t.Fatalf("info = %+v, want failed/boom", info)
+	}
+	if _, err, ok := j.Result(); !ok || !errors.Is(err, boom) {
+		t.Fatalf("Result err = %v, %v", err, ok)
+	}
+}
+
+func TestCancelRunningJob(t *testing.T) {
+	m := newTestManager(t, 1)
+	started := make(chan struct{})
+	j := m.Submit("slow", 0, func(ctx context.Context, progress func(int, int)) (interface{}, error) {
+		close(started)
+		<-ctx.Done()
+		return nil, ctx.Err()
+	})
+	<-started
+	if !m.Cancel(j.ID()) {
+		t.Fatal("Cancel returned false for a running job")
+	}
+	info := waitTerminal(t, j)
+	if info.State != StateCanceled {
+		t.Fatalf("state = %s, want canceled", info.State)
+	}
+	if m.Cancel(j.ID()) {
+		t.Fatal("Cancel returned true for a terminal job")
+	}
+}
+
+func TestQueuedJobWaitsForWorkerSlot(t *testing.T) {
+	m := newTestManager(t, 1)
+	release := make(chan struct{})
+	started := make(chan struct{})
+	first := m.Submit("hog", 0, func(ctx context.Context, progress func(int, int)) (interface{}, error) {
+		close(started)
+		select {
+		case <-release:
+		case <-ctx.Done():
+		}
+		return nil, nil
+	})
+	// Submission order does not assign worker slots — acquisition does —
+	// so only submit the second job once the hog owns the slot.
+	<-started
+	second := m.Submit("queued", 0, func(ctx context.Context, progress func(int, int)) (interface{}, error) {
+		return nil, nil
+	})
+	// With one worker the second job must sit in pending while the first
+	// holds the slot.
+	time.Sleep(20 * time.Millisecond)
+	if st := second.Snapshot().State; st != StatePending {
+		t.Fatalf("queued job state = %s, want pending", st)
+	}
+	close(release)
+	if info := waitTerminal(t, first); info.State != StateSucceeded {
+		t.Fatalf("first = %+v", info)
+	}
+	if info := waitTerminal(t, second); info.State != StateSucceeded {
+		t.Fatalf("second = %+v", info)
+	}
+}
+
+func TestCancelQueuedJob(t *testing.T) {
+	m := newTestManager(t, 1)
+	release := make(chan struct{})
+	defer close(release)
+	started := make(chan struct{})
+	m.Submit("hog", 0, func(ctx context.Context, progress func(int, int)) (interface{}, error) {
+		close(started)
+		select {
+		case <-release:
+		case <-ctx.Done():
+		}
+		return nil, nil
+	})
+	<-started
+	ran := false
+	queued := m.Submit("victim", 0, func(ctx context.Context, progress func(int, int)) (interface{}, error) {
+		ran = true
+		return nil, nil
+	})
+	time.Sleep(10 * time.Millisecond)
+	if !m.Cancel(queued.ID()) {
+		t.Fatal("Cancel returned false for a queued job")
+	}
+	info := waitTerminal(t, queued)
+	if info.State != StateCanceled {
+		t.Fatalf("state = %s, want canceled", info.State)
+	}
+	if ran {
+		t.Fatal("canceled queued job still ran")
+	}
+}
+
+func TestEventLogMonotonicAndStreamable(t *testing.T) {
+	m := newTestManager(t, 4)
+	j := m.Submit("noisy", 5, func(ctx context.Context, progress func(int, int)) (interface{}, error) {
+		// Out-of-order and duplicate ticks: the log must stay monotonic.
+		progress(2, 5)
+		progress(1, 5)
+		progress(2, 5)
+		progress(4, 5)
+		progress(5, 5)
+		return nil, nil
+	})
+	waitTerminal(t, j)
+
+	var all []Event
+	var seq int64
+	for {
+		events, more, done := j.EventsSince(seq)
+		all = append(all, events...)
+		if len(events) > 0 {
+			seq = events[len(events)-1].Seq
+		}
+		if done {
+			break
+		}
+		<-more
+	}
+	if len(all) < 4 {
+		t.Fatalf("event log too short: %+v", all)
+	}
+	if all[0].Type != "created" {
+		t.Fatalf("first event = %+v, want created", all[0])
+	}
+	if last := all[len(all)-1]; last.Type != string(StateSucceeded) {
+		t.Fatalf("last event = %+v, want succeeded", last)
+	}
+	lastDone, lastSeq := -1, int64(0)
+	for _, ev := range all {
+		if ev.Seq <= lastSeq {
+			t.Fatalf("event seq not increasing: %+v", all)
+		}
+		lastSeq = ev.Seq
+		if ev.Type == "progress" {
+			if ev.Done <= lastDone {
+				t.Fatalf("progress regressed: %+v", all)
+			}
+			lastDone = ev.Done
+		}
+	}
+	if lastDone != 5 {
+		t.Fatalf("final progress = %d, want 5 (got %+v)", lastDone, all)
+	}
+}
+
+func TestTTLGarbageCollection(t *testing.T) {
+	m := newTestManager(t, 1)
+	j := m.Submit("ephemeral", 0, func(ctx context.Context, progress func(int, int)) (interface{}, error) {
+		return nil, nil
+	})
+	waitTerminal(t, j)
+	live := m.Submit("running", 0, func(ctx context.Context, progress func(int, int)) (interface{}, error) {
+		<-ctx.Done()
+		return nil, ctx.Err()
+	})
+	if n := m.gc(time.Now()); n != 0 {
+		t.Fatalf("gc before TTL dropped %d jobs", n)
+	}
+	if n := m.gc(time.Now().Add(2 * time.Hour)); n != 1 {
+		t.Fatalf("gc after TTL dropped %d jobs, want 1", n)
+	}
+	if _, ok := m.Get(j.ID()); ok {
+		t.Fatal("expired job still queryable")
+	}
+	// The still-running job must survive any GC horizon.
+	if _, ok := m.Get(live.ID()); !ok {
+		t.Fatal("running job was collected")
+	}
+	m.Cancel(live.ID())
+	waitTerminal(t, live)
+}
+
+func TestListOrder(t *testing.T) {
+	m := newTestManager(t, 4)
+	var ids []string
+	for i := 0; i < 3; i++ {
+		j := m.Submit("n", 0, func(ctx context.Context, progress func(int, int)) (interface{}, error) {
+			return nil, nil
+		})
+		ids = append(ids, j.ID())
+		time.Sleep(2 * time.Millisecond) // distinct creation times
+	}
+	list := m.List()
+	if len(list) != 3 {
+		t.Fatalf("List len = %d, want 3", len(list))
+	}
+	for i, info := range list {
+		if info.ID != ids[i] {
+			t.Fatalf("List order = %v, want %v", list, ids)
+		}
+	}
+	if created, _ := m.Counters(); created != 3 {
+		t.Fatalf("created counter = %d, want 3", created)
+	}
+}

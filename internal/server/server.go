@@ -1,0 +1,577 @@
+// Package server is the HTTP front door of the synthesis engine: the
+// pmsynthd API. It composes the content-addressed result cache
+// (internal/cache) and the async job manager (internal/jobs) over the
+// public pmsynth API:
+//
+//	POST /v1/synthesize        one-shot synthesis, cached and deduplicated
+//	POST /v1/sweep             create an async design-space sweep job
+//	GET  /v1/jobs              list jobs
+//	GET  /v1/jobs/{id}         job status
+//	GET  /v1/jobs/{id}/events  NDJSON stream of the ordered event log
+//	GET  /v1/jobs/{id}/result  best / pareto / table views of the sweep
+//	POST /v1/jobs/{id}/cancel  cancel a pending or running job
+//	GET  /healthz              liveness
+//	GET  /metrics              Prometheus-style counters
+//
+// Identical requests collapse: synthesize responses are cached under the
+// request fingerprint (and concurrent identical misses run one synthesis,
+// courtesy of the cache's singleflight), while sweep submissions whose
+// fingerprint matches a live job return that job instead of starting a
+// second one.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro"
+	"repro/internal/cache"
+	"repro/internal/jobs"
+)
+
+// Config parameterizes the server.
+type Config struct {
+	// CacheEntries bounds the synthesize result cache; <= 0 means 1024.
+	CacheEntries int
+	// JobWorkers bounds concurrently running sweep jobs; <= 0 means 2.
+	JobWorkers int
+	// SweepWorkers bounds the flow worker pool inside one sweep job;
+	// <= 0 means GOMAXPROCS. It never changes results.
+	SweepWorkers int
+	// JobTTL is how long finished jobs stay queryable; <= 0 means 1h.
+	JobTTL time.Duration
+	// MaxSweepConfigs rejects sweep submissions that would enumerate
+	// more configurations than this; <= 0 means 65536. The library has
+	// no such limit — this is the network-facing guard against a single
+	// request sizing an allocation the process cannot survive.
+	MaxSweepConfigs int
+}
+
+// maxBudget bounds any requested control-step budget. Schedules allocate
+// per-step state, so an absurd budget is an allocation attack, not a
+// plausible design; a million steps is far beyond any real circuit.
+const maxBudget = 1 << 20
+
+// synthResult is the cached value of one synthesize fingerprint+emit set.
+type synthResult struct {
+	row     pmsynth.Row
+	vhdl    string
+	verilog string
+}
+
+// Server is the pmsynthd HTTP API.
+type Server struct {
+	cfg   Config
+	cache *cache.Cache[*synthResult]
+	jobs  *jobs.Manager
+	mux   *http.ServeMux
+	start time.Time
+
+	// sweepByFP deduplicates live sweep jobs by fingerprint.
+	mu        sync.Mutex
+	sweepByFP map[string]string // fingerprint -> job id
+
+	synthRequests atomic.Int64
+	sweepRequests atomic.Int64
+}
+
+// New builds a server. Call Close to stop its job manager.
+func New(cfg Config) *Server {
+	if cfg.CacheEntries <= 0 {
+		cfg.CacheEntries = 1024
+	}
+	if cfg.JobWorkers <= 0 {
+		cfg.JobWorkers = 2
+	}
+	if cfg.MaxSweepConfigs <= 0 {
+		cfg.MaxSweepConfigs = 65536
+	}
+	s := &Server{
+		cfg:       cfg,
+		cache:     cache.New[*synthResult](cfg.CacheEntries),
+		jobs:      jobs.NewManager(jobs.Config{Workers: cfg.JobWorkers, TTL: cfg.JobTTL}),
+		mux:       http.NewServeMux(),
+		start:     time.Now(),
+		sweepByFP: make(map[string]string),
+	}
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("POST /v1/synthesize", s.handleSynthesize)
+	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleJobList)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobStatus)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleJobResult)
+	s.mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.handleJobCancel)
+	return s
+}
+
+// Handler returns the root handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Close stops the job manager, canceling running jobs.
+func (s *Server) Close() { s.jobs.Close() }
+
+// CacheStats exposes the result-cache counters (also served by /metrics).
+func (s *Server) CacheStats() cache.Stats { return s.cache.Stats() }
+
+// writeJSON writes a JSON response body.
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// writeError writes the uniform error body.
+func writeError(w http.ResponseWriter, status int, format string, args ...interface{}) {
+	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// decodeBody strictly decodes a JSON request body.
+func decodeBody(w http.ResponseWriter, r *http.Request, v interface{}) bool {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return false
+	}
+	return true
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, healthResponse{
+		Status: "ok",
+		Uptime: time.Since(s.start).Round(time.Millisecond).String(),
+		Time:   time.Now().UTC(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	st := s.cache.Stats()
+	created, completed := s.jobs.Counters()
+	running := 0
+	for _, info := range s.jobs.List() {
+		if info.State == jobs.StateRunning {
+			running++
+		}
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	fmt.Fprintf(w, "pmsynthd_cache_hits %d\n", st.Hits)
+	fmt.Fprintf(w, "pmsynthd_cache_misses %d\n", st.Misses)
+	fmt.Fprintf(w, "pmsynthd_cache_inflight %d\n", st.Inflight)
+	fmt.Fprintf(w, "pmsynthd_cache_evictions %d\n", st.Evictions)
+	fmt.Fprintf(w, "pmsynthd_cache_entries %d\n", st.Entries)
+	fmt.Fprintf(w, "pmsynthd_synthesize_requests %d\n", s.synthRequests.Load())
+	fmt.Fprintf(w, "pmsynthd_sweep_requests %d\n", s.sweepRequests.Load())
+	fmt.Fprintf(w, "pmsynthd_jobs_created %d\n", created)
+	fmt.Fprintf(w, "pmsynthd_jobs_completed %d\n", completed)
+	fmt.Fprintf(w, "pmsynthd_jobs_running %d\n", running)
+	fmt.Fprintf(w, "pmsynthd_uptime_seconds %d\n", int64(time.Since(s.start).Seconds()))
+}
+
+// handleSynthesize runs one configuration through the flow, answering from
+// the content-addressed cache when possible. N concurrent identical
+// requests run exactly one synthesis.
+func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request) {
+	s.synthRequests.Add(1)
+	var req SynthesizeRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if req.Source == "" {
+		writeError(w, http.StatusBadRequest, "missing source")
+		return
+	}
+	opt, err := req.Options.toOptions()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad options: %v", err)
+		return
+	}
+	if opt.Budget > maxBudget {
+		writeError(w, http.StatusUnprocessableEntity, "budget %d exceeds the server limit %d", opt.Budget, maxBudget)
+		return
+	}
+	emitVHDL, emitVerilog := false, false
+	for _, e := range req.Emit {
+		switch e {
+		case "vhdl":
+			emitVHDL = true
+		case "verilog":
+			emitVerilog = true
+		default:
+			writeError(w, http.StatusBadRequest, "unknown emit %q (valid: vhdl, verilog)", e)
+			return
+		}
+	}
+
+	fp := pmsynth.Fingerprint(req.Source, opt)
+	// The cache key extends the fingerprint with the emit set: artifacts
+	// are part of the cached value, so requests for different artifact
+	// sets must not alias.
+	key := fmt.Sprintf("%s|vhdl=%t|verilog=%t", fp, emitVHDL, emitVerilog)
+
+	computed := false
+	res, err := s.cache.GetOrCompute(key, func() (*synthResult, error) {
+		computed = true
+		design, err := pmsynth.Compile(req.Source)
+		if err != nil {
+			return nil, fmt.Errorf("compile: %w", err)
+		}
+		syn, err := pmsynth.Synthesize(design, opt)
+		if err != nil {
+			return nil, fmt.Errorf("synthesize: %w", err)
+		}
+		out := &synthResult{row: syn.Row()}
+		if emitVHDL {
+			if out.vhdl, err = syn.VHDL(); err != nil {
+				return nil, fmt.Errorf("vhdl: %w", err)
+			}
+		}
+		if emitVerilog {
+			if out.verilog, err = syn.Verilog(); err != nil {
+				return nil, fmt.Errorf("verilog: %w", err)
+			}
+		}
+		return out, nil
+	})
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, SynthesizeResponse{
+		Fingerprint: fp,
+		Cached:      !computed,
+		Row:         res.row,
+		VHDL:        res.vhdl,
+		Verilog:     res.verilog,
+	})
+}
+
+// handleSweep creates (or dedups onto) an async sweep job.
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	s.sweepRequests.Add(1)
+	var req SweepRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if req.Source == "" {
+		writeError(w, http.StatusBadRequest, "missing source")
+		return
+	}
+	spec, err := req.Spec.toSpec()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad spec: %v", err)
+		return
+	}
+	if spec.Workers <= 0 {
+		spec.Workers = s.cfg.SweepWorkers
+	}
+	resp, status, errMsg := s.submitSweep(req.Source, spec)
+	if errMsg != "" {
+		writeError(w, status, "%s", errMsg)
+		return
+	}
+	writeJSON(w, status, resp)
+}
+
+// submitSweep runs the locked part of a sweep submission — dedup lookup,
+// size check, compile, enumerate, job creation — and returns the response
+// to write (or an error message). The lock is released before any bytes
+// go to the client, so a slow reader can never stall other submissions.
+// Holding s.mu across the whole sequence makes concurrent identical
+// submissions serialize onto one job.
+func (s *Server) submitSweep(source string, spec pmsynth.SweepSpec) (SweepCreatedResponse, int, string) {
+	fp := pmsynth.SweepFingerprint(source, spec)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.pruneSweepIndexLocked()
+	// Content-addressed job dedup first: a live job with this
+	// fingerprint answers the submission without recompiling or
+	// re-enumerating anything.
+	if id, ok := s.sweepByFP[fp]; ok {
+		if j, live := s.jobs.Get(id); live {
+			info := j.Snapshot()
+			if info.State == jobs.StatePending || info.State == jobs.StateRunning ||
+				info.State == jobs.StateSucceeded {
+				return SweepCreatedResponse{
+					ID: info.ID, State: info.State, Total: info.Total,
+					Fingerprint: fp, Deduped: true,
+				}, http.StatusOK, ""
+			}
+		}
+		delete(s.sweepByFP, fp) // stale: job gone, failed or canceled
+	}
+
+	// Size the sweep cheaply — before Enumerate materializes anything —
+	// so one absurd request cannot size an allocation the process dies
+	// under.
+	if err := s.checkSweepSize(spec); err != nil {
+		return SweepCreatedResponse{}, http.StatusUnprocessableEntity, err.Error()
+	}
+	design, err := pmsynth.Compile(source)
+	if err != nil {
+		return SweepCreatedResponse{}, http.StatusUnprocessableEntity, "compile: " + err.Error()
+	}
+	// Validate the spec against the design before committing a job.
+	opts, err := spec.Enumerate(design)
+	if err != nil {
+		return SweepCreatedResponse{}, http.StatusUnprocessableEntity, "enumerate: " + err.Error()
+	}
+	total := len(opts)
+
+	job := s.jobs.Submit("sweep "+design.Graph.Name, total,
+		func(ctx context.Context, progress func(done, total int)) (interface{}, error) {
+			sr, err := pmsynth.SweepContextProgress(ctx, design, spec, pmsynth.SweepProgress(progress))
+			if sr != nil {
+				// The result views serve Options/Row/Err/Elapsed only;
+				// dropping the full per-point synthesis artifacts keeps
+				// a finished wide sweep from pinning thousands of
+				// contexts in memory for the whole job TTL.
+				for i := range sr.Points {
+					sr.Points[i].Synthesis = nil
+				}
+			}
+			return sr, err
+		})
+	s.sweepByFP[fp] = job.ID()
+
+	return SweepCreatedResponse{
+		ID: job.ID(), State: job.Snapshot().State, Total: total, Fingerprint: fp,
+	}, http.StatusAccepted, ""
+}
+
+// checkSweepSize bounds a sweep submission without enumerating it: the
+// budget values and the projected configuration count must stay under the
+// server limits. Malformed ranges pass through — Enumerate reports them
+// with its own error.
+func (s *Server) checkSweepSize(spec pmsynth.SweepSpec) error {
+	var budgets int64
+	switch {
+	case spec.Budgets != nil:
+		budgets = int64(len(spec.Budgets))
+		for _, b := range spec.Budgets {
+			if b > maxBudget {
+				return fmt.Errorf("budget %d exceeds the server limit %d", b, maxBudget)
+			}
+		}
+	case spec.BudgetMin == 0 && spec.BudgetMax == 0:
+		budgets = 1 // critical path only
+	case spec.BudgetMin >= 1 && spec.BudgetMax >= spec.BudgetMin:
+		if spec.BudgetMax > maxBudget {
+			return fmt.Errorf("budget %d exceeds the server limit %d", spec.BudgetMax, maxBudget)
+		}
+		budgets = int64(spec.BudgetMax) - int64(spec.BudgetMin) + 1
+	default:
+		return nil // malformed range: Enumerate's error is clearer
+	}
+	axis := func(n int) int64 {
+		if n == 0 {
+			return 1
+		}
+		return int64(n)
+	}
+	count := budgets
+	limit := int64(s.cfg.MaxSweepConfigs)
+	for _, n := range []int{len(spec.IIs), len(spec.Orders), len(spec.ForceDirected), len(spec.Resources)} {
+		count *= axis(n)
+		if count > limit {
+			break // already over; avoid pointless overflow risk
+		}
+	}
+	if count > limit {
+		return fmt.Errorf("sweep would enumerate %d configurations, over the server limit %d", count, limit)
+	}
+	return nil
+}
+
+// pruneSweepIndexLocked drops dedup index entries whose jobs are gone
+// (TTL-collected), failed or canceled. Called with s.mu held on every
+// sweep submission, it bounds the index by the live job count instead of
+// the all-time distinct-fingerprint count.
+func (s *Server) pruneSweepIndexLocked() {
+	for fp, id := range s.sweepByFP {
+		j, ok := s.jobs.Get(id)
+		if !ok {
+			delete(s.sweepByFP, fp)
+			continue
+		}
+		switch j.Snapshot().State {
+		case jobs.StateFailed, jobs.StateCanceled:
+			delete(s.sweepByFP, fp)
+		}
+	}
+}
+
+func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.jobs.List())
+}
+
+// job resolves the {id} path value, writing a 404 on miss.
+func (s *Server) job(w http.ResponseWriter, r *http.Request) (*jobs.Job, bool) {
+	id := r.PathValue("id")
+	j, ok := s.jobs.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such job %q", id)
+		return nil, false
+	}
+	return j, true
+}
+
+func (s *Server) handleJobStatus(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, j.Snapshot())
+}
+
+func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	if !s.jobs.Cancel(j.ID()) {
+		writeError(w, http.StatusConflict, "job %q is already finished", j.ID())
+		return
+	}
+	writeJSON(w, http.StatusOK, j.Snapshot())
+}
+
+// handleJobEvents streams the ordered event log as NDJSON, one event per
+// line, live until the job finishes or the client disconnects. ?from=N
+// resumes after sequence number N.
+func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	var seq int64
+	if from := r.URL.Query().Get("from"); from != "" {
+		n, err := strconv.ParseInt(from, 10, 64)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, "bad from %q: want a non-negative sequence number", from)
+			return
+		}
+		seq = n
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	for {
+		events, more, done := j.EventsSince(seq)
+		for _, ev := range events {
+			if err := enc.Encode(ev); err != nil {
+				return
+			}
+			seq = ev.Seq
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		if done {
+			return
+		}
+		select {
+		case <-more:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// handleJobResult serves the sweep result views: ?view=best (default,
+// with ?objective=power|area|steps), ?view=pareto, ?view=table.
+func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	info := j.Snapshot()
+	val, jobErr, done := j.Result()
+	if !done {
+		writeError(w, http.StatusConflict, "job %q is %s; result not ready", info.ID, info.State)
+		return
+	}
+	sr, ok := val.(*pmsynth.SweepResult)
+	if jobErr != nil && sr == nil {
+		writeError(w, http.StatusConflict, "job %q %s: %v", info.ID, info.State, jobErr)
+		return
+	}
+	if !ok || sr == nil {
+		writeError(w, http.StatusInternalServerError, "job %q holds no sweep result", info.ID)
+		return
+	}
+
+	view := r.URL.Query().Get("view")
+	if view == "" {
+		view = "best"
+	}
+	resp := ResultResponse{ID: info.ID, State: info.State, View: view}
+	switch view {
+	case "best":
+		obj, err := parseObjective(r.URL.Query().Get("objective"))
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		if best := sr.Best(obj); best != nil {
+			p := toPoint(pointIndex(sr, best), best)
+			resp.Best = &p
+		}
+	case "pareto":
+		resp.Pareto = []PointResponse{} // explicit empty list over null
+		for _, p := range sr.Pareto() {
+			resp.Pareto = append(resp.Pareto, toPoint(pointIndex(sr, p), p))
+		}
+	case "table":
+		resp.Table = sr.Table()
+	default:
+		writeError(w, http.StatusBadRequest, "unknown view %q (valid: best, pareto, table)", view)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// objectives maps wire names to sweep objectives.
+var objectives = map[string]pmsynth.Objective{
+	"":      pmsynth.MaxPowerReduction,
+	"power": pmsynth.MaxPowerReduction,
+	"area":  pmsynth.MinAreaIncrease,
+	"steps": pmsynth.MinSteps,
+}
+
+// parseObjective resolves a wire objective name.
+func parseObjective(name string) (pmsynth.Objective, error) {
+	if obj, ok := objectives[name]; ok {
+		return obj, nil
+	}
+	valid := make([]string, 0, len(objectives))
+	for n := range objectives {
+		if n != "" {
+			valid = append(valid, n)
+		}
+	}
+	sort.Strings(valid)
+	return nil, fmt.Errorf("unknown objective %q (valid: %v)", name, valid)
+}
+
+// pointIndex recovers a point's enumeration index from its address.
+func pointIndex(sr *pmsynth.SweepResult, p *pmsynth.SweepPoint) int {
+	for i := range sr.Points {
+		if &sr.Points[i] == p {
+			return i
+		}
+	}
+	return -1
+}

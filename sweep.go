@@ -10,7 +10,9 @@ package pmsynth
 import (
 	"context"
 	"fmt"
+	"math"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/cdfg"
@@ -140,6 +142,22 @@ func Sweep(d *Design, spec SweepSpec) (*SweepResult, error) {
 // stops handing out configurations, waits for in-flight evaluations, and
 // returns ctx's error.
 func SweepContext(ctx context.Context, d *Design, spec SweepSpec) (*SweepResult, error) {
+	return SweepContextProgress(ctx, d, spec, nil)
+}
+
+// SweepProgress receives sweep completion ticks: done configurations out
+// of total. It is called once with done == 0 before evaluation starts and
+// then once per finished configuration. Calls after the initial tick come
+// from the sweep's worker goroutines, so the function must be safe for
+// concurrent use; done values observed by any single call are not
+// guaranteed to arrive in order (consumers that need monotonic progress
+// should keep a high-water mark, as the pmsynthd job manager does).
+type SweepProgress func(done, total int)
+
+// SweepContextProgress is SweepContext with live progress reporting. A nil
+// progress function makes it identical to SweepContext; a non-nil one
+// never changes the results, only observes them.
+func SweepContextProgress(ctx context.Context, d *Design, spec SweepSpec, progress SweepProgress) (*SweepResult, error) {
 	if d == nil || d.Graph == nil {
 		return nil, fmt.Errorf("pmsynth: nil design")
 	}
@@ -151,7 +169,16 @@ func SweepContext(ctx context.Context, d *Design, spec SweepSpec) (*SweepResult,
 	for i, o := range opts {
 		cfgs[i] = o.coreConfig()
 	}
-	ctxs, err := flow.RunAll(ctx, d.Graph, d.Width, cfgs, spec.Workers)
+	var observe func(int, *flow.Context)
+	if progress != nil {
+		total := len(cfgs)
+		progress(0, total)
+		var done atomic.Int64
+		observe = func(int, *flow.Context) {
+			progress(int(done.Add(1)), total)
+		}
+	}
+	ctxs, err := flow.RunAllObserved(ctx, d.Graph, d.Width, cfgs, spec.Workers, observe)
 	if err != nil {
 		return nil, err
 	}
@@ -187,11 +214,16 @@ var (
 	MinSteps Objective = func(r Row) float64 { return -float64(r.Steps) }
 )
 
-// Best returns the successful point maximizing the objective, breaking
-// ties toward the earliest enumerated configuration. It returns nil when
-// every point failed.
+// Best returns the successful point maximizing the objective. The ordering
+// is explicitly deterministic: when two points score equally, the one with
+// the lower enumeration index wins — i.e. the earliest configuration in
+// SweepSpec.Enumerate order (budgets outermost, then IIs, orders, backends,
+// resources), which never depends on worker count or completion timing.
+// Points whose objective evaluates to NaN are skipped, so one undefined
+// score can never poison the comparison chain. Best returns nil when every
+// point failed or scored NaN.
 func (sr *SweepResult) Best(obj Objective) *SweepPoint {
-	var best *SweepPoint
+	best := -1
 	var bestScore float64
 	for i := range sr.Points {
 		p := &sr.Points[i]
@@ -199,12 +231,17 @@ func (sr *SweepResult) Best(obj Objective) *SweepPoint {
 			continue
 		}
 		score := obj(p.Row)
-		if best == nil || score > bestScore {
-			best = p
-			bestScore = score
+		if math.IsNaN(score) {
+			continue
+		}
+		if best < 0 || score > bestScore {
+			best, bestScore = i, score
 		}
 	}
-	return best
+	if best < 0 {
+		return nil
+	}
+	return &sr.Points[best]
 }
 
 // Pareto returns the non-dominated successful points of the sweep under
@@ -246,10 +283,14 @@ func (sr *SweepResult) Pareto() []*SweepPoint {
 }
 
 // Table formats the sweep as a Table II style listing, one line per
-// configuration.
+// configuration. It is safe on a zero SweepResult.
 func (sr *SweepResult) Table() string {
+	name := "(none)"
+	if sr.Design != nil && sr.Design.Graph != nil {
+		name = sr.Design.Graph.Name
+	}
 	var b strings.Builder
-	fmt.Fprintf(&b, "SWEEP %s — %d configurations\n", sr.Design.Graph.Name, len(sr.Points))
+	fmt.Fprintf(&b, "SWEEP %s — %d configurations\n", name, len(sr.Points))
 	b.WriteString("Budget  II  Order          FDS  Steps PM  Area    MUX   COMP      +      -      *    PowerRed\n")
 	for i := range sr.Points {
 		p := &sr.Points[i]
