@@ -64,10 +64,16 @@ type builder struct {
 	invCache map[rtl.Net]rtl.Net
 }
 
+// MaxWidth is the widest datapath the gate-level builder supports; wider
+// designs still synthesize and simulate behaviorally, but cannot be
+// lowered to a netlist (the verification oracle skips its gate-level
+// stage above this bound).
+const MaxWidth = 32
+
 // Build assembles the gate-level chip for the controller.
 func Build(c *ctrl.Controller, width int) (*Chip, error) {
-	if width < 1 || width > 32 {
-		return nil, fmt.Errorf("chip: width %d outside [1,32]", width)
+	if width < 1 || width > MaxWidth {
+		return nil, fmt.Errorf("chip: width %d outside [1,%d]", width, MaxWidth)
 	}
 	b := &builder{
 		nl:       rtl.New(c.Graph.Name),

@@ -47,17 +47,29 @@ func (r Report) String() string {
 		r.PowerOrig, r.PowerNew, r.PowerReductionPct())
 }
 
+// RandomWord draws one uniform random input word for a datapath of the
+// given width. Widths of 63 and 64 are legal in the frontend but cannot
+// go through Int63n (1<<63 overflows int64); they draw the widest
+// non-negative word instead, keeping values representable everywhere a
+// signal rides an int64. Found by the differential harness's review of
+// width edge cases.
+func RandomWord(rnd *rand.Rand, width int) int64 {
+	if width < 63 {
+		return rnd.Int63n(int64(1) << uint(width))
+	}
+	return rnd.Int63() // uniform over [0, 2^63)
+}
+
 // RandomVectors draws the given number of uniform random input vectors for
 // g at the given datapath width from rnd. The generator is injectable so
 // gate-level power measurements are reproducible regardless of which sweep
 // worker runs them.
 func RandomVectors(g *cdfg.Graph, width, samples int, rnd *rand.Rand) []map[string]int64 {
-	limit := int64(1) << uint(width)
 	vectors := make([]map[string]int64, samples)
 	for i := range vectors {
 		in := make(map[string]int64, len(g.Inputs()))
 		for _, id := range g.Inputs() {
-			in[g.Node(id).Name] = rnd.Int63n(limit)
+			in[g.Node(id).Name] = RandomWord(rnd, width)
 		}
 		vectors[i] = in
 	}

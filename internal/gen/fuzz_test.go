@@ -1,0 +1,53 @@
+package gen
+
+import (
+	"testing"
+
+	"repro/internal/silage"
+)
+
+// FuzzGenerate drives the generator across its whole knob space: any
+// (seed, knobs) combination must produce a program that compiles to a
+// valid CDFG, deterministically. The committed corpus under testdata/fuzz
+// pins one entry per profile the harness ships.
+func FuzzGenerate(f *testing.F) {
+	f.Add(int64(0), byte(12), byte(2), byte(3), byte(0))
+	f.Add(int64(1), byte(1), byte(0), byte(0), byte(0))
+	f.Add(int64(7), byte(8), byte(5), byte(6), byte(0))
+	f.Add(int64(42), byte(4), byte(1), byte(2), byte(10))
+	f.Add(int64(-3), byte(30), byte(3), byte(4), byte(2))
+	f.Fuzz(func(t *testing.T, seed int64, ops, depth, fanin, unroll byte) {
+		cfg := Config{
+			// Cap the knobs so one fuzz execution stays cheap; the caps
+			// still cover every branch of the generator.
+			Ops:        int(ops % 32),
+			Depth:      int(depth % 6),
+			MuxFanIn:   int(fanin % 7),
+			Inputs:     1 + int(ops%3),
+			Outputs:    1 + int(depth%3),
+			Width:      4 + int(fanin%8),
+			Unroll:     int(unroll % 12),
+			AllowMul:   ops%2 == 0,
+			AllowShift: depth%2 == 0,
+		}
+		src := Source(seed, cfg)
+		d, err := silage.Compile(src)
+		if err != nil {
+			t.Fatalf("generated program does not compile: %v\n%s", err, src)
+		}
+		if err := d.Graph.Validate(); err != nil {
+			t.Fatalf("generated program has invalid CDFG: %v\n%s", err, src)
+		}
+		if again := Source(seed, cfg); again != src {
+			t.Fatalf("generation not deterministic for seed %d", seed)
+		}
+		// Printed form must be a printer/parser fixpoint.
+		fd, err := silage.Parse(src)
+		if err != nil {
+			t.Fatalf("printed form does not parse: %v\n%s", err, src)
+		}
+		if fd.String() != src {
+			t.Fatalf("not a print/parse fixpoint:\n%s\nvs\n%s", src, fd.String())
+		}
+	})
+}

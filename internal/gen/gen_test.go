@@ -1,0 +1,207 @@
+package gen
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/cdfg"
+	"repro/internal/silage"
+)
+
+// TestGenerateCompiles is the generator's core contract: every generated
+// program compiles to a valid CDFG, across all knob profiles.
+func TestGenerateCompiles(t *testing.T) {
+	profiles := map[string]Config{
+		"default":  Default(),
+		"tiny":     {Ops: 1, Inputs: 1, Outputs: 1},
+		"deep":     {Ops: 8, Depth: 5, MuxFanIn: 6, Inputs: 3, Outputs: 2, AllowMul: true, AllowShift: true},
+		"wide":     {Ops: 30, Depth: 2, MuxFanIn: 3, Inputs: 5, Outputs: 4, AllowMul: true},
+		"unrolled": {Ops: 4, Depth: 1, MuxFanIn: 2, Inputs: 2, Outputs: 1, Unroll: 10, AllowMul: true},
+		"nomux":    {Ops: 10, Depth: 2, MuxFanIn: 0, Inputs: 2, Outputs: 2},
+		"narrow":   {Ops: 6, Depth: 2, MuxFanIn: 3, Inputs: 2, Outputs: 1, Width: 4},
+		"clamped":  {Ops: -3, Depth: -1, MuxFanIn: 1, Inputs: 0, Outputs: 0, Width: 99, Unroll: -2},
+	}
+	n := 150
+	if testing.Short() {
+		n = 25
+	}
+	for name, cfg := range profiles {
+		for seed := int64(0); seed < int64(n); seed++ {
+			src := Source(seed, cfg)
+			d, err := silage.Compile(src)
+			if err != nil {
+				t.Fatalf("%s seed %d does not compile: %v\n%s", name, seed, err, src)
+			}
+			if err := d.Graph.Validate(); err != nil {
+				t.Fatalf("%s seed %d invalid CDFG: %v\n%s", name, seed, err, src)
+			}
+			cp, err := d.Graph.CriticalPath()
+			if err != nil || cp < 1 {
+				t.Fatalf("%s seed %d: critical path %d err=%v (wire-only design?)\n%s",
+					name, seed, cp, err, src)
+			}
+		}
+	}
+}
+
+// TestGenerateDeterministic: one seed, one program — byte for byte.
+func TestGenerateDeterministic(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		a := Source(seed, Default())
+		b := Source(seed, Default())
+		if a != b {
+			t.Fatalf("seed %d not deterministic:\n%s\nvs\n%s", seed, a, b)
+		}
+	}
+}
+
+// TestGenerateKnobs checks the knobs steer the program shape: mux trees
+// appear when enabled, multiplies only when allowed, unrolled chains
+// deepen the critical path.
+func TestGenerateKnobs(t *testing.T) {
+	count := func(src string, class cdfg.Class) int {
+		d := silage.MustCompile(src)
+		n := 0
+		for _, nd := range d.Graph.Nodes() {
+			if nd.IsOp() && nd.Class() == class {
+				n++
+			}
+		}
+		return n
+	}
+	muxes, muls := 0, 0
+	for seed := int64(0); seed < 40; seed++ {
+		src := Source(seed, Default())
+		muxes += count(src, cdfg.ClassMux)
+		muls += count(src, cdfg.ClassMul)
+	}
+	if muxes == 0 {
+		t.Error("default profile generated no muxes across 40 seeds")
+	}
+	if muls == 0 {
+		t.Error("default profile generated no multiplies across 40 seeds")
+	}
+
+	noMul := Default()
+	noMul.AllowMul = false
+	for seed := int64(0); seed < 40; seed++ {
+		if n := count(Source(seed, noMul), cdfg.ClassMul); n != 0 {
+			t.Fatalf("AllowMul=false but seed %d has %d multiplies", seed, n)
+		}
+	}
+
+	// Unroll must deepen the critical path by about the chain length.
+	base := Config{Ops: 2, Depth: 1, MuxFanIn: 0, Inputs: 2, Outputs: 1}
+	long := base
+	long.Unroll = 12
+	for seed := int64(0); seed < 10; seed++ {
+		dShort := silage.MustCompile(Source(seed, base))
+		dLong := silage.MustCompile(Source(seed, long))
+		cpS, _ := dShort.Graph.CriticalPath()
+		cpL, _ := dLong.Graph.CriticalPath()
+		if cpL < cpS+8 {
+			t.Fatalf("seed %d: Unroll=12 critical path %d not much deeper than %d", seed, cpL, cpS)
+		}
+	}
+
+	// Width caps at 16 (gate-level tractability) and respects the knob.
+	w := Default()
+	w.Width = 4
+	d := silage.MustCompile(Source(1, w))
+	if d.Width != 4 {
+		t.Errorf("Width=4 knob produced width %d", d.Width)
+	}
+	w.Width = 99
+	d = silage.MustCompile(Source(1, w))
+	if d.Width != 16 {
+		t.Errorf("Width=99 should clamp to 16, got %d", d.Width)
+	}
+}
+
+// TestShrinkReducesFailure drives the shrinker with a synthetic failure
+// predicate ("the program contains a multiply") and checks it converges on
+// a minimal program that still satisfies the predicate and still compiles.
+func TestShrinkReducesFailure(t *testing.T) {
+	cfg := Default()
+	cfg.Ops = 16
+	src := Source(3, cfg)
+	if !strings.Contains(src, "*") {
+		t.Skip("seed 3 has no multiply; pick another seed")
+	}
+	fails := func(s string) bool {
+		if _, err := silage.Compile(s); err != nil {
+			return false
+		}
+		return strings.Contains(s, "*")
+	}
+	min := Shrink(src, fails)
+	if !fails(min) {
+		t.Fatalf("shrunk program no longer fails:\n%s", min)
+	}
+	if len(min) >= len(src) {
+		t.Fatalf("shrinker made no progress: %d -> %d bytes", len(src), len(min))
+	}
+	// A minimal multiply-containing program is tiny: one assignment.
+	if got := len(min); got > len(src)/2 {
+		t.Errorf("shrinker stopped early: %d of %d bytes\n%s", got, len(src), min)
+	}
+	if _, err := silage.Compile(min); err != nil {
+		t.Fatalf("shrunk program does not compile: %v\n%s", err, min)
+	}
+}
+
+// TestShrinkNonFailing: a predicate that never fires returns the input
+// unchanged.
+func TestShrinkNonFailing(t *testing.T) {
+	src := Source(1, Default())
+	if got := Shrink(src, func(string) bool { return false }); got != src {
+		t.Errorf("Shrink modified a non-failing program")
+	}
+	if got := Shrink("not silage at all", func(string) bool { return true }); got != "not silage at all" {
+		t.Errorf("Shrink modified an unparsable program")
+	}
+}
+
+// TestShrinkDeterministic: shrinking is a deterministic function of the
+// source and predicate.
+func TestShrinkDeterministic(t *testing.T) {
+	src := Source(9, Default())
+	fails := func(s string) bool {
+		_, err := silage.Compile(s)
+		return err == nil && strings.Contains(s, "if")
+	}
+	a := Shrink(src, fails)
+	b := Shrink(src, fails)
+	if a != b {
+		t.Fatalf("shrink not deterministic:\n%s\nvs\n%s", a, b)
+	}
+}
+
+// TestGeneratedSourceRoundTrips: the printed program reparses to the same
+// printed form (printer/parser fixpoint on generator output — this is the
+// property that caught the unparenthesized if-operand printer bug).
+func TestGeneratedSourceRoundTrips(t *testing.T) {
+	for seed := int64(0); seed < 60; seed++ {
+		src := Source(seed, Default())
+		f, err := silage.Parse(src)
+		if err != nil {
+			t.Fatalf("seed %d printed form does not parse: %v\n%s", seed, err, src)
+		}
+		if f.String() != src {
+			t.Fatalf("seed %d not a print/parse fixpoint:\n%s\nvs\n%s", seed, src, f.String())
+		}
+	}
+}
+
+// TestGenerateSharedRand: distinct draws from one shared rand stream stay
+// well-typed (the generator must not depend on owning the stream).
+func TestGenerateSharedRand(t *testing.T) {
+	rnd := rand.New(rand.NewSource(42))
+	for i := 0; i < 20; i++ {
+		f := Generate(rnd, Default())
+		if _, err := silage.Compile(f.String()); err != nil {
+			t.Fatalf("draw %d: %v\n%s", i, err, f.String())
+		}
+	}
+}

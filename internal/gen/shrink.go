@@ -1,0 +1,264 @@
+package gen
+
+// AST-level shrinking of failing Silage programs. Shrink repeatedly tries
+// structural simplifications — dropping whole assignments, hoisting
+// subexpressions, collapsing literals — and keeps a candidate only when it
+// still compiles AND still exhibits the caller's failure. The result is a
+// locally-minimal reproducer suitable for committing under testdata/.
+
+import (
+	"time"
+
+	"repro/internal/silage"
+)
+
+// shrinkBudget caps the number of fails() evaluations one Shrink call may
+// spend and shrinkDeadline caps its wall-clock; shrinking is best-effort
+// and must terminate promptly even when the predicate is expensive (a
+// full differential-oracle run costs hundreds of milliseconds, so an
+// unbounded search could stall a CI failure path for longer than the
+// reproducer is worth).
+const (
+	shrinkBudget   = 400
+	shrinkDeadline = 2 * time.Minute
+)
+
+// Shrink minimizes src with respect to the failure predicate. fails must
+// be deterministic: it reports whether a candidate source still exhibits
+// the original failure. The returned source always compiles and still
+// fails; when src itself does not fail (or does not parse), src is
+// returned unchanged.
+func Shrink(src string, fails func(string) bool) string {
+	funcs, err := silage.ParseFile(src)
+	if err != nil || !fails(src) {
+		return src
+	}
+	budget := shrinkBudget - 1
+	deadline := time.Now().Add(shrinkDeadline)
+
+	// accept re-renders the candidate program and checks it compiles,
+	// still fails, and actually got smaller.
+	current := src
+	accept := func(cand []*silage.FuncDecl) bool {
+		if budget <= 0 || time.Now().After(deadline) {
+			budget = 0
+			return false
+		}
+		text := renderProgram(cand)
+		if len(text) >= len(current) {
+			return false
+		}
+		if _, err := silage.Compile(text); err != nil {
+			return false
+		}
+		budget--
+		if !fails(text) {
+			return false
+		}
+		current = text
+		return true
+	}
+
+	for improved := true; improved && budget > 0; {
+		improved = false
+		for _, cand := range candidates(funcs) {
+			if accept(cand) {
+				funcs = cand
+				improved = true
+				break // restart candidate enumeration on the smaller program
+			}
+		}
+	}
+	return current
+}
+
+// renderProgram prints a multi-function program back to source.
+func renderProgram(funcs []*silage.FuncDecl) string {
+	out := ""
+	for _, f := range funcs {
+		out += f.String()
+	}
+	return out
+}
+
+// candidates enumerates every single-step simplification of the program,
+// cheapest-win-first: statement removal, then per-statement expression
+// simplification, then interface narrowing.
+func candidates(funcs []*silage.FuncDecl) [][]*silage.FuncDecl {
+	var out [][]*silage.FuncDecl
+	top := len(funcs) - 1
+	f := funcs[top]
+
+	with := func(nf *silage.FuncDecl) []*silage.FuncDecl {
+		cand := make([]*silage.FuncDecl, len(funcs))
+		copy(cand, funcs)
+		cand[top] = nf
+		return cand
+	}
+
+	// Drop one helper function entirely.
+	for i := 0; i < top; i++ {
+		cand := make([]*silage.FuncDecl, 0, len(funcs)-1)
+		cand = append(cand, funcs[:i]...)
+		cand = append(cand, funcs[i+1:]...)
+		out = append(out, cand)
+	}
+	// Drop one assignment.
+	for i := range f.Body {
+		nf := cloneDecl(f)
+		nf.Body = append(nf.Body[:i], nf.Body[i+1:]...)
+		out = append(out, with(nf))
+	}
+	// Simplify one assignment's expression.
+	for i := range f.Body {
+		for _, e := range exprCandidates(f.Body[i].Expr) {
+			nf := cloneDecl(f)
+			nf.Body[i].Expr = e
+			out = append(out, with(nf))
+		}
+	}
+	// Drop one parameter or one surplus result.
+	for i := range f.Params {
+		nf := cloneDecl(f)
+		nf.Params = append(nf.Params[:i], nf.Params[i+1:]...)
+		out = append(out, with(nf))
+	}
+	if len(f.Results) > 1 {
+		for i := range f.Results {
+			nf := cloneDecl(f)
+			nf.Results = append(nf.Results[:i], nf.Results[i+1:]...)
+			out = append(out, with(nf))
+		}
+	}
+	return out
+}
+
+// exprCandidates returns one-step simplifications of e: hoisting a child
+// in its place, collapsing to a literal, or simplifying one child in
+// place. Type mismatches are fine — the compile check rejects them.
+func exprCandidates(e silage.Expr) []silage.Expr {
+	var out []silage.Expr
+	kids := children(e)
+	for _, c := range kids {
+		out = append(out, cloneExpr(c))
+	}
+	switch v := e.(type) {
+	case *silage.IntLit:
+		if v.Value != 0 {
+			out = append(out, &silage.IntLit{})
+		}
+		if v.Value > 1 {
+			out = append(out, &silage.IntLit{Value: v.Value / 2})
+		}
+	case *silage.Ident:
+		// leaf: nothing smaller
+	default:
+		out = append(out, &silage.IntLit{}, &silage.IntLit{Value: 1})
+	}
+	for i := range kids {
+		for _, cc := range exprCandidates(kids[i]) {
+			out = append(out, withChild(e, i, cc))
+		}
+	}
+	return out
+}
+
+// children returns the direct subexpressions of e.
+func children(e silage.Expr) []silage.Expr {
+	switch v := e.(type) {
+	case *silage.Unary:
+		return []silage.Expr{v.X}
+	case *silage.Binary:
+		return []silage.Expr{v.X, v.Y}
+	case *silage.ShiftLit:
+		return []silage.Expr{v.X}
+	case *silage.If:
+		return []silage.Expr{v.Cond, v.Then, v.Else}
+	case *silage.Call:
+		return v.Args
+	default:
+		return nil
+	}
+}
+
+// withChild clones e with child i replaced.
+func withChild(e silage.Expr, i int, c silage.Expr) silage.Expr {
+	switch v := e.(type) {
+	case *silage.Unary:
+		return &silage.Unary{Op: v.Op, X: c, Pos: v.Pos}
+	case *silage.Binary:
+		n := &silage.Binary{Op: v.Op, X: cloneExpr(v.X), Y: cloneExpr(v.Y), Pos: v.Pos}
+		if i == 0 {
+			n.X = c
+		} else {
+			n.Y = c
+		}
+		return n
+	case *silage.ShiftLit:
+		return &silage.ShiftLit{Op: v.Op, X: c, By: v.By, Pos: v.Pos}
+	case *silage.If:
+		n := &silage.If{Cond: cloneExpr(v.Cond), Then: cloneExpr(v.Then), Else: cloneExpr(v.Else), Pos: v.Pos}
+		switch i {
+		case 0:
+			n.Cond = c
+		case 1:
+			n.Then = c
+		default:
+			n.Else = c
+		}
+		return n
+	case *silage.Call:
+		n := &silage.Call{Name: v.Name, Args: make([]silage.Expr, len(v.Args)), Pos: v.Pos}
+		for j, a := range v.Args {
+			n.Args[j] = cloneExpr(a)
+		}
+		n.Args[i] = c
+		return n
+	default:
+		return cloneExpr(e)
+	}
+}
+
+// cloneExpr deep-copies an expression tree.
+func cloneExpr(e silage.Expr) silage.Expr {
+	switch v := e.(type) {
+	case *silage.Ident:
+		c := *v
+		return &c
+	case *silage.IntLit:
+		c := *v
+		return &c
+	case *silage.Unary:
+		return &silage.Unary{Op: v.Op, X: cloneExpr(v.X), Pos: v.Pos}
+	case *silage.Binary:
+		return &silage.Binary{Op: v.Op, X: cloneExpr(v.X), Y: cloneExpr(v.Y), Pos: v.Pos}
+	case *silage.ShiftLit:
+		return &silage.ShiftLit{Op: v.Op, X: cloneExpr(v.X), By: v.By, Pos: v.Pos}
+	case *silage.If:
+		return &silage.If{Cond: cloneExpr(v.Cond), Then: cloneExpr(v.Then), Else: cloneExpr(v.Else), Pos: v.Pos}
+	case *silage.Call:
+		n := &silage.Call{Name: v.Name, Args: make([]silage.Expr, len(v.Args)), Pos: v.Pos}
+		for i, a := range v.Args {
+			n.Args[i] = cloneExpr(a)
+		}
+		return n
+	default:
+		return e
+	}
+}
+
+// cloneDecl deep-copies a function declaration (body assignments and
+// expressions; params and results are value slices).
+func cloneDecl(f *silage.FuncDecl) *silage.FuncDecl {
+	n := &silage.FuncDecl{
+		Name:    f.Name,
+		Params:  append([]silage.Param(nil), f.Params...),
+		Results: append([]silage.Param(nil), f.Results...),
+		Body:    make([]*silage.Assign, len(f.Body)),
+		Pos:     f.Pos,
+	}
+	for i, a := range f.Body {
+		n.Body[i] = &silage.Assign{Name: a.Name, Expr: cloneExpr(a.Expr), Pos: a.Pos}
+	}
+	return n
+}

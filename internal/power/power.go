@@ -153,19 +153,45 @@ func AnalyzeExact(g *cdfg.Graph, guards sim.Guards) (Activity, bool) {
 		// Callers hold validated graphs; treat as all-on.
 		return Ungated(g), false
 	}
+	// Compile the guard map into slice-indexed form once: the enumeration
+	// loop below runs 2^k times and map probes inside it dominated whole
+	// verification runs. Unguarded nodes always execute, so only guarded
+	// nodes need per-outcome evaluation.
+	type cGuard struct {
+		sel  cdfg.NodeID
+		mask int // 1 << selIndex[sel]
+		want int // mask when the guard wants select=1, else 0
+	}
+	compiled := make([][]cGuard, n)
+	guarded := make([]cdfg.NodeID, 0, len(guards))
+	for _, id := range order {
+		gl := guards[id]
+		if len(gl) == 0 {
+			continue
+		}
+		cg := make([]cGuard, len(gl))
+		for i, gd := range gl {
+			mask := 1 << uint(selIndex[gd.Sel])
+			want := 0
+			if gd.WhenTrue {
+				want = mask
+			}
+			cg[i] = cGuard{sel: gd.Sel, mask: mask, want: want}
+		}
+		compiled[id] = cg
+		guarded = append(guarded, id)
+	}
 	counts := make([]int, n)
 	exec := make([]bool, n)
+	for i := range exec {
+		exec[i] = true // unguarded nodes always execute
+	}
 	total := 1 << uint(len(sels))
 	for v := 0; v < total; v++ {
-		for _, id := range order {
+		for _, id := range guarded {
 			e := true
-			for _, gd := range guards[id] {
-				if !exec[gd.Sel] {
-					e = false
-					break
-				}
-				bit := v>>uint(selIndex[gd.Sel])&1 == 1
-				if bit != gd.WhenTrue {
+			for _, gd := range compiled[id] {
+				if !exec[gd.sel] || v&gd.mask != gd.want {
 					e = false
 					break
 				}
@@ -177,7 +203,10 @@ func AnalyzeExact(g *cdfg.Graph, guards sim.Guards) (Activity, bool) {
 		}
 	}
 	for i := range prob {
-		prob[i] = float64(counts[i]) / float64(total)
+		prob[i] = 1
+	}
+	for _, id := range guarded {
+		prob[id] = float64(counts[id]) / float64(total)
 	}
 	return Activity{Prob: prob}, true
 }

@@ -151,13 +151,17 @@ func (e *ShiftLit) print(b *strings.Builder) {
 	fmt.Fprintf(b, " %s %d)", e.Op, e.By)
 }
 func (e *If) print(b *strings.Builder) {
-	b.WriteString("if ")
+	// Parenthesized: the grammar admits a bare if-fi only at expression
+	// top level, so an If nested as a binary/shift/unary operand must
+	// print inside parens to stay parsable (the verification harness's
+	// generator builds such ASTs directly).
+	b.WriteString("(if ")
 	e.Cond.print(b)
 	b.WriteString(" -> ")
 	e.Then.print(b)
 	b.WriteString(" || ")
 	e.Else.print(b)
-	b.WriteString(" fi")
+	b.WriteString(" fi)")
 }
 func (e *Call) print(b *strings.Builder) {
 	b.WriteString(e.Name)

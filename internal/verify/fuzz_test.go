@@ -1,0 +1,53 @@
+package verify
+
+import (
+	"math/rand"
+	"testing"
+
+	pmsynth "repro"
+)
+
+// fuzzMatrix keeps one oracle execution cheap enough for the fuzz engine
+// while still exercising every stage.
+func fuzzMatrix() Matrix {
+	return Matrix{
+		BudgetSlack: 1,
+		Orders:      []pmsynth.Order{pmsynth.OrderOutputsFirst, pmsynth.OrderInputsFirst},
+		Workers:     []int{1, 2},
+		Vectors:     4,
+		GateSamples: 2,
+		Pipeline:    false,
+	}
+}
+
+// FuzzOracle feeds arbitrary Silage text to the full differential oracle:
+// any source the frontend accepts must pass every cross-layer invariant —
+// schedule validity, behavioral and gate-level equivalence, determinism,
+// fingerprint integrity. Inputs the frontend rejects are out of scope
+// (FuzzCompile in internal/silage owns frontend robustness).
+func FuzzOracle(f *testing.F) {
+	f.Add("func f(a: num<4>, b: num<4>) o: num<4> = begin g = a > b; o = (if g -> a - b || b - a fi); end")
+	f.Add("func f(a: num<4>) o: num<4> = begin t = a * a; o = (if (t < 3) -> t + 1 || t - 1 fi); end")
+	f.Add("func f(a: num<4>, b: num<4>) o: num<4>, p: num<4> = begin c = a == b; o = (if c -> a || (a + b) fi); p = (if (!(c)) -> b || 2 fi) << 1; end")
+	f.Add("func f(a: num<8>) o: num<8> = begin o = ((a >> 2) + 1) * 3; end")
+	f.Fuzz(func(t *testing.T, src string) {
+		design, err := pmsynth.Compile(src)
+		if err != nil {
+			return // frontend rejection is FuzzCompile's domain
+		}
+		// Bound the work one mutated input can demand: the oracle builds
+		// gate-level chips and enumerates select outcomes.
+		if design.Graph.NumNodes() > 80 || design.Width > 10 {
+			return
+		}
+		cp, err := design.Graph.CriticalPath()
+		if err != nil || cp > 16 {
+			return
+		}
+		rep := CheckSource(src, fuzzMatrix(), rand.New(rand.NewSource(1)))
+		if !rep.OK() {
+			t.Fatalf("oracle divergence in stages %v on accepted source:\n%s\nfirst: %+v",
+				rep.Stages(), src, rep.Divergences[0])
+		}
+	})
+}

@@ -1,0 +1,46 @@
+package verify
+
+// Harness glue: seed-driven checking (gen -> oracle) and shrinking of
+// failing seeds to minimal reproducers. Shared by the property tests, the
+// fuzz targets and cmd/pmverify.
+
+import (
+	"math/rand"
+
+	"repro/internal/gen"
+)
+
+// vectorSeed derives the probe-vector stream for one generator seed. The
+// derivation is fixed so a seed's whole check — program and vectors — is
+// reproducible across processes.
+func vectorSeed(seed int64) int64 { return seed*0x5DEECE66D + 11 }
+
+// CheckSeed generates the program for one seed and runs the full oracle
+// on it.
+func CheckSeed(seed int64, gcfg gen.Config, m Matrix) *Report {
+	src := gen.Source(seed, gcfg)
+	rep := CheckSource(src, m, rand.New(rand.NewSource(vectorSeed(seed))))
+	rep.Seed = seed
+	return rep
+}
+
+// Minimize shrinks a failing report's source to a locally-minimal program
+// that still diverges in at least one of the same oracle stages, using
+// the same probe-vector stream as the original check. It returns the
+// smaller source, or the original when shrinking finds nothing.
+func Minimize(rep *Report, m Matrix) string {
+	stages := map[string]bool{}
+	for _, s := range rep.Stages() {
+		stages[s] = true
+	}
+	fails := func(src string) bool {
+		r := CheckSource(src, m, rand.New(rand.NewSource(vectorSeed(rep.Seed))))
+		for _, s := range r.Stages() {
+			if stages[s] {
+				return true
+			}
+		}
+		return false
+	}
+	return gen.Shrink(rep.Source, fails)
+}

@@ -1,0 +1,59 @@
+package verify
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/silage"
+)
+
+// TestRegressionFixtures replays every committed reproducer under
+// testdata/regress through the frontend round-trip and the full
+// differential oracle. Each fixture is a Silage program that once
+// exposed a real defect (see the comment header inside each file); the
+// oracle keeps them fixed forever.
+func TestRegressionFixtures(t *testing.T) {
+	paths, err := filepath.Glob(filepath.Join("..", "..", "testdata", "regress", "*.sil"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Fatal("no regression fixtures found under testdata/regress")
+	}
+	for _, path := range paths {
+		path := path
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			src := string(data)
+
+			// Frontend round-trip: the fixture parses, and its printed
+			// form is a printer/parser fixpoint (the if-operand printer
+			// bug lived exactly here).
+			funcs, err := silage.ParseFile(src)
+			if err != nil {
+				t.Fatalf("fixture does not parse: %v", err)
+			}
+			for _, f := range funcs {
+				printed := f.String()
+				f2, err := silage.Parse(printed)
+				if err != nil {
+					t.Fatalf("printed form does not reparse: %v\n%s", err, printed)
+				}
+				if f2.String() != printed {
+					t.Fatalf("print/parse not a fixpoint:\n%s\nvs\n%s", printed, f2.String())
+				}
+			}
+
+			// Full oracle across the standard test matrix.
+			rep := CheckSource(src, testMatrix(), rand.New(rand.NewSource(11)))
+			if !rep.OK() {
+				t.Fatalf("fixture diverges in stages %v: %+v", rep.Stages(), rep.Divergences)
+			}
+		})
+	}
+}

@@ -1,0 +1,397 @@
+// Package verify is the differential oracle of the cross-layer
+// verification harness. For one Silage source and a matrix of synthesis
+// configurations it checks every invariant the paper's claim rests on:
+//
+//   - schedule validity: the power managed and baseline schedules both
+//     satisfy precedence, budget and resource constraints (sched.Validate);
+//   - behavioral equivalence: the gated control-step executor computes the
+//     same outputs as the reference interpreter on every probe vector —
+//     power management must never change functionality;
+//   - RTL/gate-level equivalence: both generated chips (power managed and
+//     baseline) match the reference interpreter on shared random vectors
+//     (chip.CompareContext verifies every sample);
+//   - determinism: re-running Synthesize yields byte-identical schedules,
+//     VHDL and Verilog, and Sweep yields a byte-identical result table at
+//     every worker count — results may never depend on goroutine timing;
+//   - fingerprint integrity: equal requests hash equally and distinct
+//     configurations hash distinctly, so the pmsynthd cache can neither
+//     miss a dedup nor serve a stale result for a different request.
+//
+// The same oracle backs three entry points: the property tests in this
+// package (go test), the fuzz targets (go test -fuzz), and cmd/pmverify
+// (CI and the daemon's smoke step).
+package verify
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	pmsynth "repro"
+	"repro/internal/chip"
+	"repro/internal/sim"
+)
+
+// Matrix enumerates the configuration space the oracle exercises for one
+// design: (Order x Budget x workers), plus an optional pipelined point.
+type Matrix struct {
+	// BudgetSlack extends the budget axis to criticalPath..criticalPath+
+	// BudgetSlack (the paper's Table II walks exactly this axis).
+	BudgetSlack int
+	// Orders lists the mux processing orders to cross with every budget.
+	Orders []pmsynth.Order
+	// Workers lists the sweep worker counts whose result tables must be
+	// byte-identical (the determinism axis; 1 is the serial reference).
+	Workers []int
+	// Vectors is the number of behavioral probe vectors per point (the
+	// all-zeros and all-ones corners are always prepended).
+	Vectors int
+	// GateSamples is the number of gate-level vectors per point; 0
+	// disables the (expensive) netlist-simulation stage.
+	GateSamples int
+	// Pipeline adds a (budget=2*cp, II=cp) point when the critical path
+	// cp is at least 2, exercising paper §IV.B modulo scheduling.
+	Pipeline bool
+}
+
+// DefaultMatrix covers all three mux orders, two budgets of slack, serial
+// vs parallel sweeps, and a pipelined point.
+func DefaultMatrix() Matrix {
+	return Matrix{
+		BudgetSlack: 2,
+		Orders: []pmsynth.Order{
+			pmsynth.OrderOutputsFirst,
+			pmsynth.OrderInputsFirst,
+			pmsynth.OrderGreedyWeight,
+		},
+		Workers:     []int{1, 4},
+		Vectors:     16,
+		GateSamples: 6,
+		Pipeline:    true,
+	}
+}
+
+// Oracle stages, in pipeline order.
+const (
+	StageCompile     = "compile"
+	StageSynthesize  = "synthesize"
+	StageSchedule    = "schedule-valid"
+	StageBehavioral  = "behavioral"
+	StageGateLevel   = "gate-level"
+	StageDeterminism = "determinism"
+	StageSweep       = "sweep-determinism"
+	StageFingerprint = "fingerprint"
+)
+
+// Divergence is one oracle finding: an invariant that did not hold.
+type Divergence struct {
+	// Stage names the oracle stage that caught the divergence.
+	Stage string `json:"stage"`
+	// Point identifies the matrix point, e.g. "budget=3 ii=0
+	// order=outputs-first"; empty for whole-design stages.
+	Point string `json:"point,omitempty"`
+	// Detail is the human-readable mismatch description.
+	Detail string `json:"detail"`
+}
+
+// Report is the oracle outcome for one design.
+type Report struct {
+	// Seed is the generator seed when the harness produced the design;
+	// 0 for externally supplied sources.
+	Seed int64 `json:"seed"`
+	// Source is the checked Silage text.
+	Source string `json:"source"`
+	// CriticalPath is the design's minimum budget.
+	CriticalPath int `json:"critical_path"`
+	// Points is the number of matrix points evaluated.
+	Points int `json:"points"`
+	// Checks counts individual oracle assertions that ran.
+	Checks int `json:"checks"`
+	// Divergences lists every violated invariant (empty means PASS).
+	Divergences []Divergence `json:"divergences,omitempty"`
+}
+
+// OK reports whether every invariant held.
+func (r *Report) OK() bool { return len(r.Divergences) == 0 }
+
+// Stages returns the sorted set of stages that diverged.
+func (r *Report) Stages() []string {
+	set := map[string]bool{}
+	for _, d := range r.Divergences {
+		set[d.Stage] = true
+	}
+	out := make([]string, 0, len(set))
+	for s := range set {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (r *Report) addf(stage, point, format string, args ...interface{}) {
+	r.Divergences = append(r.Divergences, Divergence{
+		Stage: stage, Point: point, Detail: fmt.Sprintf(format, args...),
+	})
+}
+
+// point is one synthesis configuration under test.
+type point struct {
+	opt pmsynth.Options
+}
+
+func (p point) String() string {
+	return fmt.Sprintf("budget=%d ii=%d order=%s", p.opt.Budget, p.opt.II, p.opt.Order)
+}
+
+// CheckSource runs the full oracle on one source. rnd drives probe-vector
+// generation only — the checked artifacts are all deterministic. A nil
+// rnd uses a fixed seed, so CheckSource is reproducible by default.
+func CheckSource(src string, m Matrix, rnd *rand.Rand) *Report {
+	if rnd == nil {
+		rnd = rand.New(rand.NewSource(1))
+	}
+	rep := &Report{Source: src}
+
+	design, err := pmsynth.Compile(src)
+	rep.Checks++
+	if err != nil {
+		rep.addf(StageCompile, "", "compile: %v", err)
+		return rep
+	}
+	cp, err := pmsynth.CriticalPath(design)
+	if err != nil || cp < 0 {
+		rep.addf(StageCompile, "", "critical path: cp=%d err=%v", cp, err)
+		return rep
+	}
+	rep.CriticalPath = cp
+	// Wire-only designs (an output fed straight from an input, a constant
+	// or a shift) have cp=0 but still schedule at one step — the fuzz
+	// harness found exactly such programs, and they are legal.
+	base := cp
+	if base < 1 {
+		base = 1
+	}
+
+	points := enumerate(m, base)
+	rep.Points = len(points)
+
+	// Shared probe vectors: corner cases first, then random.
+	vectors := probeVectors(design, m.Vectors, rnd)
+	gateSeed := rnd.Int63()
+
+	fps := make(map[string]string, len(points)) // fingerprint -> point
+	for _, p := range points {
+		checkPoint(rep, design, src, p, vectors, m.GateSamples, gateSeed, fps)
+	}
+	checkSweep(rep, design, src, m, base)
+	return rep
+}
+
+// enumerate expands the matrix into concrete synthesis points.
+func enumerate(m Matrix, cp int) []point {
+	var out []point
+	orders := m.Orders
+	if len(orders) == 0 {
+		orders = []pmsynth.Order{pmsynth.OrderOutputsFirst}
+	}
+	for b := cp; b <= cp+m.BudgetSlack; b++ {
+		for _, o := range orders {
+			out = append(out, point{opt: pmsynth.Options{Budget: b, Order: o}})
+		}
+	}
+	if m.Pipeline && cp >= 2 {
+		out = append(out, point{opt: pmsynth.Options{Budget: 2 * cp, II: cp}})
+	}
+	return out
+}
+
+// probeVectors builds the shared behavioral input set: the all-zeros and
+// all-ones corners plus n random vectors. Widths above 63 clamp the draw
+// to the widest non-negative int64 word (the frontend admits num<64>, but
+// input words ride int64 throughout the flow).
+func probeVectors(d *pmsynth.Design, n int, rnd *rand.Rand) []map[string]int64 {
+	g := d.Graph
+	w := d.Width
+	if w > 63 {
+		w = 63
+	}
+	ones := int64(uint64(1)<<uint(w) - 1)
+	var out []map[string]int64
+	corner := func(v int64) map[string]int64 {
+		in := make(map[string]int64, len(g.Inputs()))
+		for _, id := range g.Inputs() {
+			in[g.Node(id).Name] = v
+		}
+		return in
+	}
+	out = append(out, corner(0), corner(ones))
+	for i := 0; i < n; i++ {
+		in := make(map[string]int64, len(g.Inputs()))
+		for _, id := range g.Inputs() {
+			in[g.Node(id).Name] = chip.RandomWord(rnd, d.Width)
+		}
+		out = append(out, in)
+	}
+	return out
+}
+
+// checkPoint runs every per-configuration stage at one matrix point.
+func checkPoint(rep *Report, design *pmsynth.Design, src string, p point,
+	vectors []map[string]int64, gateSamples int, gateSeed int64, fps map[string]string) {
+
+	pt := p.String()
+
+	syn, err := pmsynth.Synthesize(design, p.opt)
+	rep.Checks++
+	if err != nil {
+		rep.addf(StageSynthesize, pt, "synthesize: %v", err)
+		return
+	}
+
+	// Schedule validity: PM schedule under its own resource bag, and the
+	// baseline schedule under the baseline bag.
+	rep.Checks++
+	if err := syn.PM.Schedule.Validate(syn.PM.Resources); err != nil {
+		rep.addf(StageSchedule, pt, "PM schedule invalid: %v", err)
+	}
+	rep.Checks++
+	if syn.Flow != nil && syn.BaselineSchedule != nil {
+		if err := syn.BaselineSchedule.Validate(syn.Flow.BaselineResources); err != nil {
+			rep.addf(StageSchedule, pt, "baseline schedule invalid: %v", err)
+		}
+	}
+
+	// Behavioral equivalence on every probe vector: the gated PM schedule
+	// and the ungated baseline schedule must both reproduce the reference
+	// interpreter (the baseline check matters whenever the gate-level
+	// stage is disabled or skipped for width).
+	g := design.Graph
+	opt := sim.Options{Width: design.Width}
+	for i, in := range vectors {
+		rep.Checks++
+		want, err := sim.Evaluate(g, in, opt)
+		if err != nil {
+			rep.addf(StageBehavioral, pt, "reference eval failed on vector %d %v: %v", i, in, err)
+			continue
+		}
+		got, err := sim.ExecuteScheduled(syn.PM.Schedule, syn.PM.Guards, in, opt)
+		if err != nil {
+			rep.addf(StageBehavioral, pt, "gated execution failed on vector %d %v: %v", i, in, err)
+			continue
+		}
+		for k, v := range want {
+			if got.Outputs[k] != v {
+				rep.addf(StageBehavioral, pt,
+					"output %s mismatch on vector %d %v: gated %d, reference %d",
+					k, i, in, got.Outputs[k], v)
+			}
+		}
+		if syn.BaselineSchedule == nil {
+			continue
+		}
+		base, err := sim.ExecuteScheduled(syn.BaselineSchedule, nil, in, opt)
+		if err != nil {
+			rep.addf(StageBehavioral, pt, "baseline execution failed on vector %d %v: %v", i, in, err)
+			continue
+		}
+		for k, v := range want {
+			if base.Outputs[k] != v {
+				rep.addf(StageBehavioral, pt,
+					"output %s mismatch on vector %d %v: baseline %d, reference %d",
+					k, i, in, base.Outputs[k], v)
+			}
+		}
+	}
+
+	// Gate-level equivalence: CompareContext verifies both chips' outputs
+	// against the reference interpreter on every sample. Designs wider
+	// than the netlist builder supports stay behavioral-only.
+	if gateSamples > 0 && design.Width <= chip.MaxWidth {
+		rep.Checks++
+		grnd := rand.New(rand.NewSource(gateSeed ^ int64(p.opt.Budget)<<16 ^ int64(p.opt.Order)))
+		if _, err := syn.GateLevelReportRand(gateSamples, grnd); err != nil {
+			rep.addf(StageGateLevel, pt, "gate-level compare: %v", err)
+		}
+	}
+
+	// Determinism: a second synthesis must reproduce every artifact byte
+	// for byte.
+	rep.Checks++
+	syn2, err := pmsynth.Synthesize(design, p.opt)
+	if err != nil {
+		rep.addf(StageDeterminism, pt, "re-synthesize failed: %v", err)
+	} else {
+		if a, b := syn.PM.Schedule.String(), syn2.PM.Schedule.String(); a != b {
+			rep.addf(StageDeterminism, pt, "schedule differs across runs:\n%s\nvs\n%s", a, b)
+		}
+		if syn.Row() != syn2.Row() {
+			rep.addf(StageDeterminism, pt, "Table II row differs across runs: %v vs %v", syn.Row(), syn2.Row())
+		}
+		v1, err1 := syn.VHDL()
+		v2, err2 := syn2.VHDL()
+		if err1 != nil || err2 != nil {
+			rep.addf(StageDeterminism, pt, "VHDL emission failed: %v / %v", err1, err2)
+		} else if v1 != v2 {
+			rep.addf(StageDeterminism, pt, "VHDL differs across runs")
+		}
+		r1, err1 := syn.Verilog()
+		r2, err2 := syn2.Verilog()
+		if err1 != nil || err2 != nil {
+			rep.addf(StageDeterminism, pt, "Verilog emission failed: %v / %v", err1, err2)
+		} else if r1 != r2 {
+			rep.addf(StageDeterminism, pt, "Verilog differs across runs")
+		}
+	}
+
+	// Fingerprint integrity: stable under recomputation, distinct across
+	// distinct configurations of the same source.
+	rep.Checks++
+	fp := pmsynth.Fingerprint(src, p.opt)
+	if fp2 := pmsynth.Fingerprint(src, p.opt); fp != fp2 {
+		rep.addf(StageFingerprint, pt, "fingerprint unstable: %s vs %s", fp, fp2)
+	}
+	if prev, dup := fps[fp]; dup {
+		rep.addf(StageFingerprint, pt, "fingerprint collides with point %q: %s", prev, fp)
+	}
+	fps[fp] = pt
+}
+
+// checkSweep verifies that the sweep engine is worker-count invariant: the
+// rendered result table (and the spec fingerprint) must be byte-identical
+// at every worker count.
+func checkSweep(rep *Report, design *pmsynth.Design, src string, m Matrix, cp int) {
+	if len(m.Workers) == 0 {
+		return
+	}
+	spec := pmsynth.SweepSpec{
+		BudgetMin: cp,
+		BudgetMax: cp + m.BudgetSlack,
+		Orders:    m.Orders,
+	}
+	var refTable string
+	var refFP string
+	for i, w := range m.Workers {
+		spec.Workers = w
+		rep.Checks++
+		fp := pmsynth.SweepFingerprint(src, spec)
+		sr, err := pmsynth.Sweep(design, spec)
+		if err != nil {
+			rep.addf(StageSweep, fmt.Sprintf("workers=%d", w), "sweep failed: %v", err)
+			continue
+		}
+		table := sr.Table()
+		if i == 0 {
+			refTable, refFP = table, fp
+			continue
+		}
+		if table != refTable {
+			rep.addf(StageSweep, fmt.Sprintf("workers=%d", w),
+				"sweep table differs from workers=%d reference:\n%s\nvs\n%s",
+				m.Workers[0], table, refTable)
+		}
+		if fp != refFP {
+			rep.addf(StageFingerprint, fmt.Sprintf("workers=%d", w),
+				"SweepFingerprint depends on worker count: %s vs %s", fp, refFP)
+		}
+	}
+}

@@ -276,11 +276,10 @@ func (s *Synthesis) DumpVCDRand(samples int, rnd *rand.Rand, w io.Writer) error 
 			return err
 		}
 	}
-	limit := int64(1) << uint(s.Design.Width)
 	for i := 0; i < samples; i++ {
 		in := make(map[string]int64, len(g.Inputs()))
 		for _, id := range g.Inputs() {
-			in[g.Node(id).Name] = rnd.Int63n(limit)
+			in[g.Node(id).Name] = chip.RandomWord(rnd, s.Design.Width)
 		}
 		for name, v := range in {
 			if err := tb.SetInput(name, v); err != nil {
@@ -302,19 +301,11 @@ func (s *Synthesis) DumpVCDRand(samples int, rnd *rand.Rand, w io.Writer) error 
 // reference interpreter on n pseudo-random input vectors.
 func (s *Synthesis) Verify(n int, seed int64) error {
 	g := s.Design.Graph
-	rnd := seed
-	next := func() int64 {
-		rnd = rnd*6364136223846793005 + 1442695040888963407
-		v := rnd >> 33
-		if v < 0 {
-			v = -v
-		}
-		return v % (1 << uint(s.Design.Width))
-	}
+	rnd := rand.New(rand.NewSource(seed))
 	for i := 0; i < n; i++ {
 		in := make(map[string]int64)
 		for _, id := range g.Inputs() {
-			in[g.Node(id).Name] = next()
+			in[g.Node(id).Name] = chip.RandomWord(rnd, s.Design.Width)
 		}
 		want, err := sim.Evaluate(g, in, sim.Options{Width: s.Design.Width})
 		if err != nil {
