@@ -1,13 +1,19 @@
 // Command pmsynthd serves the power-management synthesis engine over
 // HTTP/JSON: one-shot synthesis with content-addressed caching and
 // singleflight deduplication, plus asynchronous design-space sweep jobs
-// with streamed progress. See internal/server for the API surface and
-// DESIGN.md ("Serving layer") for the architecture.
+// with streamed progress. Admission is backpressured: sweep jobs queue on
+// a bounded pending queue drained by a fixed worker pool, and submissions
+// beyond the queue capacity are shed with 429 + Retry-After. See
+// internal/server for the API surface and DESIGN.md ("Serving layer")
+// for the architecture.
 //
 // Usage:
 //
 //	pmsynthd [-addr 127.0.0.1:8357] [-cache-entries 1024]
-//	         [-job-workers 2] [-sweep-workers 0] [-job-ttl 1h]
+//	         [-design-cache-entries 256] [-job-workers 2]
+//	         [-max-pending-jobs 64] [-sweep-workers 0]
+//	         [-max-sweep-workers 0] [-job-ttl 1h] [-event-tail 256]
+//	         [-retry-after 1s]
 //
 // The process shuts down gracefully on SIGINT/SIGTERM: the listener stops
 // accepting, in-flight requests drain (bounded by -drain), and running
@@ -31,9 +37,14 @@ import (
 func main() {
 	addr := flag.String("addr", "127.0.0.1:8357", "listen address")
 	cacheEntries := flag.Int("cache-entries", 1024, "synthesize result cache capacity (entries)")
-	jobWorkers := flag.Int("job-workers", 2, "maximum concurrently running sweep jobs")
-	sweepWorkers := flag.Int("sweep-workers", 0, "flow workers per sweep job (0 = GOMAXPROCS)")
+	designCacheEntries := flag.Int("design-cache-entries", 256, "compiled-design cache capacity (entries), shared by synthesize and sweep")
+	jobWorkers := flag.Int("job-workers", 2, "fixed worker pool size for sweep jobs")
+	maxPendingJobs := flag.Int("max-pending-jobs", 64, "sweep admission queue depth; submissions beyond it get 429")
+	sweepWorkers := flag.Int("sweep-workers", 0, "default flow workers per sweep job (0 = GOMAXPROCS)")
+	maxSweepWorkers := flag.Int("max-sweep-workers", 0, "cap on client-requested flow workers per job (0 = GOMAXPROCS)")
 	jobTTL := flag.Duration("job-ttl", time.Hour, "how long finished jobs stay queryable")
+	eventTail := flag.Int("event-tail", 256, "retained progress events per job (older ticks coalesce)")
+	retryAfter := flag.Duration("retry-after", time.Second, "Retry-After hint on shed (429) sweep submissions")
 	drain := flag.Duration("drain", 10*time.Second, "graceful shutdown drain timeout")
 	flag.Parse()
 	if flag.NArg() != 0 {
@@ -43,10 +54,15 @@ func main() {
 	}
 
 	srv := server.New(server.Config{
-		CacheEntries: *cacheEntries,
-		JobWorkers:   *jobWorkers,
-		SweepWorkers: *sweepWorkers,
-		JobTTL:       *jobTTL,
+		CacheEntries:       *cacheEntries,
+		DesignCacheEntries: *designCacheEntries,
+		JobWorkers:         *jobWorkers,
+		MaxPendingJobs:     *maxPendingJobs,
+		SweepWorkers:       *sweepWorkers,
+		MaxSweepWorkers:    *maxSweepWorkers,
+		JobTTL:             *jobTTL,
+		EventTail:          *eventTail,
+		RetryAfter:         *retryAfter,
 	})
 	httpSrv := &http.Server{
 		Addr:              *addr,

@@ -16,6 +16,10 @@ package pmsynth
 //   - list-valued sweep axes are written in declaration order, because
 //     axis order is semantic — it fixes the enumeration order and hence
 //     Best's deterministic tie-breaking;
+//   - SweepSpec.Budgets additionally encodes *presence* (nil vs non-nil),
+//     because presence is semantic for that one field: a nil slice
+//     selects the BudgetMin/BudgetMax range while a non-nil empty slice
+//     is rejected by Enumerate, so the two must never hash alike (v2);
 //   - SweepSpec.Workers is excluded: the worker count never affects
 //     results, only wall-clock time.
 //
@@ -35,7 +39,10 @@ import (
 )
 
 // fingerprintVersion tags the canonical encoding; bump on any change.
-const fingerprintVersion = "pmsynth-fp/v1"
+// v2: SweepSpec.Budgets encodes slice presence, splitting nil (range
+// selector) from non-nil empty (rejected by Enumerate) — under v1 the two
+// hashed identically and a cached result for one could answer the other.
+const fingerprintVersion = "pmsynth-fp/v2"
 
 // Fingerprint returns the content-addressed identity of one synthesis
 // request: a stable hex SHA-256 of the source text and options. Equal
@@ -57,6 +64,9 @@ func SweepFingerprint(source string, spec SweepSpec) string {
 	fpString(h, fingerprintVersion)
 	fpString(h, "sweep")
 	fpString(h, source)
+	// Presence of Budgets is semantic, not just its contents: nil selects
+	// the BudgetMin/BudgetMax range, a non-nil empty slice is an error.
+	fpBool(h, spec.Budgets != nil)
 	fpInts(h, 'B', spec.Budgets)
 	fpInt(h, 'l', spec.BudgetMin)
 	fpInt(h, 'h', spec.BudgetMax)

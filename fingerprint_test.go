@@ -1,0 +1,62 @@
+package pmsynth
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestSweepFingerprintNilVsEmptyBudgets is the regression test for the
+// v1 → v2 encoding fix: Budgets: nil (which selects the
+// BudgetMin/BudgetMax range and succeeds) and Budgets: []int{} (which
+// Enumerate rejects) used to hash identically, so a cached or deduped
+// sweep result could be served for a semantically different request.
+// v2 encodes slice presence explicitly; the two must differ forever.
+func TestSweepFingerprintNilVsEmptyBudgets(t *testing.T) {
+	const src = "func f(a: num<8>) o: num<8> = begin o = a + 1; end"
+	ranged := SweepSpec{Budgets: nil, BudgetMin: 5, BudgetMax: 9}
+	empty := SweepSpec{Budgets: []int{}, BudgetMin: 5, BudgetMax: 9}
+
+	// The two specs really are semantically different: one enumerates,
+	// the other is rejected.
+	d := MustCompile(src)
+	if _, err := ranged.Enumerate(d); err != nil {
+		t.Fatalf("ranged spec must enumerate: %v", err)
+	}
+	if _, err := empty.Enumerate(d); err == nil {
+		t.Fatal("empty-Budgets spec must be rejected by Enumerate")
+	}
+
+	if fp1, fp2 := SweepFingerprint(src, ranged), SweepFingerprint(src, empty); fp1 == fp2 {
+		t.Fatalf("nil and empty Budgets collide: %s", fp1)
+	}
+}
+
+// TestFingerprintVersionIsV2 pins the version bump that accompanied the
+// presence-encoding change: any future layout change must bump again,
+// never reuse v2, and certainly never drift back to v1.
+func TestFingerprintVersionIsV2(t *testing.T) {
+	if fingerprintVersion != "pmsynth-fp/v2" {
+		t.Fatalf("fingerprintVersion = %q, want pmsynth-fp/v2 (bump, don't reuse, on layout changes)", fingerprintVersion)
+	}
+	if strings.Contains(fingerprintVersion, "v1") {
+		t.Fatal("fingerprint version regressed to v1")
+	}
+}
+
+// TestSweepFingerprintPresenceEncodingStable: the presence bit must not
+// disturb the properties v1 already guaranteed — equal specs hash
+// equally, and an explicit budget list is distinct from the equivalent
+// range form (list vs range is semantic: it changes how the request is
+// validated and extended).
+func TestSweepFingerprintPresenceEncodingStable(t *testing.T) {
+	const src = "func f(a: num<8>) o: num<8> = begin o = a + 1; end"
+	a := SweepSpec{Budgets: []int{5, 6, 7}}
+	b := SweepSpec{Budgets: []int{5, 6, 7}}
+	if SweepFingerprint(src, a) != SweepFingerprint(src, b) {
+		t.Fatal("identical specs hash differently")
+	}
+	r := SweepSpec{BudgetMin: 5, BudgetMax: 7}
+	if SweepFingerprint(src, a) == SweepFingerprint(src, r) {
+		t.Fatal("explicit budget list collides with the equivalent range")
+	}
+}

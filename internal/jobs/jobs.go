@@ -10,10 +10,14 @@
 //	    │           │  ╲──► failed
 //	    ╰───────────┴────► canceled
 //
-// Jobs run on a bounded worker pool: Submit never blocks, excess jobs
-// queue in the pending state. The manager is function-agnostic — it runs
-// any Func — so the synthesis layers stay out of its dependency cone and
-// it can be tested with microsecond workloads.
+// Jobs run on a fixed pool of worker goroutines draining a bounded
+// pending queue: Submit never blocks and never parks a goroutine per
+// queued job — it either enqueues (the job waits in the pending state
+// costing one queue slot, not a stack) or sheds the submission with
+// ErrQueueFull, which is the manager's backpressure signal to the
+// serving layer. The manager is function-agnostic — it runs any Func —
+// so the synthesis layers stay out of its dependency cone and it can be
+// tested with microsecond workloads.
 package jobs
 
 import (
@@ -26,6 +30,13 @@ import (
 	"sync/atomic"
 	"time"
 )
+
+// ErrQueueFull is returned by Submit when the bounded pending queue is at
+// capacity: the caller should shed load (HTTP 429) rather than buffer.
+var ErrQueueFull = errors.New("jobs: pending queue full")
+
+// ErrClosed is returned by Submit after Close.
+var ErrClosed = errors.New("jobs: manager closed")
 
 // State is a job lifecycle state.
 type State string
@@ -44,9 +55,12 @@ func (s State) Terminal() bool {
 	return s == StateSucceeded || s == StateFailed || s == StateCanceled
 }
 
-// Event is one entry of a job's ordered event log. Seq increases by one
+// Event is one entry of a job's ordered event log. Seq strictly increases
 // per event; progress events carry a strictly increasing Done counter, so
-// a streamed log is monotonic by construction.
+// a streamed log is monotonic by construction. The retained log is
+// bounded: only the most recent EventTail progress events are kept (the
+// high-water tail), so Seq values observed by a streaming client may have
+// gaps where older ticks were coalesced away.
 type Event struct {
 	Seq   int64     `json:"seq"`
 	Time  time.Time `json:"time"`
@@ -88,9 +102,22 @@ type Job struct {
 	total    int
 	err      error
 	result   interface{}
-	events   []Event
-	notify   chan struct{} // closed and replaced on every append
-	cancel   context.CancelFunc
+	// The event log, bounded: pre holds the created/started events, ring
+	// the trailing window of progress events (oldest at ringStart), term
+	// the terminal event. nextSeq numbers every event ever appended, so
+	// sequence numbers stay strictly increasing even as old progress
+	// events are coalesced out of the ring.
+	pre       []Event
+	ring      []Event
+	ringStart int
+	ringCap   int
+	term      *Event
+	coalesced int64
+	nextSeq   int64
+	notify    chan struct{} // closed and replaced on every append
+	cancel    context.CancelFunc
+	ctx       context.Context
+	fn        Func // cleared on finish so the closure's captures free early
 }
 
 // ID returns the job's identifier.
@@ -123,31 +150,71 @@ func (j *Job) Result() (val interface{}, err error, ok bool) {
 	return j.result, j.err, true
 }
 
-// EventsSince returns the events with Seq > seq, a channel that is closed
-// when further events arrive, and whether the log is complete (the job is
-// terminal and events holds its tail). Streaming clients loop: drain,
-// then wait on the channel unless done.
+// EventsSince returns the retained events with Seq > seq, a channel that
+// is closed when further events arrive, and whether the log is complete
+// (the job is terminal and events holds its tail). Streaming clients
+// loop: drain, then wait on the channel unless done. Progress events
+// older than the retained tail are gone — Done is a high-water mark, so
+// the tail alone still yields a monotonic stream.
 func (j *Job) EventsSince(seq int64) (events []Event, more <-chan struct{}, done bool) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	for i := range j.events {
-		if j.events[i].Seq > seq {
-			events = append(events, j.events[i])
+	for i := range j.pre {
+		if j.pre[i].Seq > seq {
+			events = append(events, j.pre[i])
 		}
+	}
+	n := len(j.ring)
+	for i := 0; i < n; i++ {
+		ev := j.ring[(j.ringStart+i)%n]
+		if ev.Seq > seq {
+			events = append(events, ev)
+		}
+	}
+	if j.term != nil && j.term.Seq > seq {
+		events = append(events, *j.term)
 	}
 	return events, j.notify, j.state.Terminal()
 }
 
-// append records an event under j.mu and wakes streamers.
+// EventCount reports how many events are retained and how many progress
+// ticks were coalesced out of the bounded ring.
+func (j *Job) EventCount() (retained int, coalesced int64) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	retained = len(j.pre) + len(j.ring)
+	if j.term != nil {
+		retained++
+	}
+	return retained, j.coalesced
+}
+
+// append records an event under j.mu and wakes streamers. Progress events
+// go to the bounded ring, overwriting the oldest retained tick once full;
+// lifecycle events are always retained.
 func (j *Job) append(typ string, now time.Time) {
+	j.nextSeq++
 	ev := Event{
-		Seq: int64(len(j.events)) + 1, Time: now, Type: typ,
+		Seq: j.nextSeq, Time: now, Type: typ,
 		Done: j.done, Total: j.total,
 	}
 	if j.err != nil {
 		ev.Err = j.err.Error()
 	}
-	j.events = append(j.events, ev)
+	switch typ {
+	case "progress":
+		if len(j.ring) < j.ringCap {
+			j.ring = append(j.ring, ev)
+		} else {
+			j.ring[j.ringStart] = ev
+			j.ringStart = (j.ringStart + 1) % len(j.ring)
+			j.coalesced++
+		}
+	case "created", "started":
+		j.pre = append(j.pre, ev)
+	default: // terminal: succeeded, failed, canceled
+		j.term = &ev
+	}
 	close(j.notify)
 	j.notify = make(chan struct{})
 }
@@ -168,25 +235,47 @@ func (j *Job) progress(done, total int) {
 	j.append("progress", time.Now())
 }
 
-// Manager owns the job table and the worker pool.
+// Manager owns the job table, the bounded pending queue and the worker
+// pool.
 type Manager struct {
 	mu          sync.Mutex
 	jobs        map[string]*Job
-	sem         chan struct{}
 	ttl         time.Duration
+	eventTail   int
 	base        context.Context
 	stop        context.CancelFunc
-	wg          sync.WaitGroup
+	wg          sync.WaitGroup // worker goroutines
 	janitorDone chan struct{}
+
+	// qmu guards the pending queue. A slice rather than a channel so
+	// Cancel can splice a canceled job out and reclaim its admission
+	// slot immediately, and so the pending gauge is exact (len under the
+	// lock, never transiently negative). wake carries at most one
+	// pending signal; dequeue re-signals while the queue is non-empty,
+	// so one buffered token is enough to chain every idle worker awake.
+	qmu        sync.Mutex
+	queue      []*Job
+	maxPending int
+	closed     bool
+	wake       chan struct{}
 
 	created   atomic.Int64
 	completed atomic.Int64
+	rejected  atomic.Int64
 }
 
 // Config parameterizes a Manager.
 type Config struct {
-	// Workers bounds how many jobs run concurrently; <= 0 means 1.
+	// Workers is the fixed worker-pool size — how many jobs run
+	// concurrently; <= 0 means 1.
 	Workers int
+	// MaxPending bounds the admission queue of jobs waiting for a
+	// worker; <= 0 means 64. Submit returns ErrQueueFull beyond it.
+	MaxPending int
+	// EventTail bounds the retained progress events per job; <= 0 means
+	// 256. Older ticks are coalesced away (Done is a high-water mark, so
+	// streams stay monotonic); lifecycle events are always retained.
+	EventTail int
 	// TTL is how long finished jobs stay queryable; <= 0 means 1 hour.
 	TTL time.Duration
 	// GCInterval is how often the janitor sweeps; <= 0 means TTL/4
@@ -194,11 +283,17 @@ type Config struct {
 	GCInterval time.Duration
 }
 
-// NewManager starts a manager with its janitor goroutine. Call Close to
-// stop it.
+// NewManager starts a manager: its fixed worker pool and its janitor
+// goroutine. Call Close to stop it.
 func NewManager(cfg Config) *Manager {
 	if cfg.Workers <= 0 {
 		cfg.Workers = 1
+	}
+	if cfg.MaxPending <= 0 {
+		cfg.MaxPending = 64
+	}
+	if cfg.EventTail <= 0 {
+		cfg.EventTail = 256
 	}
 	if cfg.TTL <= 0 {
 		cfg.TTL = time.Hour
@@ -212,58 +307,141 @@ func NewManager(cfg Config) *Manager {
 	base, stop := context.WithCancel(context.Background())
 	m := &Manager{
 		jobs:        make(map[string]*Job),
-		sem:         make(chan struct{}, cfg.Workers),
+		maxPending:  cfg.MaxPending,
+		wake:        make(chan struct{}, 1),
 		ttl:         cfg.TTL,
+		eventTail:   cfg.EventTail,
 		base:        base,
 		stop:        stop,
 		janitorDone: make(chan struct{}),
+	}
+	m.wg.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go m.worker()
 	}
 	go m.janitor(cfg.GCInterval)
 	return m
 }
 
-// Submit registers and asynchronously runs a job. total may be 0 when the
-// amount of work is unknown up front; progress ticks refine it.
-func (m *Manager) Submit(name string, total int, fn Func) *Job {
+// Submit registers a job on the pending queue, to be picked up by the
+// next free worker. It never blocks: when the queue is full the job is
+// shed with ErrQueueFull and nothing is retained. total may be 0 when
+// the amount of work is unknown up front; progress ticks refine it.
+func (m *Manager) Submit(name string, total int, fn Func) (*Job, error) {
 	ctx, cancel := context.WithCancel(m.base)
 	now := time.Now()
 	j := &Job{
 		id: newID(), name: name, state: StatePending,
-		created: now, total: total,
+		created: now, total: total, ringCap: m.eventTail,
 		notify: make(chan struct{}),
-		cancel: cancel,
+		cancel: cancel, ctx: ctx, fn: fn,
 	}
 	j.append("created", now)
+
+	// Admission is decided under qmu — the same lock Close takes to mark
+	// the manager closed and drain stragglers — so a submission either
+	// lands before the drain (and is finalized by it) or observes closed.
+	m.qmu.Lock()
+	if m.closed {
+		m.qmu.Unlock()
+		cancel()
+		return nil, ErrClosed
+	}
+	if len(m.queue) >= m.maxPending {
+		m.qmu.Unlock()
+		cancel()
+		m.rejected.Add(1)
+		return nil, ErrQueueFull
+	}
+	m.queue = append(m.queue, j)
+	m.qmu.Unlock()
 
 	m.mu.Lock()
 	m.jobs[j.id] = j
 	m.mu.Unlock()
 	m.created.Add(1)
+	m.signal()
+	return j, nil
+}
 
-	m.wg.Add(1)
-	go m.run(ctx, j, fn)
+// signal leaves at most one pending wake token for the workers.
+func (m *Manager) signal() {
+	select {
+	case m.wake <- struct{}{}:
+	default:
+	}
+}
+
+// dequeue pops the oldest pending job, re-arming the wake token while
+// work remains so sibling workers chain awake. Returns nil when empty.
+func (m *Manager) dequeue() *Job {
+	m.qmu.Lock()
+	defer m.qmu.Unlock()
+	if len(m.queue) == 0 {
+		return nil
+	}
+	j := m.queue[0]
+	m.queue = m.queue[1:]
+	if len(m.queue) > 0 {
+		m.signal()
+	}
 	return j
 }
 
-// run waits for a worker slot, executes fn, and finalizes the job.
-func (m *Manager) run(ctx context.Context, j *Job, fn Func) {
+// removeQueued splices a still-queued job out of the pending queue,
+// reclaiming its admission slot. Returns false when the job was already
+// dequeued (a worker owns it).
+func (m *Manager) removeQueued(target *Job) bool {
+	m.qmu.Lock()
+	defer m.qmu.Unlock()
+	for i, j := range m.queue {
+		if j == target {
+			m.queue = append(m.queue[:i], m.queue[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// worker drains the pending queue until the manager closes.
+func (m *Manager) worker() {
 	defer m.wg.Done()
+	for {
+		if j := m.dequeue(); j != nil {
+			m.run(j)
+			continue
+		}
+		select {
+		case <-m.wake:
+		case <-m.base.Done():
+			return
+		}
+	}
+}
+
+// run executes one dequeued job and finalizes it. Jobs canceled while
+// queued never run their Func.
+func (m *Manager) run(j *Job) {
 	// Release the job's context child from the manager's base context
 	// even on normal completion; otherwise every finished job would stay
 	// registered there until Close, growing the daemon's memory forever.
 	defer j.cancel()
-	select {
-	case m.sem <- struct{}{}:
-		defer func() { <-m.sem }()
-	case <-ctx.Done():
-		// Canceled while queued: never ran.
-		m.finish(j, nil, ctx.Err())
+	j.mu.Lock()
+	if j.state.Terminal() {
+		// Canceled while queued and already finalized by Cancel.
+		j.mu.Unlock()
 		return
 	}
-	j.mu.Lock()
+	if j.ctx.Err() != nil {
+		// Canceled while queued (manager shutdown): never ran.
+		j.mu.Unlock()
+		m.finish(j, nil, context.Canceled)
+		return
+	}
 	j.state = StateRunning
 	j.started = time.Now()
 	j.append("started", j.started)
+	ctx, fn := j.ctx, j.fn
 	j.mu.Unlock()
 
 	val, err := fn(ctx, j.progress)
@@ -276,11 +454,19 @@ func (m *Manager) run(ctx context.Context, j *Job, fn Func) {
 // finish drives the job to its terminal state and appends the terminal
 // event.
 func (m *Manager) finish(j *Job, val interface{}, err error) {
+	m.finalize(j, val, err, false)
+}
+
+// finalize is the single terminal transition. With onlyPending it is a
+// no-op unless the job is still queued — that is how Cancel finalizes a
+// pending job promptly without racing a worker that just started it.
+func (m *Manager) finalize(j *Job, val interface{}, err error, onlyPending bool) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	if j.state.Terminal() {
+	if j.state.Terminal() || (onlyPending && j.state != StatePending) {
 		return
 	}
+	j.fn = nil
 	j.finished = time.Now()
 	switch {
 	case err == nil:
@@ -314,8 +500,11 @@ func (m *Manager) Get(id string) (*Job, bool) {
 }
 
 // Cancel requests cancellation of a pending or running job. It returns
-// false when the job does not exist or is already terminal. The state
-// flips to canceled once the job's function returns.
+// false when the job does not exist or is already terminal. A job still
+// on the pending queue is spliced out and finalized immediately — its
+// Func never runs and its admission slot frees right away, so canceling
+// queued work relieves backpressure without waiting for a worker; a
+// running job flips to canceled once its function returns.
 func (m *Manager) Cancel(id string) bool {
 	j, ok := m.Get(id)
 	if !ok {
@@ -323,11 +512,19 @@ func (m *Manager) Cancel(id string) bool {
 	}
 	j.mu.Lock()
 	terminal := j.state.Terminal()
+	pending := j.state == StatePending
 	j.mu.Unlock()
 	if terminal {
 		return false
 	}
 	j.cancel()
+	if pending {
+		m.removeQueued(j)
+		// Runs even when the splice missed (a worker dequeued the job in
+		// the meantime): finalize is a no-op unless the job is still
+		// pending, so it can never clobber a run the worker started.
+		m.finalize(j, nil, context.Canceled, true)
+	}
 	return true
 }
 
@@ -355,6 +552,16 @@ func (m *Manager) List() []Info {
 // Counters reports how many jobs were ever created and completed.
 func (m *Manager) Counters() (created, completed int64) {
 	return m.created.Load(), m.completed.Load()
+}
+
+// QueueStats reports the admission queue: jobs currently waiting for a
+// worker, the queue capacity, and how many submissions were shed with
+// ErrQueueFull.
+func (m *Manager) QueueStats() (pending, capacity int, rejected int64) {
+	m.qmu.Lock()
+	pending = len(m.queue)
+	m.qmu.Unlock()
+	return pending, m.maxPending, m.rejected.Load()
 }
 
 // janitor periodically garbage-collects expired jobs until Close.
@@ -390,11 +597,24 @@ func (m *Manager) gc(now time.Time) int {
 	return n
 }
 
-// Close cancels every job, waits for the pool to drain, and stops the
-// janitor.
+// Close refuses new submissions, cancels every job, waits for the
+// workers to exit, finalizes whatever was still queued, and stops the
+// janitor. The closed flag flips under qmu before anything else, so a
+// racing Submit either gets ErrClosed or lands in the queue this drain
+// finalizes — no job can be stranded pending.
 func (m *Manager) Close() {
+	m.qmu.Lock()
+	m.closed = true
+	m.qmu.Unlock()
 	m.stop()
 	m.wg.Wait()
+	m.qmu.Lock()
+	rest := m.queue
+	m.queue = nil
+	m.qmu.Unlock()
+	for _, j := range rest {
+		m.finish(j, nil, context.Canceled)
+	}
 	<-m.janitorDone
 }
 

@@ -3,6 +3,7 @@ package jobs
 import (
 	"context"
 	"errors"
+	"runtime"
 	"testing"
 	"time"
 )
@@ -11,9 +12,30 @@ import (
 // test and closes it on cleanup.
 func newTestManager(t *testing.T, workers int) *Manager {
 	t.Helper()
-	m := NewManager(Config{Workers: workers, TTL: time.Hour, GCInterval: time.Hour})
+	return newTestManagerCfg(t, Config{Workers: workers, TTL: time.Hour, GCInterval: time.Hour})
+}
+
+func newTestManagerCfg(t *testing.T, cfg Config) *Manager {
+	t.Helper()
+	if cfg.TTL == 0 {
+		cfg.TTL = time.Hour
+	}
+	if cfg.GCInterval == 0 {
+		cfg.GCInterval = time.Hour
+	}
+	m := NewManager(cfg)
 	t.Cleanup(m.Close)
 	return m
+}
+
+// submit is Submit with the queue-full path treated as a test failure.
+func submit(t *testing.T, m *Manager, name string, total int, fn Func) *Job {
+	t.Helper()
+	j, err := m.Submit(name, total, fn)
+	if err != nil {
+		t.Fatalf("Submit(%s): %v", name, err)
+	}
+	return j
 }
 
 // waitTerminal polls until the job reaches a terminal state.
@@ -32,7 +54,7 @@ func waitTerminal(t *testing.T, j *Job) Info {
 
 func TestJobLifecycleSucceeds(t *testing.T) {
 	m := newTestManager(t, 2)
-	j := m.Submit("ok", 3, func(ctx context.Context, progress func(int, int)) (interface{}, error) {
+	j := submit(t, m, "ok", 3, func(ctx context.Context, progress func(int, int)) (interface{}, error) {
 		for i := 1; i <= 3; i++ {
 			progress(i, 3)
 		}
@@ -54,7 +76,7 @@ func TestJobLifecycleSucceeds(t *testing.T) {
 func TestJobFailure(t *testing.T) {
 	m := newTestManager(t, 1)
 	boom := errors.New("boom")
-	j := m.Submit("bad", 0, func(ctx context.Context, progress func(int, int)) (interface{}, error) {
+	j := submit(t, m, "bad", 0, func(ctx context.Context, progress func(int, int)) (interface{}, error) {
 		return nil, boom
 	})
 	info := waitTerminal(t, j)
@@ -69,7 +91,7 @@ func TestJobFailure(t *testing.T) {
 func TestCancelRunningJob(t *testing.T) {
 	m := newTestManager(t, 1)
 	started := make(chan struct{})
-	j := m.Submit("slow", 0, func(ctx context.Context, progress func(int, int)) (interface{}, error) {
+	j := submit(t, m, "slow", 0, func(ctx context.Context, progress func(int, int)) (interface{}, error) {
 		close(started)
 		<-ctx.Done()
 		return nil, ctx.Err()
@@ -91,7 +113,7 @@ func TestQueuedJobWaitsForWorkerSlot(t *testing.T) {
 	m := newTestManager(t, 1)
 	release := make(chan struct{})
 	started := make(chan struct{})
-	first := m.Submit("hog", 0, func(ctx context.Context, progress func(int, int)) (interface{}, error) {
+	first := submit(t, m, "hog", 0, func(ctx context.Context, progress func(int, int)) (interface{}, error) {
 		close(started)
 		select {
 		case <-release:
@@ -99,14 +121,14 @@ func TestQueuedJobWaitsForWorkerSlot(t *testing.T) {
 		}
 		return nil, nil
 	})
-	// Submission order does not assign worker slots — acquisition does —
-	// so only submit the second job once the hog owns the slot.
+	// Submission order does not assign workers — dequeue order does — so
+	// only submit the second job once the hog owns the only worker.
 	<-started
-	second := m.Submit("queued", 0, func(ctx context.Context, progress func(int, int)) (interface{}, error) {
+	second := submit(t, m, "queued", 0, func(ctx context.Context, progress func(int, int)) (interface{}, error) {
 		return nil, nil
 	})
 	// With one worker the second job must sit in pending while the first
-	// holds the slot.
+	// holds the worker.
 	time.Sleep(20 * time.Millisecond)
 	if st := second.Snapshot().State; st != StatePending {
 		t.Fatalf("queued job state = %s, want pending", st)
@@ -125,7 +147,7 @@ func TestCancelQueuedJob(t *testing.T) {
 	release := make(chan struct{})
 	defer close(release)
 	started := make(chan struct{})
-	m.Submit("hog", 0, func(ctx context.Context, progress func(int, int)) (interface{}, error) {
+	submit(t, m, "hog", 0, func(ctx context.Context, progress func(int, int)) (interface{}, error) {
 		close(started)
 		select {
 		case <-release:
@@ -135,7 +157,7 @@ func TestCancelQueuedJob(t *testing.T) {
 	})
 	<-started
 	ran := false
-	queued := m.Submit("victim", 0, func(ctx context.Context, progress func(int, int)) (interface{}, error) {
+	queued := submit(t, m, "victim", 0, func(ctx context.Context, progress func(int, int)) (interface{}, error) {
 		ran = true
 		return nil, nil
 	})
@@ -143,6 +165,8 @@ func TestCancelQueuedJob(t *testing.T) {
 	if !m.Cancel(queued.ID()) {
 		t.Fatal("Cancel returned false for a queued job")
 	}
+	// A queued job is finalized promptly — the hog still owns the only
+	// worker, so this proves Cancel does not wait for a dequeue.
 	info := waitTerminal(t, queued)
 	if info.State != StateCanceled {
 		t.Fatalf("state = %s, want canceled", info.State)
@@ -152,9 +176,136 @@ func TestCancelQueuedJob(t *testing.T) {
 	}
 }
 
+// TestSubmitShedsWhenQueueFull pins the backpressure contract: with the
+// single worker occupied and the pending queue at capacity, Submit sheds
+// with ErrQueueFull instead of buffering, and the shed submission leaves
+// no trace in the job table.
+func TestSubmitShedsWhenQueueFull(t *testing.T) {
+	m := newTestManagerCfg(t, Config{Workers: 1, MaxPending: 2})
+	release := make(chan struct{})
+	defer close(release)
+	started := make(chan struct{})
+	submit(t, m, "hog", 0, func(ctx context.Context, progress func(int, int)) (interface{}, error) {
+		close(started)
+		select {
+		case <-release:
+		case <-ctx.Done():
+		}
+		return nil, nil
+	})
+	<-started
+	noop := func(ctx context.Context, progress func(int, int)) (interface{}, error) { return nil, nil }
+	submit(t, m, "queued-0", 0, noop)
+	queued2 := submit(t, m, "queued-last", 0, noop)
+	shed, err := m.Submit("over", 0, noop)
+	if !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("Submit over capacity = %v, %v; want ErrQueueFull", shed, err)
+	}
+	if shed != nil {
+		t.Fatal("shed submission returned a job")
+	}
+	if n := len(m.List()); n != 3 {
+		t.Fatalf("job table holds %d jobs after shed, want 3", n)
+	}
+	pending, capacity, rejected := m.QueueStats()
+	if pending != 2 || capacity != 2 || rejected != 1 {
+		t.Fatalf("QueueStats = %d, %d, %d; want 2, 2, 1", pending, capacity, rejected)
+	}
+
+	// Canceling a queued job reclaims its admission slot immediately —
+	// backpressure must be relieved by cancellation, not only by workers
+	// eventually draining dead entries.
+	if !m.Cancel(queued2.ID()) {
+		t.Fatal("Cancel returned false for a queued job")
+	}
+	if pending, _, _ := m.QueueStats(); pending != 1 {
+		t.Fatalf("pending = %d after canceling a queued job, want 1", pending)
+	}
+	readmitted, err := m.Submit("readmitted", 0, noop)
+	if err != nil {
+		t.Fatalf("Submit after cancel freed a slot: %v", err)
+	}
+	if st := readmitted.Snapshot().State; st != StatePending {
+		t.Fatalf("readmitted job state = %s, want pending", st)
+	}
+}
+
+// TestNoGoroutinePerPendingJob pins the tentpole resource property: a
+// deep pending queue must not park one goroutine per queued job. The old
+// design spawned a goroutine per Submit; with a fixed worker pool the
+// goroutine count stays flat no matter how many jobs wait.
+func TestNoGoroutinePerPendingJob(t *testing.T) {
+	m := newTestManagerCfg(t, Config{Workers: 1, MaxPending: 256})
+	release := make(chan struct{})
+	started := make(chan struct{})
+	submit(t, m, "hog", 0, func(ctx context.Context, progress func(int, int)) (interface{}, error) {
+		close(started)
+		select {
+		case <-release:
+		case <-ctx.Done():
+		}
+		return nil, nil
+	})
+	<-started
+	before := runtime.NumGoroutine()
+	const queued = 200
+	jobs := make([]*Job, 0, queued)
+	for i := 0; i < queued; i++ {
+		jobs = append(jobs, submit(t, m, "parked", 0,
+			func(ctx context.Context, progress func(int, int)) (interface{}, error) { return nil, nil }))
+	}
+	after := runtime.NumGoroutine()
+	if grew := after - before; grew > queued/10 {
+		t.Fatalf("goroutines grew by %d for %d pending jobs (goroutine-per-job regression?)", grew, queued)
+	}
+	close(release)
+	for _, j := range jobs {
+		if info := waitTerminal(t, j); info.State != StateSucceeded {
+			t.Fatalf("queued job = %+v", info)
+		}
+	}
+}
+
+// TestCloseCancelsQueuedJobs: shutdown must not strand pending jobs in a
+// non-terminal state.
+func TestCloseCancelsQueuedJobs(t *testing.T) {
+	m := NewManager(Config{Workers: 1, MaxPending: 8, TTL: time.Hour, GCInterval: time.Hour})
+	started := make(chan struct{})
+	hog, err := m.Submit("hog", 0, func(ctx context.Context, progress func(int, int)) (interface{}, error) {
+		close(started)
+		<-ctx.Done()
+		return nil, ctx.Err()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	var queued []*Job
+	for i := 0; i < 4; i++ {
+		j, err := m.Submit("queued", 0, func(ctx context.Context, progress func(int, int)) (interface{}, error) {
+			return nil, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		queued = append(queued, j)
+	}
+	m.Close()
+	for _, j := range append(queued, hog) {
+		if st := j.Snapshot().State; st != StateCanceled {
+			t.Fatalf("job %s after Close: state %s, want canceled", j.ID(), st)
+		}
+	}
+	if _, err := m.Submit("late", 0, func(ctx context.Context, progress func(int, int)) (interface{}, error) {
+		return nil, nil
+	}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Submit after Close = %v, want ErrClosed", err)
+	}
+}
+
 func TestEventLogMonotonicAndStreamable(t *testing.T) {
 	m := newTestManager(t, 4)
-	j := m.Submit("noisy", 5, func(ctx context.Context, progress func(int, int)) (interface{}, error) {
+	j := submit(t, m, "noisy", 5, func(ctx context.Context, progress func(int, int)) (interface{}, error) {
 		// Out-of-order and duplicate ticks: the log must stay monotonic.
 		progress(2, 5)
 		progress(1, 5)
@@ -205,13 +356,76 @@ func TestEventLogMonotonicAndStreamable(t *testing.T) {
 	}
 }
 
-func TestTTLGarbageCollection(t *testing.T) {
-	m := newTestManager(t, 1)
-	j := m.Submit("ephemeral", 0, func(ctx context.Context, progress func(int, int)) (interface{}, error) {
+// TestEventLogBounded pins the memory property the bounded ring buys: a
+// job emitting far more progress ticks than the tail keeps only the tail
+// (plus lifecycle events), the retained stream is still strictly
+// monotonic in both Seq and Done, and it still ends with the terminal
+// event carrying the final count.
+func TestEventLogBounded(t *testing.T) {
+	const tail = 8
+	const ticks = 10_000
+	m := newTestManagerCfg(t, Config{Workers: 1, EventTail: tail})
+	j := submit(t, m, "firehose", ticks, func(ctx context.Context, progress func(int, int)) (interface{}, error) {
+		for i := 1; i <= ticks; i++ {
+			progress(i, ticks)
+		}
 		return nil, nil
 	})
 	waitTerminal(t, j)
-	live := m.Submit("running", 0, func(ctx context.Context, progress func(int, int)) (interface{}, error) {
+
+	retained, coalesced := j.EventCount()
+	// created + started + tail progress events + terminal.
+	if want := tail + 3; retained != want {
+		t.Fatalf("retained %d events after %d ticks, want %d", retained, ticks, want)
+	}
+	if coalesced != ticks-tail {
+		t.Fatalf("coalesced = %d, want %d", coalesced, ticks-tail)
+	}
+
+	events, _, done := j.EventsSince(0)
+	if !done {
+		t.Fatal("terminal job reported incomplete log")
+	}
+	if len(events) != retained {
+		t.Fatalf("EventsSince(0) returned %d events, retained %d", len(events), retained)
+	}
+	lastSeq, lastDone := int64(0), -1
+	for _, ev := range events {
+		if ev.Seq <= lastSeq {
+			t.Fatalf("seq regressed in bounded log: %+v", events)
+		}
+		lastSeq = ev.Seq
+		if ev.Type == "progress" {
+			if ev.Done <= lastDone {
+				t.Fatalf("done regressed in bounded log: %+v", events)
+			}
+			lastDone = ev.Done
+		}
+	}
+	final := events[len(events)-1]
+	if final.Type != string(StateSucceeded) || final.Done != ticks {
+		t.Fatalf("final event = %+v, want succeeded %d/%d", final, ticks, ticks)
+	}
+	// The retained progress window is the most recent tail, not the oldest.
+	var firstProgress Event
+	for _, ev := range events {
+		if ev.Type == "progress" {
+			firstProgress = ev
+			break
+		}
+	}
+	if firstProgress.Done != ticks-tail+1 {
+		t.Fatalf("oldest retained progress = %d, want %d (high-water tail)", firstProgress.Done, ticks-tail+1)
+	}
+}
+
+func TestTTLGarbageCollection(t *testing.T) {
+	m := newTestManager(t, 1)
+	j := submit(t, m, "ephemeral", 0, func(ctx context.Context, progress func(int, int)) (interface{}, error) {
+		return nil, nil
+	})
+	waitTerminal(t, j)
+	live := submit(t, m, "running", 0, func(ctx context.Context, progress func(int, int)) (interface{}, error) {
 		<-ctx.Done()
 		return nil, ctx.Err()
 	})
@@ -236,7 +450,7 @@ func TestListOrder(t *testing.T) {
 	m := newTestManager(t, 4)
 	var ids []string
 	for i := 0; i < 3; i++ {
-		j := m.Submit("n", 0, func(ctx context.Context, progress func(int, int)) (interface{}, error) {
+		j := submit(t, m, "n", 0, func(ctx context.Context, progress func(int, int)) (interface{}, error) {
 			return nil, nil
 		})
 		ids = append(ids, j.ID())

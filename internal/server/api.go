@@ -85,6 +85,11 @@ type SweepCreatedResponse struct {
 	Total int `json:"total"`
 	// Fingerprint is the content-addressed sweep identity.
 	Fingerprint string `json:"fingerprint"`
+	// Workers is the effective flow worker count the job will run with,
+	// after the server clamp (omitted on deduped responses — the live
+	// job's worker count was fixed at its own admission). Workers never
+	// affects results, only wall-clock time.
+	Workers int `json:"workers,omitempty"`
 	// Deduped reports that an identical live job already existed and
 	// was returned instead of starting a new one.
 	Deduped bool `json:"deduped,omitempty"`

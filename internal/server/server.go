@@ -13,18 +13,32 @@
 //	GET  /healthz              liveness
 //	GET  /metrics              Prometheus-style counters
 //
-// Identical requests collapse: synthesize responses are cached under the
-// request fingerprint (and concurrent identical misses run one synthesis,
-// courtesy of the cache's singleflight), while sweep submissions whose
-// fingerprint matches a live job return that job instead of starting a
-// second one.
+// Identical requests collapse at two levels. Sources collapse in a shared
+// compiled-design cache (content-addressed on the source text, singleflight)
+// used by both POST endpoints, so the same source compiles once no matter
+// how many synthesize and sweep requests race. Whole requests collapse on
+// their fingerprints: synthesize responses are cached under the request
+// fingerprint (concurrent identical misses run one synthesis), and sweep
+// submissions whose fingerprint matches a live job join that job instead of
+// starting a second one.
+//
+// Admission is lock-free in the sense that matters for availability: no
+// client-controlled work (Compile, Enumerate) ever runs under the server
+// mutex, so one slow or hostile submission cannot head-of-line block the
+// others. Sweep jobs queue on a bounded admission queue; beyond its
+// capacity submissions are shed with 429 + Retry-After instead of piling
+// up unboundedly.
 package server
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
+	"runtime"
 	"sort"
 	"strconv"
 	"sync"
@@ -40,18 +54,44 @@ import (
 type Config struct {
 	// CacheEntries bounds the synthesize result cache; <= 0 means 1024.
 	CacheEntries int
-	// JobWorkers bounds concurrently running sweep jobs; <= 0 means 2.
+	// DesignCacheEntries bounds the shared compiled-design cache used by
+	// both the synthesize and sweep paths; <= 0 means 256.
+	DesignCacheEntries int
+	// JobWorkers is the fixed pool of workers running sweep jobs;
+	// <= 0 means 2.
 	JobWorkers int
+	// MaxPendingJobs bounds the sweep admission queue — jobs accepted but
+	// not yet running; <= 0 means 64. Submissions beyond it are shed with
+	// 429 + Retry-After.
+	MaxPendingJobs int
 	// SweepWorkers bounds the flow worker pool inside one sweep job;
 	// <= 0 means GOMAXPROCS. It never changes results.
 	SweepWorkers int
+	// MaxSweepWorkers caps the client-supplied SweepRequest Workers value;
+	// <= 0 means max(GOMAXPROCS, SweepWorkers). The cap never changes
+	// results (Workers is excluded from the fingerprint), only how much
+	// concurrency one request can demand.
+	MaxSweepWorkers int
 	// JobTTL is how long finished jobs stay queryable; <= 0 means 1h.
 	JobTTL time.Duration
+	// EventTail bounds the retained progress events per job; <= 0 means
+	// the jobs package default (256).
+	EventTail int
 	// MaxSweepConfigs rejects sweep submissions that would enumerate
 	// more configurations than this; <= 0 means 65536. The library has
 	// no such limit — this is the network-facing guard against a single
 	// request sizing an allocation the process cannot survive.
 	MaxSweepConfigs int
+	// RetryAfter is the backpressure hint attached to shed submissions
+	// (the Retry-After header on 429 responses); <= 0 means 1s.
+	RetryAfter time.Duration
+	// CompileHook, when non-nil, runs inside the design cache's
+	// singleflight compute immediately before the compiler — exactly one
+	// call per actual compile, on the computing goroutine, never under
+	// the server mutex. It is the test and instrumentation seam: the
+	// head-of-line regression test injects a blocking compile here and
+	// the dedup tests count compiles through it.
+	CompileHook func(source string)
 }
 
 // maxBudget bounds any requested control-step budget. Schedules allocate
@@ -68,18 +108,23 @@ type synthResult struct {
 
 // Server is the pmsynthd HTTP API.
 type Server struct {
-	cfg   Config
-	cache *cache.Cache[*synthResult]
-	jobs  *jobs.Manager
-	mux   *http.ServeMux
-	start time.Time
+	cfg     Config
+	cache   *cache.Cache[*synthResult]
+	designs *cache.Cache[*pmsynth.Design]
+	jobs    *jobs.Manager
+	mux     *http.ServeMux
+	start   time.Time
 
-	// sweepByFP deduplicates live sweep jobs by fingerprint.
+	// mu guards only the sweep dedup index. The invariant the admission
+	// pipeline preserves: no client-controlled work — Compile, Enumerate,
+	// synthesis — ever runs while mu is held; critical sections are map
+	// lookups and inserts only.
 	mu        sync.Mutex
 	sweepByFP map[string]string // fingerprint -> job id
 
 	synthRequests atomic.Int64
 	sweepRequests atomic.Int64
+	sweepSheds    atomic.Int64
 }
 
 // New builds a server. Call Close to stop its job manager.
@@ -87,16 +132,37 @@ func New(cfg Config) *Server {
 	if cfg.CacheEntries <= 0 {
 		cfg.CacheEntries = 1024
 	}
+	if cfg.DesignCacheEntries <= 0 {
+		cfg.DesignCacheEntries = 256
+	}
 	if cfg.JobWorkers <= 0 {
 		cfg.JobWorkers = 2
+	}
+	if cfg.MaxPendingJobs <= 0 {
+		cfg.MaxPendingJobs = 64
 	}
 	if cfg.MaxSweepConfigs <= 0 {
 		cfg.MaxSweepConfigs = 65536
 	}
+	if cfg.MaxSweepWorkers <= 0 {
+		cfg.MaxSweepWorkers = runtime.GOMAXPROCS(0)
+		if cfg.SweepWorkers > cfg.MaxSweepWorkers {
+			cfg.MaxSweepWorkers = cfg.SweepWorkers
+		}
+	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = time.Second
+	}
 	s := &Server{
-		cfg:       cfg,
-		cache:     cache.New[*synthResult](cfg.CacheEntries),
-		jobs:      jobs.NewManager(jobs.Config{Workers: cfg.JobWorkers, TTL: cfg.JobTTL}),
+		cfg:     cfg,
+		cache:   cache.New[*synthResult](cfg.CacheEntries),
+		designs: cache.New[*pmsynth.Design](cfg.DesignCacheEntries),
+		jobs: jobs.NewManager(jobs.Config{
+			Workers:    cfg.JobWorkers,
+			MaxPending: cfg.MaxPendingJobs,
+			EventTail:  cfg.EventTail,
+			TTL:        cfg.JobTTL,
+		}),
 		mux:       http.NewServeMux(),
 		start:     time.Now(),
 		sweepByFP: make(map[string]string),
@@ -121,6 +187,27 @@ func (s *Server) Close() { s.jobs.Close() }
 
 // CacheStats exposes the result-cache counters (also served by /metrics).
 func (s *Server) CacheStats() cache.Stats { return s.cache.Stats() }
+
+// DesignCacheStats exposes the compiled-design cache counters.
+func (s *Server) DesignCacheStats() cache.Stats { return s.designs.Stats() }
+
+// compileCached resolves a source text through the shared compiled-design
+// cache: content-addressed on the source bytes and singleflight, so
+// identical sources compile exactly once across the synthesize and sweep
+// endpoints no matter how many requests race, and a hostile source that
+// is slow to compile blocks only the requests that need it. Compile
+// errors are returned to every coalesced waiter and never cached, so a
+// transient failure does not poison the source.
+func (s *Server) compileCached(source string) (*pmsynth.Design, error) {
+	sum := sha256.Sum256([]byte(source))
+	key := "src|" + hex.EncodeToString(sum[:])
+	return s.designs.GetOrCompute(key, func() (*pmsynth.Design, error) {
+		if hook := s.cfg.CompileHook; hook != nil {
+			hook(source)
+		}
+		return pmsynth.Compile(source)
+	})
+}
 
 // writeJSON writes a JSON response body.
 func writeJSON(w http.ResponseWriter, status int, v interface{}) {
@@ -157,7 +244,9 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	st := s.cache.Stats()
+	dst := s.designs.Stats()
 	created, completed := s.jobs.Counters()
+	pending, queueCap, rejected := s.jobs.QueueStats()
 	running := 0
 	for _, info := range s.jobs.List() {
 		if info.State == jobs.StateRunning {
@@ -170,17 +259,28 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "pmsynthd_cache_inflight %d\n", st.Inflight)
 	fmt.Fprintf(w, "pmsynthd_cache_evictions %d\n", st.Evictions)
 	fmt.Fprintf(w, "pmsynthd_cache_entries %d\n", st.Entries)
+	fmt.Fprintf(w, "pmsynthd_design_cache_hits %d\n", dst.Hits)
+	fmt.Fprintf(w, "pmsynthd_design_cache_misses %d\n", dst.Misses)
+	fmt.Fprintf(w, "pmsynthd_design_cache_inflight %d\n", dst.Inflight)
+	fmt.Fprintf(w, "pmsynthd_design_cache_evictions %d\n", dst.Evictions)
+	fmt.Fprintf(w, "pmsynthd_design_cache_entries %d\n", dst.Entries)
 	fmt.Fprintf(w, "pmsynthd_synthesize_requests %d\n", s.synthRequests.Load())
 	fmt.Fprintf(w, "pmsynthd_sweep_requests %d\n", s.sweepRequests.Load())
+	fmt.Fprintf(w, "pmsynthd_sweep_shed %d\n", s.sweepSheds.Load())
 	fmt.Fprintf(w, "pmsynthd_jobs_created %d\n", created)
 	fmt.Fprintf(w, "pmsynthd_jobs_completed %d\n", completed)
 	fmt.Fprintf(w, "pmsynthd_jobs_running %d\n", running)
+	fmt.Fprintf(w, "pmsynthd_jobs_pending %d\n", pending)
+	fmt.Fprintf(w, "pmsynthd_jobs_queue_capacity %d\n", queueCap)
+	fmt.Fprintf(w, "pmsynthd_jobs_rejected %d\n", rejected)
 	fmt.Fprintf(w, "pmsynthd_uptime_seconds %d\n", int64(time.Since(s.start).Seconds()))
 }
 
 // handleSynthesize runs one configuration through the flow, answering from
 // the content-addressed cache when possible. N concurrent identical
-// requests run exactly one synthesis.
+// requests run exactly one synthesis, and the compile inside a cache miss
+// goes through the shared design cache, so it is skipped entirely when a
+// sweep (or another synthesize) already compiled the same source.
 func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request) {
 	s.synthRequests.Add(1)
 	var req SynthesizeRequest
@@ -222,7 +322,7 @@ func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request) {
 	computed := false
 	res, err := s.cache.GetOrCompute(key, func() (*synthResult, error) {
 		computed = true
-		design, err := pmsynth.Compile(req.Source)
+		design, err := s.compileCached(req.Source)
 		if err != nil {
 			return nil, fmt.Errorf("compile: %w", err)
 		}
@@ -256,7 +356,11 @@ func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// handleSweep creates (or dedups onto) an async sweep job.
+// handleSweep validates a sweep submission and hands it to the admission
+// pipeline. The client-supplied Workers value is clamped to the server
+// cap — Workers never affects results (it is excluded from the
+// fingerprint), so the clamp is invisible except in how much concurrency
+// one request may demand from the flow pool.
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	s.sweepRequests.Add(1)
 	var req SweepRequest
@@ -272,64 +376,95 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad spec: %v", err)
 		return
 	}
+	// Resolve the worker default before clamping, so the cap governs the
+	// default path too: with no client value and no -sweep-workers, the
+	// flow library would expand 0 to GOMAXPROCS, sailing past a smaller
+	// MaxSweepWorkers if the clamp only saw explicit positives.
 	if spec.Workers <= 0 {
 		spec.Workers = s.cfg.SweepWorkers
 	}
-	resp, status, errMsg := s.submitSweep(req.Source, spec)
-	if errMsg != "" {
-		writeError(w, status, "%s", errMsg)
-		return
+	if spec.Workers <= 0 {
+		spec.Workers = runtime.GOMAXPROCS(0)
 	}
-	writeJSON(w, status, resp)
+	if spec.Workers > s.cfg.MaxSweepWorkers {
+		spec.Workers = s.cfg.MaxSweepWorkers
+	}
+	s.submitSweep(w, req.Source, spec)
 }
 
-// submitSweep runs the locked part of a sweep submission — dedup lookup,
-// size check, compile, enumerate, job creation — and returns the response
-// to write (or an error message). The lock is released before any bytes
-// go to the client, so a slow reader can never stall other submissions.
-// Holding s.mu across the whole sequence makes concurrent identical
-// submissions serialize onto one job.
-func (s *Server) submitSweep(source string, spec pmsynth.SweepSpec) (SweepCreatedResponse, int, string) {
+// submitSweep is the sweep admission pipeline. Its structure is the
+// tentpole invariant of the serving layer: client-controlled work never
+// runs under s.mu.
+//
+//  1. Short critical section: dedup lookup — a live job with this
+//     fingerprint answers the submission immediately.
+//  2. No lock: the cheap size guard, then Compile (through the shared
+//     singleflight design cache — concurrent identical submissions
+//     compile once) and Enumerate, both on untrusted input and
+//     potentially slow.
+//  3. Short critical section: re-check for a racing identical submission
+//     that committed while this one was compiling (join it if so), then
+//     submit the job and commit the fingerprint index entry.
+//
+// Job submission itself is non-blocking: when the bounded admission queue
+// is full the submission is shed with 429 and a Retry-After hint rather
+// than queueing unboundedly.
+func (s *Server) submitSweep(w http.ResponseWriter, source string, spec pmsynth.SweepSpec) {
 	fp := pmsynth.SweepFingerprint(source, spec)
 
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	s.pruneSweepIndexLocked()
-	// Content-addressed job dedup first: a live job with this
-	// fingerprint answers the submission without recompiling or
-	// re-enumerating anything.
-	if id, ok := s.sweepByFP[fp]; ok {
-		if j, live := s.jobs.Get(id); live {
-			info := j.Snapshot()
-			if info.State == jobs.StatePending || info.State == jobs.StateRunning ||
-				info.State == jobs.StateSucceeded {
-				return SweepCreatedResponse{
-					ID: info.ID, State: info.State, Total: info.Total,
-					Fingerprint: fp, Deduped: true,
-				}, http.StatusOK, ""
-			}
-		}
-		delete(s.sweepByFP, fp) // stale: job gone, failed or canceled
+	if resp, ok := s.dedupLocked(fp); ok {
+		s.mu.Unlock()
+		writeJSON(w, http.StatusOK, resp)
+		return
 	}
+	s.mu.Unlock()
 
 	// Size the sweep cheaply — before Enumerate materializes anything —
 	// so one absurd request cannot size an allocation the process dies
-	// under.
+	// under. This runs before the early shed so a structurally invalid
+	// spec always gets its definitive 422, never a 429 inviting retries
+	// of a request that can never be accepted.
 	if err := s.checkSweepSize(spec); err != nil {
-		return SweepCreatedResponse{}, http.StatusUnprocessableEntity, err.Error()
+		writeError(w, http.StatusUnprocessableEntity, "%s", err)
+		return
 	}
-	design, err := pmsynth.Compile(source)
+
+	// Advisory early shed: with the queue already full, a new job is
+	// almost certainly doomed, so don't burn compile/enumerate work on
+	// it — a saturated server should do minimal per-request work, not
+	// maximal. Dedup (above) has already had its chance to answer, and
+	// the authoritative check remains Submit's, which closes the race
+	// with a queue that drains in the meantime.
+	if pending, capacity, _ := s.jobs.QueueStats(); pending >= capacity {
+		s.shedSweep(w, jobs.ErrQueueFull)
+		return
+	}
+	design, err := s.compileCached(source)
 	if err != nil {
-		return SweepCreatedResponse{}, http.StatusUnprocessableEntity, "compile: " + err.Error()
+		writeError(w, http.StatusUnprocessableEntity, "compile: %v", err)
+		return
 	}
 	// Validate the spec against the design before committing a job.
 	opts, err := spec.Enumerate(design)
 	if err != nil {
-		return SweepCreatedResponse{}, http.StatusUnprocessableEntity, "enumerate: " + err.Error()
+		writeError(w, http.StatusUnprocessableEntity, "enumerate: %v", err)
+		return
 	}
 	total := len(opts)
 
-	job := s.jobs.Submit("sweep "+design.Graph.Name, total,
+	s.mu.Lock()
+	// Re-check: an identical submission may have committed a job while
+	// this one was compiling. Joining it preserves the invariant that one
+	// fingerprint has at most one live job — and exactly one compile ran,
+	// courtesy of the design cache's singleflight.
+	if resp, ok := s.dedupLocked(fp); ok {
+		s.mu.Unlock()
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+	job, err := s.jobs.Submit("sweep "+design.Graph.Name, total,
 		func(ctx context.Context, progress func(done, total int)) (interface{}, error) {
 			sr, err := pmsynth.SweepContextProgress(ctx, design, spec, pmsynth.SweepProgress(progress))
 			if sr != nil {
@@ -343,11 +478,63 @@ func (s *Server) submitSweep(source string, spec pmsynth.SweepSpec) (SweepCreate
 			}
 			return sr, err
 		})
+	if err != nil {
+		s.mu.Unlock()
+		s.shedSweep(w, err)
+		return
+	}
 	s.sweepByFP[fp] = job.ID()
+	s.mu.Unlock()
 
-	return SweepCreatedResponse{
-		ID: job.ID(), State: job.Snapshot().State, Total: total, Fingerprint: fp,
-	}, http.StatusAccepted, ""
+	writeJSON(w, http.StatusAccepted, SweepCreatedResponse{
+		ID: job.ID(), State: job.Snapshot().State, Total: total,
+		Fingerprint: fp, Workers: spec.Workers,
+	})
+}
+
+// shedSweep writes the backpressure response for a submission the job
+// manager refused: 429 with a Retry-After hint when the admission queue
+// is full, 503 when the manager is shutting down.
+func (s *Server) shedSweep(w http.ResponseWriter, err error) {
+	if errors.Is(err, jobs.ErrClosed) {
+		writeError(w, http.StatusServiceUnavailable, "server is shutting down")
+		return
+	}
+	s.sweepSheds.Add(1)
+	// Only the static capacity goes in the body: re-reading the live
+	// pending count here could report a queue that drained after the
+	// rejection, a self-contradictory diagnostic.
+	_, capacity, _ := s.jobs.QueueStats()
+	secs := int(s.cfg.RetryAfter.Round(time.Second) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	writeError(w, http.StatusTooManyRequests,
+		"sweep admission queue is full (capacity %d); retry after %ds", capacity, secs)
+}
+
+// dedupLocked answers a submission from the fingerprint index when a live
+// (pending, running or succeeded) job already covers it. Entries whose
+// jobs are gone, failed or canceled are dropped so the next submission
+// retries. Called with s.mu held.
+func (s *Server) dedupLocked(fp string) (SweepCreatedResponse, bool) {
+	id, ok := s.sweepByFP[fp]
+	if !ok {
+		return SweepCreatedResponse{}, false
+	}
+	if j, live := s.jobs.Get(id); live {
+		info := j.Snapshot()
+		if info.State == jobs.StatePending || info.State == jobs.StateRunning ||
+			info.State == jobs.StateSucceeded {
+			return SweepCreatedResponse{
+				ID: info.ID, State: info.State, Total: info.Total,
+				Fingerprint: fp, Deduped: true,
+			}, true
+		}
+	}
+	delete(s.sweepByFP, fp) // stale: job gone, failed or canceled
+	return SweepCreatedResponse{}, false
 }
 
 // checkSweepSize bounds a sweep submission without enumerating it: the
@@ -397,7 +584,9 @@ func (s *Server) checkSweepSize(spec pmsynth.SweepSpec) error {
 // pruneSweepIndexLocked drops dedup index entries whose jobs are gone
 // (TTL-collected), failed or canceled. Called with s.mu held on every
 // sweep submission, it bounds the index by the live job count instead of
-// the all-time distinct-fingerprint count.
+// the all-time distinct-fingerprint count. It is map-and-snapshot work
+// only — O(live jobs) with no client-controlled cost, so it is safe
+// inside the short critical section.
 func (s *Server) pruneSweepIndexLocked() {
 	for fp, id := range s.sweepByFP {
 		j, ok := s.jobs.Get(id)
@@ -447,9 +636,12 @@ func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, j.Snapshot())
 }
 
-// handleJobEvents streams the ordered event log as NDJSON, one event per
+// handleJobEvents streams the retained event log as NDJSON, one event per
 // line, live until the job finishes or the client disconnects. ?from=N
-// resumes after sequence number N.
+// resumes after sequence number N. Progress ticks older than the bounded
+// tail are coalesced away — Done is a high-water mark, so the stream is
+// monotonic regardless; sequence numbers may skip where ticks were
+// dropped.
 func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.job(w, r)
 	if !ok {
