@@ -1,0 +1,351 @@
+package client
+
+// The HTTP core of the SDK: request plumbing, retry-aware transport, and
+// the typed endpoint methods. Streaming lives in stream.go.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Client talks to one pmsynthd. It is safe for concurrent use; create it
+// with New.
+type Client struct {
+	base       string
+	hc         *http.Client
+	maxRetries int
+	maxWait    time.Duration
+	userAgent  string
+}
+
+// Option customizes a Client.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the underlying *http.Client (timeouts,
+// transports, instrumentation). The default client has no timeout —
+// deadlines belong to the caller's context, and event streams are
+// long-lived by design.
+func WithHTTPClient(hc *http.Client) Option {
+	return func(c *Client) { c.hc = hc }
+}
+
+// WithRetries configures the retry budget for backpressured (429),
+// temporarily unavailable (503) and transport-failed requests:
+// maxRetries additional attempts, each waiting the server's Retry-After
+// hint (or an exponential fallback) capped at maxWait. WithRetries(0, 0)
+// disables retrying. The default is 4 retries capped at 15s.
+func WithRetries(maxRetries int, maxWait time.Duration) Option {
+	return func(c *Client) { c.maxRetries, c.maxWait = maxRetries, maxWait }
+}
+
+// WithUserAgent sets the User-Agent header on every request.
+func WithUserAgent(ua string) Option {
+	return func(c *Client) { c.userAgent = ua }
+}
+
+// New returns a client for the pmsynthd at baseURL, e.g.
+// "http://127.0.0.1:8357".
+func New(baseURL string, opts ...Option) *Client {
+	c := &Client{
+		base:       strings.TrimRight(baseURL, "/"),
+		hc:         &http.Client{},
+		maxRetries: 4,
+		maxWait:    15 * time.Second,
+		userAgent:  "pmsynth-client/1",
+	}
+	for _, opt := range opts {
+		opt(c)
+	}
+	return c
+}
+
+// APIError is a non-2xx response from the server.
+type APIError struct {
+	// Status is the HTTP status code.
+	Status int
+	// Message is the server's error string.
+	Message string
+	// RetryAfter is the server's backpressure hint, when present (429).
+	RetryAfter time.Duration
+}
+
+// Error implements error.
+func (e *APIError) Error() string {
+	return fmt.Sprintf("pmsynthd: %d %s: %s", e.Status, http.StatusText(e.Status), e.Message)
+}
+
+// Temporary reports whether retrying the identical request can succeed.
+func (e *APIError) Temporary() bool {
+	return e.Status == http.StatusTooManyRequests || e.Status == http.StatusServiceUnavailable
+}
+
+// do runs one JSON request with the retry policy. Every endpoint routed
+// through it is content-addressed or read-only (resubmitting is answered
+// by dedup or cache, never by duplicated work), so retrying is safe; the
+// one non-idempotent endpoint, job cancel, bypasses do (see CancelJob).
+func (c *Client) do(ctx context.Context, method, path string, in, out interface{}) error {
+	var body []byte
+	if in != nil {
+		var err error
+		if body, err = json.Marshal(in); err != nil {
+			return fmt.Errorf("client: encode request: %w", err)
+		}
+	}
+	for attempt := 0; ; attempt++ {
+		apiErr, err := c.once(ctx, method, path, body, out)
+		if err == nil && apiErr == nil {
+			return nil
+		}
+		// Transport errors and retryable statuses consume the budget;
+		// definitive refusals (4xx other than 429) return immediately.
+		retryable := err != nil || apiErr.Temporary()
+		if !retryable {
+			return apiErr
+		}
+		if attempt >= c.maxRetries {
+			if err != nil {
+				return err
+			}
+			return apiErr
+		}
+		wait := c.backoff(attempt)
+		if apiErr != nil && apiErr.RetryAfter > 0 {
+			wait = apiErr.RetryAfter
+		}
+		if wait > c.maxWait {
+			wait = c.maxWait
+		}
+		if err := sleepCtx(ctx, wait); err != nil {
+			return err
+		}
+	}
+}
+
+// once runs a single HTTP attempt. A non-2xx response returns (apiErr,
+// nil); a transport failure returns (nil, err).
+func (c *Client) once(ctx context.Context, method, path string, body []byte, out interface{}) (*APIError, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	if err != nil {
+		return nil, fmt.Errorf("client: %w", err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	req.Header.Set("User-Agent", c.userAgent)
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("client: %s %s: %w", method, path, err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("client: read response: %w", err)
+	}
+	if resp.StatusCode >= 300 {
+		return newAPIError(resp, data), nil
+	}
+	if out != nil {
+		if err := json.Unmarshal(data, out); err != nil {
+			return nil, fmt.Errorf("client: decode response (%s %s): %w", method, path, err)
+		}
+	}
+	return nil, nil
+}
+
+// newAPIError builds the typed error from a non-2xx response.
+func newAPIError(resp *http.Response, data []byte) *APIError {
+	apiErr := &APIError{Status: resp.StatusCode}
+	var eb struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(data, &eb) == nil && eb.Error != "" {
+		apiErr.Message = eb.Error
+	} else {
+		apiErr.Message = strings.TrimSpace(string(data))
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		if secs, err := strconv.Atoi(ra); err == nil && secs >= 0 {
+			apiErr.RetryAfter = time.Duration(secs) * time.Second
+		}
+	}
+	return apiErr
+}
+
+// backoff is the fallback wait when the server sent no hint. The shift
+// is capped so a large retry budget can never overflow into a negative
+// (i.e. zero) wait and busy-loop against a down server; the result is
+// always clamped to maxWait by the caller.
+func (c *Client) backoff(attempt int) time.Duration {
+	if attempt > 20 {
+		attempt = 20 // 250ms << 20 ≈ 3 days — any sane maxWait clamps it
+	}
+	return 250 * time.Millisecond << attempt
+}
+
+// sleepCtx waits d or until ctx is done.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Health checks GET /healthz.
+func (c *Client) Health(ctx context.Context) (*Health, error) {
+	var h Health
+	if err := c.do(ctx, http.MethodGet, "/healthz", nil, &h); err != nil {
+		return nil, err
+	}
+	return &h, nil
+}
+
+// Metrics fetches GET /metrics and parses the counter lines into a map.
+func (c *Client) Metrics(ctx context.Context) (map[string]int64, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/metrics", nil)
+	if err != nil {
+		return nil, fmt.Errorf("client: %w", err)
+	}
+	req.Header.Set("User-Agent", c.userAgent)
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("client: GET /metrics: %w", err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("client: read metrics: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, newAPIError(resp, data)
+	}
+	out := make(map[string]int64)
+	for _, line := range strings.Split(string(data), "\n") {
+		name, val, ok := strings.Cut(strings.TrimSpace(line), " ")
+		if !ok || strings.HasPrefix(name, "#") {
+			continue
+		}
+		if n, err := strconv.ParseInt(val, 10, 64); err == nil {
+			out[name] = n
+		}
+	}
+	return out, nil
+}
+
+// Synthesize runs one configuration through POST /v1/synthesize.
+func (c *Client) Synthesize(ctx context.Context, req SynthesizeRequest) (*SynthesizeResult, error) {
+	var res SynthesizeResult
+	if err := c.do(ctx, http.MethodPost, "/v1/synthesize", req, &res); err != nil {
+		return nil, err
+	}
+	return &res, nil
+}
+
+// Sweep submits a design-space sweep through POST /v1/sweep. The
+// returned job may already be terminal when the server answered from its
+// persistent store (Cached) — callers that wait should check
+// State.Terminal() first, or use SweepAndWait.
+func (c *Client) Sweep(ctx context.Context, req SweepRequest) (*SweepJob, error) {
+	var job SweepJob
+	if err := c.do(ctx, http.MethodPost, "/v1/sweep", req, &job); err != nil {
+		return nil, err
+	}
+	return &job, nil
+}
+
+// Batch submits N sweeps in one POST /v1/batch request. Partial
+// acceptance is normal: inspect Items for per-entry statuses, and
+// resubmit 429 entries after RetryAfterSeconds.
+func (c *Client) Batch(ctx context.Context, req BatchRequest) (*Batch, error) {
+	var b Batch
+	if err := c.do(ctx, http.MethodPost, "/v1/batch", req, &b); err != nil {
+		return nil, err
+	}
+	return &b, nil
+}
+
+// BatchStatus aggregates a batch's jobs via GET /v1/batch/{id}.
+func (c *Client) BatchStatus(ctx context.Context, id string) (*BatchStatus, error) {
+	var st BatchStatus
+	if err := c.do(ctx, http.MethodGet, "/v1/batch/"+url.PathEscape(id), nil, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// Jobs lists all live jobs via GET /v1/jobs.
+func (c *Client) Jobs(ctx context.Context) ([]JobInfo, error) {
+	var out []JobInfo
+	if err := c.do(ctx, http.MethodGet, "/v1/jobs", nil, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Job fetches one job's snapshot via GET /v1/jobs/{id}.
+func (c *Client) Job(ctx context.Context, id string) (*JobInfo, error) {
+	var info JobInfo
+	if err := c.do(ctx, http.MethodGet, "/v1/jobs/"+url.PathEscape(id), nil, &info); err != nil {
+		return nil, err
+	}
+	return &info, nil
+}
+
+// CancelJob cancels a pending or running job. Cancel is the one
+// non-idempotent endpoint (a repeated cancel of a job the first attempt
+// already finished answers 409), so it is sent exactly once — a
+// transport error is surfaced rather than retried, and the caller can
+// re-check the job's state with Job.
+func (c *Client) CancelJob(ctx context.Context, id string) (*JobInfo, error) {
+	var info JobInfo
+	body, err := json.Marshal(struct{}{})
+	if err != nil {
+		return nil, fmt.Errorf("client: encode request: %w", err)
+	}
+	apiErr, err := c.once(ctx, http.MethodPost, "/v1/jobs/"+url.PathEscape(id)+"/cancel", body, &info)
+	if err != nil {
+		return nil, err
+	}
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	return &info, nil
+}
+
+// JobResult fetches a result view of a finished sweep job.
+func (c *Client) JobResult(ctx context.Context, id string, q ResultQuery) (*Result, error) {
+	vals := url.Values{}
+	if q.View != "" {
+		vals.Set("view", q.View)
+	}
+	if q.Objective != "" {
+		vals.Set("objective", q.Objective)
+	}
+	path := "/v1/jobs/" + url.PathEscape(id) + "/result"
+	if len(vals) > 0 {
+		path += "?" + vals.Encode()
+	}
+	var res Result
+	if err := c.do(ctx, http.MethodGet, path, nil, &res); err != nil {
+		return nil, err
+	}
+	return &res, nil
+}

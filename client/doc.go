@@ -1,0 +1,36 @@
+// Package client is the Go SDK for the pmsynthd HTTP API: a typed client
+// for one-shot synthesis, asynchronous design-space sweeps, batch
+// submission, job polling, and live NDJSON event streaming.
+//
+// The client owns its wire types — importing it never pulls in the
+// synthesis engine — and mirrors the server's JSON shapes exactly, so it
+// speaks to any pmsynthd regardless of how that daemon was built.
+//
+// # Quick start
+//
+//	c := client.New("http://127.0.0.1:8357")
+//	res, err := c.Synthesize(ctx, client.SynthesizeRequest{
+//		Source:  src,
+//		Options: client.Options{Budget: 3},
+//	})
+//	fmt.Println(res.Row.PowerReductionPct)
+//
+// Sweeps are asynchronous; SweepAndWait submits, follows the event
+// stream, and returns the finished job:
+//
+//	job, info, err := c.SweepAndWait(ctx, client.SweepRequest{
+//		Source: src,
+//		Spec:   client.SweepSpec{BudgetMin: 2, BudgetMax: 8},
+//	}, nil)
+//	best, err := c.JobResult(ctx, info.ID, client.ResultQuery{View: "best"})
+//
+// # Backpressure and retries
+//
+// pmsynthd sheds sweep submissions with 429 + Retry-After when its
+// admission queue is full. The client retries 429 and 503 responses (and
+// transport errors) automatically, honoring the server's Retry-After
+// hint, up to the configured attempt budget — every pmsynthd endpoint is
+// content-addressed or read-only, so retrying a submission is always
+// safe. Failures carry *APIError with the HTTP status and the server's
+// error message.
+package client

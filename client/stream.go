@@ -1,0 +1,145 @@
+package client
+
+// Event streaming: following a job's ordered NDJSON event log live, and
+// the wait helpers built on it. The stream resumes by sequence number, so
+// a dropped connection never loses or replays events.
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/url"
+)
+
+// StopStreaming, returned by a StreamEvents callback, ends the stream
+// early with a nil error.
+var StopStreaming = errors.New("client: stop streaming")
+
+// StreamEvents follows a job's event log via GET /v1/jobs/{id}/events,
+// invoking fn for every event with Seq > from, in order, live until the
+// job finishes, the callback returns an error, or ctx is canceled. A
+// callback error other than StopStreaming is returned as-is.
+//
+// The stream is a single connection; for restart-proof waiting with
+// automatic resume, use WaitJob.
+func (c *Client) StreamEvents(ctx context.Context, id string, from int64, fn func(Event) error) error {
+	path := fmt.Sprintf("/v1/jobs/%s/events?from=%d", url.PathEscape(id), from)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return fmt.Errorf("client: %w", err)
+	}
+	req.Header.Set("User-Agent", c.userAgent)
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return fmt.Errorf("client: stream events: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		data, _ := bufio.NewReader(resp.Body).ReadBytes(0)
+		return newAPIError(resp, data)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var ev Event
+		if err := json.Unmarshal(line, &ev); err != nil {
+			return fmt.Errorf("client: bad event line %q: %w", line, err)
+		}
+		if err := fn(ev); err != nil {
+			if errors.Is(err, StopStreaming) {
+				return nil
+			}
+			return err
+		}
+	}
+	if err := sc.Err(); err != nil {
+		// Surface the context's cancellation over the transport's view
+		// of the dropped connection.
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		return fmt.Errorf("client: stream events: %w", err)
+	}
+	return nil
+}
+
+// WaitJob blocks until the job reaches a terminal state, following the
+// event stream and resuming it (by sequence number) across dropped
+// connections. A non-nil onEvent observes every event seen, in order.
+// The returned snapshot is terminal; WaitJob itself does not treat a
+// failed or canceled job as an error — inspect State and Err.
+func (c *Client) WaitJob(ctx context.Context, id string, onEvent func(Event)) (*JobInfo, error) {
+	var last int64
+	for {
+		terminal := false
+		err := c.StreamEvents(ctx, id, last, func(ev Event) error {
+			last = ev.Seq
+			if onEvent != nil {
+				onEvent(ev)
+			}
+			if JobState(ev.Type).Terminal() {
+				terminal = true
+			}
+			return nil
+		})
+		if err != nil {
+			var apiErr *APIError
+			if errors.As(err, &apiErr) && !apiErr.Temporary() {
+				return nil, err // e.g. 404: the job is gone
+			}
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
+			// Transport hiccup: back off briefly and resume after the
+			// last seen sequence number.
+			if serr := sleepCtx(ctx, c.backoff(0)); serr != nil {
+				return nil, serr
+			}
+			continue
+		}
+		// The server ends the stream when the job is terminal; confirm
+		// with a snapshot (also covers streams ended by event-log
+		// coalescing edge cases).
+		info, ierr := c.Job(ctx, id)
+		if ierr != nil {
+			return nil, ierr
+		}
+		if terminal || info.State.Terminal() {
+			return info, nil
+		}
+		if serr := sleepCtx(ctx, c.backoff(0)); serr != nil {
+			return nil, serr
+		}
+	}
+}
+
+// SweepAndWait submits a sweep and waits for its terminal snapshot,
+// streaming events through onEvent along the way. Deduped submissions
+// join the live job's stream; cached (store-restored) submissions return
+// immediately. The error is non-nil only for submission or transport
+// failures — a failed sweep returns its terminal snapshot.
+func (c *Client) SweepAndWait(ctx context.Context, req SweepRequest, onEvent func(Event)) (*SweepJob, *JobInfo, error) {
+	job, err := c.Sweep(ctx, req)
+	if err != nil {
+		return nil, nil, err
+	}
+	if job.State.Terminal() {
+		info, ierr := c.Job(ctx, job.ID)
+		if ierr != nil {
+			return job, nil, ierr
+		}
+		return job, info, nil
+	}
+	info, err := c.WaitJob(ctx, job.ID, onEvent)
+	if err != nil {
+		return job, nil, err
+	}
+	return job, info, nil
+}

@@ -1,0 +1,239 @@
+package client
+
+// Wire types of the pmsynthd API, owned by the SDK. They mirror the
+// server's JSON shapes field for field; the SDK round-trip tests in this
+// package run against a real in-process server to pin the compatibility.
+
+import "time"
+
+// Options configures one synthesis configuration.
+type Options struct {
+	// Budget is the control-step budget; it must be at least the
+	// design's critical path.
+	Budget int `json:"budget"`
+	// II is the pipeline initiation interval; 0 means no pipelining.
+	II int `json:"ii,omitempty"`
+	// Order is the mux processing order by name: "outputs-first"
+	// (default), "inputs-first", "greedy-weight" or "exhaustive".
+	Order string `json:"order,omitempty"`
+	// ForceDirected selects the force-directed scheduler backend.
+	ForceDirected bool `json:"forceDirected,omitempty"`
+	// Resources fixes per-class unit budgets by class name ("mux",
+	// "comp", "add", "sub", "mul"); empty lets the scheduler minimize.
+	Resources map[string]int `json:"resources,omitempty"`
+}
+
+// Row is the Table II style summary of one synthesis. Field names match
+// the server's JSON exactly (the server marshals its Row without tags).
+type Row struct {
+	Circuit      string
+	Steps        int
+	PMMuxes      int
+	AreaIncrease float64
+	// Expected executions per computation, under equiprobable selects.
+	Mux, Comp, Add, Sub, Mul float64
+	// PowerReductionPct is the datapath power saving in percent.
+	PowerReductionPct float64
+}
+
+// SynthesizeRequest is the body of POST /v1/synthesize.
+type SynthesizeRequest struct {
+	// Source is the Silage-style behavioral description.
+	Source string `json:"source"`
+	// Options configures the run.
+	Options Options `json:"options"`
+	// Emit lists extra artifacts to return: "vhdl", "verilog".
+	Emit []string `json:"emit,omitempty"`
+}
+
+// SynthesizeResult is the response of POST /v1/synthesize.
+type SynthesizeResult struct {
+	// Fingerprint is the content-addressed request identity.
+	Fingerprint string `json:"fingerprint"`
+	// Cached reports the result was served without running the flow.
+	Cached bool `json:"cached"`
+	// Row is the Table II style summary.
+	Row Row `json:"row"`
+	// VHDL and Verilog carry the requested RTL artifacts.
+	VHDL    string `json:"vhdl,omitempty"`
+	Verilog string `json:"verilog,omitempty"`
+}
+
+// SweepSpec enumerates a design-space sweep as the cross product of its
+// axes. Zero-valued axes default to a single neutral entry.
+type SweepSpec struct {
+	// Budgets lists explicit control-step budgets; when nil the
+	// inclusive BudgetMin..BudgetMax range applies, and when that is
+	// empty too the design's critical path is the single budget.
+	Budgets   []int `json:"budgets,omitempty"`
+	BudgetMin int   `json:"budgetMin,omitempty"`
+	BudgetMax int   `json:"budgetMax,omitempty"`
+	// IIs lists pipeline initiation intervals.
+	IIs []int `json:"iis,omitempty"`
+	// Orders lists mux processing orders by canonical name.
+	Orders []string `json:"orders,omitempty"`
+	// ForceDirected lists scheduler backends to try.
+	ForceDirected []bool `json:"forceDirected,omitempty"`
+	// Resources lists per-class unit budget maps.
+	Resources []map[string]int `json:"resources,omitempty"`
+	// Workers asks for an evaluation pool size; the server clamps it and
+	// it never changes results.
+	Workers int `json:"workers,omitempty"`
+}
+
+// SweepRequest is the body of POST /v1/sweep.
+type SweepRequest struct {
+	Source string    `json:"source"`
+	Spec   SweepSpec `json:"spec"`
+}
+
+// SweepJob is the response of a sweep submission.
+type SweepJob struct {
+	// ID names the job for the jobs endpoints.
+	ID string `json:"id"`
+	// State is the job state at response time; a Cached response is
+	// already succeeded.
+	State JobState `json:"state"`
+	// Total is the number of enumerated configurations.
+	Total int `json:"total"`
+	// Fingerprint is the content-addressed sweep identity.
+	Fingerprint string `json:"fingerprint"`
+	// Workers is the effective evaluation pool size after the server
+	// clamp (zero on deduped and cached responses).
+	Workers int `json:"workers,omitempty"`
+	// Deduped reports the submission joined an identical live job.
+	Deduped bool `json:"deduped,omitempty"`
+	// Cached reports the result was restored from the server's
+	// persistent store with no recomputation.
+	Cached bool `json:"cached,omitempty"`
+}
+
+// JobState is a job lifecycle state.
+type JobState string
+
+// The job lifecycle states.
+const (
+	StatePending   JobState = "pending"
+	StateRunning   JobState = "running"
+	StateSucceeded JobState = "succeeded"
+	StateFailed    JobState = "failed"
+	StateCanceled  JobState = "canceled"
+)
+
+// Terminal reports whether the state is final.
+func (s JobState) Terminal() bool {
+	return s == StateSucceeded || s == StateFailed || s == StateCanceled
+}
+
+// JobInfo is a point-in-time snapshot of a job.
+type JobInfo struct {
+	ID       string    `json:"id"`
+	Name     string    `json:"name"`
+	Group    string    `json:"group,omitempty"`
+	State    JobState  `json:"state"`
+	Created  time.Time `json:"created"`
+	Started  time.Time `json:"started"`
+	Finished time.Time `json:"finished"`
+	Done     int       `json:"done"`
+	Total    int       `json:"total"`
+	Err      string    `json:"err,omitempty"`
+}
+
+// Event is one entry of a job's ordered event log. Seq strictly
+// increases; the server may coalesce old progress ticks away, so
+// sequence numbers can skip, but Done is a high-water mark and never
+// regresses.
+type Event struct {
+	Seq   int64     `json:"seq"`
+	Time  time.Time `json:"time"`
+	Type  string    `json:"type"` // created|started|progress|succeeded|failed|canceled
+	Done  int       `json:"done"`
+	Total int       `json:"total"`
+	Err   string    `json:"err,omitempty"`
+}
+
+// Point is one sweep configuration in a result view.
+type Point struct {
+	// Index is the point's enumeration index.
+	Index int `json:"index"`
+	// Options is the configuration.
+	Options Options `json:"options"`
+	// Row is the summary (nil when Err is set).
+	Row *Row `json:"row,omitempty"`
+	// Err records a per-configuration failure.
+	Err string `json:"err,omitempty"`
+	// ElapsedNs is pipeline wall-clock time for this configuration.
+	ElapsedNs int64 `json:"elapsedNs"`
+}
+
+// ResultQuery selects a result view.
+type ResultQuery struct {
+	// View is "best" (default), "pareto" or "table".
+	View string
+	// Objective applies to the best view: "power" (default), "area" or
+	// "steps".
+	Objective string
+}
+
+// Result is the response of GET /v1/jobs/{id}/result.
+type Result struct {
+	ID    string   `json:"id"`
+	State JobState `json:"state"`
+	View  string   `json:"view"`
+	// Best is set for view=best.
+	Best *Point `json:"best,omitempty"`
+	// Pareto is set for view=pareto.
+	Pareto []Point `json:"pareto,omitempty"`
+	// Table is set for view=table.
+	Table string `json:"table,omitempty"`
+}
+
+// BatchRequest is the body of POST /v1/batch.
+type BatchRequest struct {
+	Sweeps []SweepRequest `json:"sweeps"`
+}
+
+// BatchItem is the admission outcome of one batch entry.
+type BatchItem struct {
+	// Index is the entry's position in the request.
+	Index int `json:"index"`
+	// Status is the HTTP status the entry would have received as a
+	// standalone submission: 202 created, 200 deduped or restored from
+	// the store, 400 malformed, 422 invalid, 429 shed (resubmit after
+	// RetryAfterSeconds), 503 shutting down.
+	Status int `json:"status"`
+	// Sweep carries the created/joined job on success.
+	Sweep *SweepJob `json:"sweep,omitempty"`
+	// Error carries the refusal reason otherwise.
+	Error string `json:"error,omitempty"`
+}
+
+// Batch is the response of POST /v1/batch.
+type Batch struct {
+	ID       string `json:"id"`
+	Accepted int    `json:"accepted"`
+	Rejected int    `json:"rejected"`
+	// RetryAfterSeconds is set when at least one entry was shed with
+	// 429; resubmit those entries after this many seconds.
+	RetryAfterSeconds int `json:"retryAfterSeconds,omitempty"`
+	// Items lists the per-entry outcomes in request order.
+	Items []BatchItem `json:"items"`
+}
+
+// BatchStatus is the response of GET /v1/batch/{id}.
+type BatchStatus struct {
+	ID string `json:"id"`
+	// Done reports that every job in the batch is terminal.
+	Done bool `json:"done"`
+	// Counts maps job state to how many of the batch's jobs are in it.
+	Counts map[JobState]int `json:"counts"`
+	// Jobs snapshots the batch's jobs, oldest first.
+	Jobs []JobInfo `json:"jobs"`
+}
+
+// Health is the response of GET /healthz.
+type Health struct {
+	Status string    `json:"status"`
+	Uptime string    `json:"uptime"`
+	Time   time.Time `json:"time"`
+}

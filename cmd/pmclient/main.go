@@ -1,0 +1,359 @@
+// Command pmclient drives a running pmsynthd through the public Go SDK
+// (repro/client): one-shot synthesis, asynchronous sweeps with live
+// progress, batch fan-out, and job inspection — the supported client
+// surface, replacing hand-written curl.
+//
+// Usage:
+//
+//	pmclient [-addr http://127.0.0.1:8357] <command> [flags]
+//
+// Commands:
+//
+//	health                      server liveness
+//	metrics                     dump the server counters
+//	synth   -file F -budget N [-ii N] [-order O] [-fds] [-emit vhdl,verilog]
+//	sweep   -file F [-budgets lo:hi] [-orders a,b] [-iis 1,2] [-fds both]
+//	        [-workers N] [-watch] [-view best|pareto|table] [-objective o]
+//	batch   -files a.sil,b.sil [-budgets lo:hi] [-wait]
+//	jobs                        list jobs
+//	job     -id ID              one job's snapshot
+//	cancel  -id ID              cancel a job
+//	events  -id ID [-from N]    stream a job's NDJSON event log
+//	result  -id ID [-view v] [-objective o]
+//	batchstatus -id ID          aggregate batch status
+//
+// The SDK retries shed (429) submissions with the server's Retry-After
+// hint automatically; pmclient surfaces only definitive failures.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/client"
+)
+
+func main() {
+	addr := flag.String("addr", "http://127.0.0.1:8357", "pmsynthd base URL")
+	flag.Usage = usage
+	flag.Parse()
+	if flag.NArg() < 1 {
+		usage()
+		os.Exit(2)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	c := client.New(*addr)
+
+	cmd, args := flag.Arg(0), flag.Args()[1:]
+	var err error
+	switch cmd {
+	case "health":
+		err = runHealth(ctx, c)
+	case "metrics":
+		err = runMetrics(ctx, c)
+	case "synth":
+		err = runSynth(ctx, c, args)
+	case "sweep":
+		err = runSweep(ctx, c, args)
+	case "batch":
+		err = runBatch(ctx, c, args)
+	case "jobs":
+		err = runJobs(ctx, c)
+	case "job", "cancel", "events", "result", "batchstatus":
+		err = runJobCmd(ctx, c, cmd, args)
+	default:
+		fmt.Fprintf(os.Stderr, "pmclient: unknown command %q\n", cmd)
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pmclient: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: pmclient [-addr URL] <command> [flags]
+commands: health metrics synth sweep batch jobs job cancel events result batchstatus
+run "pmclient <command> -h" for command flags`)
+}
+
+// printJSON renders any value as indented JSON on stdout.
+func printJSON(v interface{}) error {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}
+
+// readSource loads a Silage source file.
+func readSource(path string) (string, error) {
+	if path == "" {
+		return "", fmt.Errorf("missing -file")
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+func runHealth(ctx context.Context, c *client.Client) error {
+	h, err := c.Health(ctx)
+	if err != nil {
+		return err
+	}
+	return printJSON(h)
+}
+
+func runMetrics(ctx context.Context, c *client.Client) error {
+	m, err := c.Metrics(ctx)
+	if err != nil {
+		return err
+	}
+	return printJSON(m)
+}
+
+func runSynth(ctx context.Context, c *client.Client, args []string) error {
+	fs := flag.NewFlagSet("synth", flag.ExitOnError)
+	file := fs.String("file", "", "Silage source file")
+	budget := fs.Int("budget", 0, "control-step budget")
+	ii := fs.Int("ii", 0, "pipeline initiation interval")
+	order := fs.String("order", "", "mux order (outputs-first, inputs-first, greedy-weight, exhaustive)")
+	fds := fs.Bool("fds", false, "force-directed scheduler")
+	emit := fs.String("emit", "", "comma-separated artifacts: vhdl,verilog")
+	fs.Parse(args)
+	src, err := readSource(*file)
+	if err != nil {
+		return err
+	}
+	req := client.SynthesizeRequest{
+		Source:  src,
+		Options: client.Options{Budget: *budget, II: *ii, Order: *order, ForceDirected: *fds},
+	}
+	if *emit != "" {
+		req.Emit = strings.Split(*emit, ",")
+	}
+	res, err := c.Synthesize(ctx, req)
+	if err != nil {
+		return err
+	}
+	return printJSON(res)
+}
+
+// parseSweepSpec builds a SweepSpec from the shared sweep/batch flags.
+func parseSweepSpec(budgets, orders, iis, fds string, workers int) (client.SweepSpec, error) {
+	spec := client.SweepSpec{Workers: workers}
+	if budgets != "" {
+		lo, hi, ok := strings.Cut(budgets, ":")
+		if !ok {
+			return spec, fmt.Errorf("bad -budgets %q: want lo:hi", budgets)
+		}
+		var err error
+		if spec.BudgetMin, err = strconv.Atoi(lo); err != nil {
+			return spec, fmt.Errorf("bad -budgets %q: %v", budgets, err)
+		}
+		if spec.BudgetMax, err = strconv.Atoi(hi); err != nil {
+			return spec, fmt.Errorf("bad -budgets %q: %v", budgets, err)
+		}
+	}
+	if orders != "" {
+		spec.Orders = strings.Split(orders, ",")
+	}
+	if iis != "" {
+		for _, s := range strings.Split(iis, ",") {
+			n, err := strconv.Atoi(s)
+			if err != nil {
+				return spec, fmt.Errorf("bad -iis %q: %v", iis, err)
+			}
+			spec.IIs = append(spec.IIs, n)
+		}
+	}
+	switch fds {
+	case "":
+	case "on":
+		spec.ForceDirected = []bool{true}
+	case "off":
+		spec.ForceDirected = []bool{false}
+	case "both":
+		spec.ForceDirected = []bool{false, true}
+	default:
+		return spec, fmt.Errorf("bad -fds %q: want on, off or both", fds)
+	}
+	return spec, nil
+}
+
+func runSweep(ctx context.Context, c *client.Client, args []string) error {
+	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
+	file := fs.String("file", "", "Silage source file")
+	budgets := fs.String("budgets", "", "budget range lo:hi")
+	orders := fs.String("orders", "", "comma-separated mux orders")
+	iis := fs.String("iis", "", "comma-separated initiation intervals")
+	fds := fs.String("fds", "", "force-directed axis: on, off or both")
+	workers := fs.Int("workers", 0, "requested evaluation workers (server clamps)")
+	watch := fs.Bool("watch", true, "follow the event stream until the job finishes")
+	view := fs.String("view", "best", "result view once finished: best, pareto, table")
+	objective := fs.String("objective", "", "best-view objective: power, area, steps")
+	fs.Parse(args)
+	src, err := readSource(*file)
+	if err != nil {
+		return err
+	}
+	spec, err := parseSweepSpec(*budgets, *orders, *iis, *fds, *workers)
+	if err != nil {
+		return err
+	}
+	req := client.SweepRequest{Source: src, Spec: spec}
+	if !*watch {
+		job, err := c.Sweep(ctx, req)
+		if err != nil {
+			return err
+		}
+		return printJSON(job)
+	}
+	job, info, err := c.SweepAndWait(ctx, req, func(ev client.Event) {
+		fmt.Fprintf(os.Stderr, "%s %d/%d\n", ev.Type, ev.Done, ev.Total)
+	})
+	if err != nil {
+		return err
+	}
+	switch {
+	case job.Cached:
+		fmt.Fprintln(os.Stderr, "served from the persistent store (no recompute)")
+	case job.Deduped:
+		fmt.Fprintln(os.Stderr, "joined an identical live job")
+	}
+	if info.State != client.StateSucceeded {
+		return fmt.Errorf("job %s %s: %s", info.ID, info.State, info.Err)
+	}
+	res, err := c.JobResult(ctx, info.ID, client.ResultQuery{View: *view, Objective: *objective})
+	if err != nil {
+		return err
+	}
+	if *view == "table" {
+		fmt.Print(res.Table)
+		return nil
+	}
+	return printJSON(res)
+}
+
+func runBatch(ctx context.Context, c *client.Client, args []string) error {
+	fs := flag.NewFlagSet("batch", flag.ExitOnError)
+	files := fs.String("files", "", "comma-separated Silage source files, one sweep each")
+	budgets := fs.String("budgets", "", "budget range lo:hi (applied to every file)")
+	orders := fs.String("orders", "", "comma-separated mux orders (applied to every file)")
+	wait := fs.Bool("wait", false, "poll the batch until every job finishes")
+	fs.Parse(args)
+	if *files == "" {
+		return fmt.Errorf("missing -files")
+	}
+	spec, err := parseSweepSpec(*budgets, *orders, "", "", 0)
+	if err != nil {
+		return err
+	}
+	var req client.BatchRequest
+	for _, path := range strings.Split(*files, ",") {
+		src, err := readSource(path)
+		if err != nil {
+			return err
+		}
+		req.Sweeps = append(req.Sweeps, client.SweepRequest{Source: src, Spec: spec})
+	}
+	b, err := c.Batch(ctx, req)
+	if err != nil {
+		return err
+	}
+	if err := printJSON(b); err != nil {
+		return err
+	}
+	if !*wait || b.Accepted == 0 {
+		return nil
+	}
+	for {
+		st, err := c.BatchStatus(ctx, b.ID)
+		if err != nil {
+			return err
+		}
+		if st.Done {
+			return printJSON(st)
+		}
+		if err := waitTick(ctx); err != nil {
+			return err
+		}
+	}
+}
+
+// waitTick sleeps a polling interval or returns ctx's error.
+func waitTick(ctx context.Context) error {
+	t := time.NewTimer(200 * time.Millisecond)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func runJobs(ctx context.Context, c *client.Client) error {
+	jobs, err := c.Jobs(ctx)
+	if err != nil {
+		return err
+	}
+	return printJSON(jobs)
+}
+
+func runJobCmd(ctx context.Context, c *client.Client, cmd string, args []string) error {
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	id := fs.String("id", "", "job or batch id")
+	from := fs.Int64("from", 0, "resume the event stream after this sequence number")
+	view := fs.String("view", "best", "result view: best, pareto, table")
+	objective := fs.String("objective", "", "best-view objective: power, area, steps")
+	fs.Parse(args)
+	if *id == "" {
+		return fmt.Errorf("missing -id")
+	}
+	switch cmd {
+	case "job":
+		info, err := c.Job(ctx, *id)
+		if err != nil {
+			return err
+		}
+		return printJSON(info)
+	case "cancel":
+		info, err := c.CancelJob(ctx, *id)
+		if err != nil {
+			return err
+		}
+		return printJSON(info)
+	case "events":
+		return c.StreamEvents(ctx, *id, *from, func(ev client.Event) error {
+			return printJSON(ev)
+		})
+	case "result":
+		res, err := c.JobResult(ctx, *id, client.ResultQuery{View: *view, Objective: *objective})
+		if err != nil {
+			return err
+		}
+		if *view == "table" {
+			fmt.Print(res.Table)
+			return nil
+		}
+		return printJSON(res)
+	case "batchstatus":
+		st, err := c.BatchStatus(ctx, *id)
+		if err != nil {
+			return err
+		}
+		return printJSON(st)
+	}
+	return fmt.Errorf("unreachable command %q", cmd)
+}

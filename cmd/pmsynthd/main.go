@@ -13,7 +13,12 @@
 //	         [-design-cache-entries 256] [-job-workers 2]
 //	         [-max-pending-jobs 64] [-sweep-workers 0]
 //	         [-max-sweep-workers 0] [-job-ttl 1h] [-event-tail 256]
-//	         [-retry-after 1s]
+//	         [-retry-after 1s] [-store-dir DIR] [-store-max-bytes N]
+//	         [-max-batch-sweeps 64]
+//
+// With -store-dir set, synthesize results and completed sweep tables
+// persist across restarts in a content-addressed disk store: a restarted
+// daemon answers repeated requests from disk without recompiling.
 //
 // The process shuts down gracefully on SIGINT/SIGTERM: the listener stops
 // accepting, in-flight requests drain (bounded by -drain), and running
@@ -45,6 +50,10 @@ func main() {
 	jobTTL := flag.Duration("job-ttl", time.Hour, "how long finished jobs stay queryable")
 	eventTail := flag.Int("event-tail", 256, "retained progress events per job (older ticks coalesce)")
 	retryAfter := flag.Duration("retry-after", time.Second, "Retry-After hint on shed (429) sweep submissions")
+	storeDir := flag.String("store-dir", "", "directory of the persistent result store (empty disables persistence)")
+	storeMaxBytes := flag.Int64("store-max-bytes", 1<<30, "disk budget of the persistent store; LRU entries are GCed beyond it")
+	maxBatchSweeps := flag.Int("max-batch-sweeps", 64, "max sweep specs per POST /v1/batch request")
+	maxWarmJobs := flag.Int("max-warm-jobs", 256, "max live store-restored sweep jobs; warm submissions beyond it get 429")
 	drain := flag.Duration("drain", 10*time.Second, "graceful shutdown drain timeout")
 	flag.Parse()
 	if flag.NArg() != 0 {
@@ -53,7 +62,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	srv := server.New(server.Config{
+	srv, err := server.New(server.Config{
 		CacheEntries:       *cacheEntries,
 		DesignCacheEntries: *designCacheEntries,
 		JobWorkers:         *jobWorkers,
@@ -63,7 +72,14 @@ func main() {
 		JobTTL:             *jobTTL,
 		EventTail:          *eventTail,
 		RetryAfter:         *retryAfter,
+		StoreDir:           *storeDir,
+		StoreMaxBytes:      *storeMaxBytes,
+		MaxBatchSweeps:     *maxBatchSweeps,
+		MaxWarmJobs:        *maxWarmJobs,
 	})
+	if err != nil {
+		log.Fatalf("pmsynthd: %v", err)
+	}
 	httpSrv := &http.Server{
 		Addr:              *addr,
 		Handler:           srv.Handler(),

@@ -1,0 +1,13 @@
+// Package bench provides the four benchmark circuits of the paper's
+// experimental section — dealer, gcd, vender and cordic — plus the |a-b|
+// running example of Figures 1-2.
+//
+// The original Silage sources were never published; the paper gives only
+// per-circuit statistics (Table I: critical path and operation counts) and
+// describes the circuits by name. The behavioral descriptions here are
+// reconstructions that match every Table I column exactly and carry the
+// conditional structure the text implies (e.g. cordic's sign-driven
+// add/subtract selection). Consequently Table II/III reproductions match
+// the paper in shape (who wins, how savings grow with slack) rather than
+// cell for cell; EXPERIMENTS.md reports both sets of numbers side by side.
+package bench

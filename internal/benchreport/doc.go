@@ -1,0 +1,6 @@
+// Package benchreport produces machine-readable benchmark results over
+// the circuits of internal/bench. It is a separate package (rather than
+// part of internal/bench) because it drives the flow engine, and
+// internal/power's in-package tests import the circuits — bench itself
+// must stay leaf-like below the flow layer.
+package benchreport

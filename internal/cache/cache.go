@@ -1,15 +1,3 @@
-// Package cache is a content-addressed, sharded LRU result cache with
-// singleflight deduplication — the memory of the pmsynthd serving layer.
-//
-// Keys are canonical content hashes (pmsynth.Fingerprint /
-// pmsynth.SweepFingerprint), so a cache hit is a proof of semantic
-// equality: the cached value answers the request exactly. The cache is
-// sharded to keep lock contention off the serving hot path, each shard
-// maintaining its own LRU list, and computations are deduplicated: when N
-// goroutines ask for the same missing key concurrently, exactly one runs
-// the compute function and the other N-1 wait for its result. That is the
-// property the server's concurrency test pins down — eight identical
-// in-flight POST /v1/synthesize requests must run one synthesis.
 package cache
 
 import (

@@ -1,0 +1,360 @@
+package cache
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// entryPath locates the on-disk file for a key through the same mapping
+// the store uses.
+func entryPath(s *Store, key string) string {
+	name := fileName(key)
+	return filepath.Join(s.shardDir(name), name)
+}
+
+func TestStoreRoundTrip(t *testing.T) {
+	s, err := OpenStore(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	val := []byte("hello sweep table")
+	if err := s.Put("k1", val); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Get("k1")
+	if !ok || !bytes.Equal(got, val) {
+		t.Fatalf("Get = %q, %v; want %q, true", got, ok, val)
+	}
+	if _, ok := s.Get("absent"); ok {
+		t.Fatal("Get(absent) hit")
+	}
+	st := s.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Puts != 1 || st.Entries != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestStoreWarmReopen(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := OpenStore(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s1.Put("key", []byte("survives restart")); err != nil {
+		t.Fatal(err)
+	}
+	// A second store over the same directory — the restarted daemon —
+	// serves the entry without any handoff.
+	s2, err := OpenStore(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s2.Get("key")
+	if !ok || string(got) != "survives restart" {
+		t.Fatalf("reopened Get = %q, %v", got, ok)
+	}
+	if s2.Len() != 1 {
+		t.Fatalf("reopened Len = %d, want 1", s2.Len())
+	}
+}
+
+func TestStoreOverwrite(t *testing.T) {
+	s, err := OpenStore(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("k", []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("k", []byte("v2 longer")); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Get("k")
+	if !ok || string(got) != "v2 longer" {
+		t.Fatalf("Get = %q, %v", got, ok)
+	}
+	if n := s.Len(); n != 1 {
+		t.Fatalf("Len = %d, want 1", n)
+	}
+	// Accounting must reflect the replacement, not the sum.
+	st := s.Stats()
+	if st.Bytes != int64(len(encodeEntry("k", []byte("v2 longer")))) {
+		t.Fatalf("Bytes = %d after overwrite", st.Bytes)
+	}
+}
+
+// TestStoreTruncated covers every truncation point of the file format:
+// each must degrade to a miss and remove the bad file, never panic or
+// return data.
+func TestStoreTruncated(t *testing.T) {
+	s, err := OpenStore(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := "trunc"
+	val := []byte("some payload worth keeping")
+	if err := s.Put(key, val); err != nil {
+		t.Fatal(err)
+	}
+	path := entryPath(s, key)
+	whole, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut < len(whole); cut += 7 {
+		if err := s.Put(key, val); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, whole[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if got, ok := s.Get(key); ok {
+			t.Fatalf("cut=%d: truncated entry served %q", cut, got)
+		}
+		if _, err := os.Stat(path); !os.IsNotExist(err) {
+			t.Fatalf("cut=%d: corrupt file not removed", cut)
+		}
+	}
+}
+
+func TestStoreBadChecksum(t *testing.T) {
+	s, err := OpenStore(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := "sum"
+	if err := s.Put(key, []byte("checksummed payload")); err != nil {
+		t.Fatal(err)
+	}
+	path := entryPath(s, key)
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob[len(blob)-1] ^= 0xff // flip a payload bit
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := s.Get(key); ok {
+		t.Fatalf("corrupt entry served %q", got)
+	}
+	if st := s.Stats(); st.Corrupt != 1 {
+		t.Fatalf("Corrupt = %d, want 1", st.Corrupt)
+	}
+	// The bad file is gone; a re-Put works and serves again.
+	if err := s.Put(key, []byte("fresh")); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := s.Get(key); !ok || string(got) != "fresh" {
+		t.Fatalf("after re-put: %q, %v", got, ok)
+	}
+}
+
+func TestStoreKeyMismatchReadsAsCorrupt(t *testing.T) {
+	s, err := OpenStore(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a file-name hash collision: entry content recorded for a
+	// different key under this key's file name.
+	name := fileName("wanted")
+	dir := s.shardDir(name)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	blob := encodeEntry("other", []byte("value for other"))
+	if err := os.WriteFile(filepath.Join(dir, name), blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := s.Get("wanted"); ok {
+		t.Fatalf("key-mismatched entry served %q", got)
+	}
+}
+
+// TestStorePartialWriteCrash simulates a crash between temp-write and
+// rename: the leftover tmp file must never be served and must be cleaned
+// up by the next Open.
+func TestStorePartialWriteCrash(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenStore(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hand-plant what a crashed Put leaves behind: a tmp file holding a
+	// half-written entry in a shard directory.
+	name := fileName("crashed")
+	shard := s.shardDir(name)
+	if err := os.MkdirAll(shard, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	blob := encodeEntry("crashed", []byte("half"))
+	tmpPath := filepath.Join(shard, "tmp-123456")
+	if err := os.WriteFile(tmpPath, blob[:len(blob)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get("crashed"); ok {
+		t.Fatal("partial write visible under the live name")
+	}
+	// Reopen — the janitorial scan removes the leftover.
+	s2, err := OpenStore(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(tmpPath); !os.IsNotExist(err) {
+		t.Fatal("tmp leftover survived reopen")
+	}
+	if _, ok := s2.Get("crashed"); ok {
+		t.Fatal("partial write visible after reopen")
+	}
+}
+
+func TestStoreGCBounded(t *testing.T) {
+	entrySize := int64(len(encodeEntry("key-00", bytes.Repeat([]byte("x"), 100))))
+	// Budget for three entries.
+	s, err := OpenStore(t.TempDir(), 3*entrySize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		key := fmt.Sprintf("key-%02d", i)
+		if err := s.Put(key, bytes.Repeat([]byte("x"), 100)); err != nil {
+			t.Fatal(err)
+		}
+		// Distinct lastUsed stamps so LRU order is deterministic.
+		time.Sleep(2 * time.Millisecond)
+	}
+	st := s.Stats()
+	if st.Entries > 3 || st.Bytes > 3*entrySize {
+		t.Fatalf("GC did not bound the store: %+v", st)
+	}
+	if st.Evictions != 3 {
+		t.Fatalf("Evictions = %d, want 3", st.Evictions)
+	}
+	// The most recent entries survive.
+	if _, ok := s.Get("key-05"); !ok {
+		t.Fatal("newest entry evicted")
+	}
+	if _, ok := s.Get("key-00"); ok {
+		t.Fatal("oldest entry survived")
+	}
+}
+
+func TestStoreOpenGCsOversizedDir(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := OpenStore(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if err := s1.Put(fmt.Sprintf("k%d", i), bytes.Repeat([]byte("y"), 50)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	entrySize := int64(len(encodeEntry("k0", bytes.Repeat([]byte("y"), 50))))
+	s2, err := OpenStore(dir, 2*entrySize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := s2.Stats(); st.Entries > 2 {
+		t.Fatalf("open did not GC an oversized directory: %+v", st)
+	}
+}
+
+// TestStoreConcurrentGCvsRead races readers against writers that force
+// constant eviction: every Get must be a clean hit or a clean miss —
+// never a panic, an error-shaped value, or cross-key data.
+func TestStoreConcurrentGCvsRead(t *testing.T) {
+	entrySize := int64(len(encodeEntry("key-00", bytes.Repeat([]byte("z"), 64))))
+	s, err := OpenStore(t.TempDir(), 4*entrySize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const keys = 16
+	payload := func(i int) []byte {
+		return bytes.Repeat([]byte{byte('a' + i)}, 64)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for iter := 0; iter < 200; iter++ {
+				i := (w + iter) % keys
+				s.Put(fmt.Sprintf("key-%02d", i), payload(i))
+			}
+		}(w)
+	}
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for iter := 0; iter < 400; iter++ {
+				i := (r + iter) % keys
+				val, ok := s.Get(fmt.Sprintf("key-%02d", i))
+				if ok && !bytes.Equal(val, payload(i)) {
+					t.Errorf("key-%02d served wrong bytes %q", i, val[:1])
+					return
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	if st := s.Stats(); st.Corrupt != 0 {
+		t.Fatalf("concurrent GC/read produced corrupt reads: %+v", st)
+	}
+}
+
+func TestStoreOpenEmptyDirErrors(t *testing.T) {
+	if _, err := OpenStore("", 0); err == nil {
+		t.Fatal("OpenStore(\"\") succeeded")
+	}
+}
+
+func TestStoreIgnoresForeignFiles(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "README"), []byte("not an entry"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := OpenStore(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 0 {
+		t.Fatalf("foreign file indexed: Len = %d", s.Len())
+	}
+	if !strings.HasSuffix(fileName("x"), storeSuffix) {
+		t.Fatal("fileName lost its suffix")
+	}
+}
+
+func TestStoreDirAndExplicitGC(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenStore(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Dir() != dir {
+		t.Fatalf("Dir = %q, want %q", s.Dir(), dir)
+	}
+	// Unbounded store: GC is a no-op.
+	if err := s.Put("a", []byte("aaaa")); err != nil {
+		t.Fatal(err)
+	}
+	if n := s.GC(); n != 0 {
+		t.Fatalf("GC on unbounded store evicted %d", n)
+	}
+	// Shrink the bound below the resident size: explicit GC evicts.
+	s.maxBytes = 1
+	if n := s.GC(); n != 1 {
+		t.Fatalf("GC = %d, want 1", n)
+	}
+	if s.Len() != 0 {
+		t.Fatalf("Len = %d after GC", s.Len())
+	}
+}

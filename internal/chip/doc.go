@@ -1,0 +1,24 @@
+// Package chip assembles a complete gate-level implementation — datapath
+// plus controller — of a scheduled, bound design, and measures its
+// switching activity. It is the stand-in for the paper's Synopsys Design
+// Compiler + DesignPower flow (Table III).
+//
+// Structure, following the paper's architecture:
+//
+//   - a self-starting one-hot ring counter provides the control steps
+//     (Steps+1 states; state 0 is the operand prologue);
+//   - every operation owns a value register latched at the end of its
+//     control step; boolean results double as the condition registers;
+//   - every execution unit has operand registers latched one cycle before
+//     each operation it hosts, with steering multiplexors when the unit is
+//     shared;
+//   - in the power managed variant every load enable is ANDed with the
+//     operation's guard conditions: a disabled operand register freezes
+//     the unit's inputs — no switching, no dynamic power. The guard of a
+//     condition computed in the immediately preceding cycle taps the
+//     unit's combinational output; older conditions come from their value
+//     registers.
+//
+// Primary inputs are driven and held by the testbench for a whole sample,
+// so they need no input registers; constants are hardwired.
+package chip

@@ -1,17 +1,3 @@
-// Package ctrl generates the finite state machine controller for a
-// scheduled, bound datapath.
-//
-// The controller is where the paper's power management physically
-// happens. Each execution unit's input registers load at the end of the
-// control step before the unit's operation executes; each operation's
-// result register latches at the end of its own step. In the power managed
-// controller these load enables are qualified by stored condition bits:
-// when the conditions say an operation's result will not be used, its
-// unit's input registers keep their old values and the unit does not
-// switch. The paper notes the controller is "somewhat more complex since
-// the loading of the input registers to some of the execution units will
-// depend on signals generated by some previous computation" — the Guards
-// on each load are exactly those signals.
 package ctrl
 
 import (

@@ -1,18 +1,3 @@
-// Package flow decomposes the power management synthesis flow of Monteiro
-// et al. (DAC'96) into named passes over a shared context, and provides a
-// bounded-concurrency engine that evaluates many configurations of one
-// design — the architectural seam between the per-run algorithms
-// (internal/core, internal/alloc, internal/ctrl, internal/power) and the
-// layers that explore a design space (the root pmsynth.Sweep API,
-// cmd/pmsched -sweep, cmd/tables, the benchmark harness).
-//
-// A Pass is one stage of the flow; a Pipeline runs passes in order over a
-// Context, recording per-pass wall-clock timings and diagnostics. The
-// Standard pipeline reproduces the paper's fixed sequence:
-//
-//	schedule -> bind -> controller -> baseline -> activity
-//
-// See DESIGN.md at the repository root for the architecture.
 package flow
 
 import (

@@ -1,0 +1,13 @@
+// Package gen is a seeded random Silage-program generator for the
+// cross-layer differential verification harness (internal/verify,
+// cmd/pmverify). It builds well-typed function ASTs directly — the printed
+// source always parses and elaborates — with tunable size, conditional
+// nesting depth, multiplexor fan-in and unrolled-loop depth, so the
+// harness can steer generation toward the structures the power management
+// pass cares about: select-before-data serialization, nested gating, and
+// pipelinable accumulation chains.
+//
+// Everything is driven from one *rand.Rand: the same seed and Config
+// always produce the same program, which is what lets a failing seed be
+// replayed, shrunk (see Shrink) and committed as a regression fixture.
+package gen

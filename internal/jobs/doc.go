@@ -1,0 +1,21 @@
+// Package jobs is the asynchronous job manager of the pmsynthd serving
+// layer: long-running work (design-space sweeps) becomes a trackable job
+// with a lifecycle state machine, per-job progress counters, an ordered
+// event log that clients can stream, cancellation, and TTL-based garbage
+// collection of finished jobs.
+//
+// Lifecycle:
+//
+//	pending ──► running ──► succeeded
+//	    │           │  ╲──► failed
+//	    ╰───────────┴────► canceled
+//
+// Jobs run on a fixed pool of worker goroutines draining a bounded
+// pending queue: Submit never blocks and never parks a goroutine per
+// queued job — it either enqueues (the job waits in the pending state
+// costing one queue slot, not a stack) or sheds the submission with
+// ErrQueueFull, which is the manager's backpressure signal to the
+// serving layer. The manager is function-agnostic — it runs any Func —
+// so the synthesis layers stay out of its dependency cone and it can be
+// tested with microsecond workloads.
+package jobs

@@ -1,23 +1,3 @@
-// Package jobs is the asynchronous job manager of the pmsynthd serving
-// layer: long-running work (design-space sweeps) becomes a trackable job
-// with a lifecycle state machine, per-job progress counters, an ordered
-// event log that clients can stream, cancellation, and TTL-based garbage
-// collection of finished jobs.
-//
-// Lifecycle:
-//
-//	pending ──► running ──► succeeded
-//	    │           │  ╲──► failed
-//	    ╰───────────┴────► canceled
-//
-// Jobs run on a fixed pool of worker goroutines draining a bounded
-// pending queue: Submit never blocks and never parks a goroutine per
-// queued job — it either enqueues (the job waits in the pending state
-// costing one queue slot, not a stack) or sheds the submission with
-// ErrQueueFull, which is the manager's backpressure signal to the
-// serving layer. The manager is function-agnostic — it runs any Func —
-// so the synthesis layers stay out of its dependency cone and it can be
-// tested with microsecond workloads.
 package jobs
 
 import (
@@ -77,8 +57,11 @@ type Func func(ctx context.Context, progress func(done, total int)) (interface{}
 
 // Info is a point-in-time snapshot of a job.
 type Info struct {
-	ID       string    `json:"id"`
-	Name     string    `json:"name"`
+	ID   string `json:"id"`
+	Name string `json:"name"`
+	// Group is the batch label the job was submitted under, if any; all
+	// jobs of one POST /v1/batch share a group.
+	Group    string    `json:"group,omitempty"`
 	State    State     `json:"state"`
 	Created  time.Time `json:"created"`
 	Started  time.Time `json:"started"`
@@ -90,8 +73,9 @@ type Info struct {
 
 // Job is one unit of tracked work.
 type Job struct {
-	id   string
-	name string
+	id    string
+	name  string
+	group string
 
 	mu       sync.Mutex
 	state    State
@@ -128,7 +112,7 @@ func (j *Job) Snapshot() Info {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	info := Info{
-		ID: j.id, Name: j.name, State: j.state,
+		ID: j.id, Name: j.name, Group: j.group, State: j.state,
 		Created: j.created, Started: j.started, Finished: j.finished,
 		Done: j.done, Total: j.total,
 	}
@@ -328,10 +312,17 @@ func NewManager(cfg Config) *Manager {
 // shed with ErrQueueFull and nothing is retained. total may be 0 when
 // the amount of work is unknown up front; progress ticks refine it.
 func (m *Manager) Submit(name string, total int, fn Func) (*Job, error) {
+	return m.SubmitGroup(name, "", total, fn)
+}
+
+// SubmitGroup is Submit with a group label: jobs submitted under the same
+// non-empty group (a batch id) are retrievable together with Group. The
+// label is purely an index — it never affects scheduling.
+func (m *Manager) SubmitGroup(name, group string, total int, fn Func) (*Job, error) {
 	ctx, cancel := context.WithCancel(m.base)
 	now := time.Now()
 	j := &Job{
-		id: newID(), name: name, state: StatePending,
+		id: newID(), name: name, group: group, state: StatePending,
 		created: now, total: total, ringCap: m.eventTail,
 		notify: make(chan struct{}),
 		cancel: cancel, ctx: ctx, fn: fn,
@@ -361,6 +352,39 @@ func (m *Manager) Submit(name string, total int, fn Func) (*Job, error) {
 	m.mu.Unlock()
 	m.created.Add(1)
 	m.signal()
+	return j, nil
+}
+
+// SubmitDone registers a job that is already succeeded, carrying val as
+// its result. This is the warm-start path: when the serving layer finds a
+// completed sweep table in the disk store, the restored result still gets
+// a job identity — the same /v1/jobs endpoints, event stream and result
+// views as a freshly computed one — without consuming a queue slot or a
+// worker. The job's event log holds a created event and a terminal
+// succeeded event with Done == Total.
+func (m *Manager) SubmitDone(name, group string, total int, val interface{}) (*Job, error) {
+	m.qmu.Lock()
+	if m.closed {
+		m.qmu.Unlock()
+		return nil, ErrClosed
+	}
+	m.qmu.Unlock()
+	now := time.Now()
+	j := &Job{
+		id: newID(), name: name, group: group, state: StateSucceeded,
+		created: now, started: now, finished: now,
+		done: total, total: total, ringCap: m.eventTail,
+		result: val,
+		notify: make(chan struct{}),
+		cancel: func() {}, // no context: nothing will ever run
+	}
+	j.append("created", now)
+	j.append(string(StateSucceeded), now)
+	m.mu.Lock()
+	m.jobs[j.id] = j
+	m.mu.Unlock()
+	m.created.Add(1)
+	m.completed.Add(1)
 	return j, nil
 }
 

@@ -469,3 +469,102 @@ func TestListOrder(t *testing.T) {
 		t.Fatalf("created counter = %d, want 3", created)
 	}
 }
+
+func TestSubmitDone(t *testing.T) {
+	m := newTestManager(t, 1)
+	j, err := m.SubmitDone("warm sweep", "batch-1", 6, "restored-result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := j.Snapshot()
+	if info.State != StateSucceeded || info.Done != 6 || info.Total != 6 {
+		t.Fatalf("snapshot = %+v", info)
+	}
+	if info.Group != "batch-1" {
+		t.Fatalf("Group = %q", info.Group)
+	}
+	val, jobErr, done := j.Result()
+	if !done || jobErr != nil || val != "restored-result" {
+		t.Fatalf("Result = %v, %v, %v", val, jobErr, done)
+	}
+	// The event log is complete immediately: created + succeeded, done.
+	events, _, finished := j.EventsSince(0)
+	if !finished || len(events) != 2 ||
+		events[0].Type != "created" || events[1].Type != "succeeded" {
+		t.Fatalf("events = %+v, finished = %v", events, finished)
+	}
+	// It is findable like any other job and cancel refuses it.
+	if got, ok := m.Get(j.ID()); !ok || got != j {
+		t.Fatal("SubmitDone job not registered")
+	}
+	if m.Cancel(j.ID()) {
+		t.Fatal("canceled an already-succeeded job")
+	}
+	created, completed := m.Counters()
+	if created != 1 || completed != 1 {
+		t.Fatalf("counters = %d, %d", created, completed)
+	}
+	// It consumed no queue slot.
+	if pending, _, _ := m.QueueStats(); pending != 0 {
+		t.Fatalf("pending = %d", pending)
+	}
+}
+
+func TestSubmitDoneAfterClose(t *testing.T) {
+	m := NewManager(Config{Workers: 1, TTL: time.Hour, GCInterval: time.Hour})
+	m.Close()
+	if _, err := m.SubmitDone("late", "", 1, nil); !errors.Is(err, ErrClosed) {
+		t.Fatalf("err = %v, want ErrClosed", err)
+	}
+}
+
+func TestGroups(t *testing.T) {
+	m := newTestManager(t, 2)
+	release := make(chan struct{})
+	fn := func(ctx context.Context, progress func(int, int)) (interface{}, error) {
+		<-release
+		return "ok", nil
+	}
+	a, err := m.SubmitGroup("a", "g1", 1, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.SubmitGroup("b", "g2", 1, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := m.Submit("ungrouped", 1, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The label is pure metadata, surfaced on every snapshot (and hence
+	// in /v1/jobs listings); it never affects scheduling.
+	if got := a.Snapshot().Group; got != "g1" {
+		t.Fatalf("a.Group = %q", got)
+	}
+	if got := b.Snapshot().Group; got != "g2" {
+		t.Fatalf("b.Group = %q", got)
+	}
+	if got := c.Snapshot().Group; got != "" {
+		t.Fatalf("ungrouped.Group = %q", got)
+	}
+	byID := map[string]string{}
+	for _, info := range m.List() {
+		byID[info.ID] = info.Group
+	}
+	if byID[a.ID()] != "g1" || byID[b.ID()] != "g2" || byID[c.ID()] != "" {
+		t.Fatalf("List groups = %v", byID)
+	}
+	close(release)
+}
+
+func TestGroupSurvivesInList(t *testing.T) {
+	m := newTestManager(t, 1)
+	if _, err := m.SubmitDone("w", "batch-7", 1, nil); err != nil {
+		t.Fatal(err)
+	}
+	list := m.List()
+	if len(list) != 1 || list[0].Group != "batch-7" {
+		t.Fatalf("List = %+v", list)
+	}
+}

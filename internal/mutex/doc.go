@@ -1,0 +1,17 @@
+// Package mutex implements structural mutual-exclusiveness analysis on
+// CDFGs, in the spirit of the condition-graph work (Juan, Chaiyakul,
+// Gajski, ICCAD'94) the paper's §II.C builds on.
+//
+// Two operations are mutually exclusive when, whatever the inputs, the
+// result of at most one of them is used. The power management pass derives
+// exclusiveness from its own gating decisions; this package derives it
+// from the graph structure alone — every value consumed exclusively
+// through opposite data inputs of the same multiplexor is exclusive, even
+// in designs scheduled without power management. Allocation uses either
+// source to share execution units.
+//
+// The analysis computes, for every operation, a set of condition literals
+// (mux select, branch) under which its result is used, by walking from the
+// outputs backwards. Two operations with complementary literals on the
+// same select are exclusive.
+package mutex

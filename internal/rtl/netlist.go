@@ -1,15 +1,3 @@
-// Package rtl provides a gate-level netlist representation, generators for
-// the datapath units the paper assumes (ripple-carry adders/subtractors,
-// comparators, array multipliers, word multiplexors, enabled registers),
-// and a zero-delay cycle simulator that measures switching activity.
-//
-// It substitutes for the Synopsys Design Compiler + DesignPower flow the
-// paper uses for Table III: the generated register-transfer structure is
-// mapped straight to gates, and "power" is the average number of
-// fanout-weighted net toggles per cycle — the standard technology-free
-// capacitance proxy. Absolute numbers differ from the paper's library
-// units, but the ratio between the gated and ungated versions of the same
-// datapath, which is all Table III reports, carries over.
 package rtl
 
 import (

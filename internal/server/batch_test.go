@@ -1,0 +1,191 @@
+package server_test
+
+// Tests of POST /v1/batch and GET /v1/batch/{id}: fan-out through the
+// shared admission pipeline, per-entry statuses with partial acceptance,
+// group aggregation, and the batch-level guards.
+
+import (
+	"net/http"
+	"testing"
+	"time"
+
+	"repro/internal/jobs"
+	"repro/internal/server"
+)
+
+func TestBatchFanOut(t *testing.T) {
+	_, ts := newTestServer(t, server.Config{JobWorkers: 2})
+	req := server.BatchRequest{Sweeps: []server.SweepRequest{
+		{Source: absDiffSrc, Spec: server.SweepSpecRequest{BudgetMin: 2, BudgetMax: 3}},
+		{Source: absDiffSrc, Spec: server.SweepSpecRequest{BudgetMin: 2, BudgetMax: 4}},
+		{Source: absDiffSrc, Spec: server.SweepSpecRequest{BudgetMin: 2, BudgetMax: 3}}, // dup of [0]
+		{Source: "", Spec: server.SweepSpecRequest{BudgetMin: 2, BudgetMax: 3}},         // invalid
+		{Source: "not silage", Spec: server.SweepSpecRequest{BudgetMin: 2, BudgetMax: 3}},
+	}}
+	var resp server.BatchCreatedResponse
+	if code := postJSON(t, ts.URL+"/v1/batch", req, &resp); code != http.StatusOK {
+		t.Fatalf("batch = %d", code)
+	}
+	if resp.ID == "" {
+		t.Fatal("batch has no id")
+	}
+	if resp.Accepted != 3 || resp.Rejected != 2 {
+		t.Fatalf("accepted/rejected = %d/%d, want 3/2: %+v", resp.Accepted, resp.Rejected, resp.Items)
+	}
+	items := resp.Items
+	if len(items) != 5 {
+		t.Fatalf("items = %d", len(items))
+	}
+	if items[0].Status != http.StatusAccepted || items[0].Sweep == nil {
+		t.Fatalf("item 0 = %+v", items[0])
+	}
+	if items[1].Status != http.StatusAccepted {
+		t.Fatalf("item 1 = %+v", items[1])
+	}
+	// The duplicate dedupes onto item 0's live job.
+	if items[2].Status != http.StatusOK || items[2].Sweep == nil ||
+		!items[2].Sweep.Deduped || items[2].Sweep.ID != items[0].Sweep.ID {
+		t.Fatalf("item 2 = %+v, want dedup onto %s", items[2], items[0].Sweep.ID)
+	}
+	if items[3].Status != http.StatusBadRequest || items[3].Error == "" {
+		t.Fatalf("item 3 = %+v", items[3])
+	}
+	if items[4].Status != http.StatusUnprocessableEntity {
+		t.Fatalf("item 4 = %+v", items[4])
+	}
+
+	// Batch status aggregates the group's jobs: the two distinct
+	// admissions (the dedup rides a job already in the group).
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		var st server.BatchStatusResponse
+		if code := getJSON(t, ts.URL+"/v1/batch/"+resp.ID, &st); code != http.StatusOK {
+			t.Fatalf("batch status = %d", code)
+		}
+		if len(st.Jobs) != 2 {
+			t.Fatalf("batch jobs = %d, want 2: %+v", len(st.Jobs), st.Jobs)
+		}
+		if st.Done {
+			if st.Counts[jobs.StateSucceeded] != 2 {
+				t.Fatalf("counts = %+v", st.Counts)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("batch never finished")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestBatchGuards(t *testing.T) {
+	_, ts := newTestServer(t, server.Config{MaxBatchSweeps: 2})
+
+	var out map[string]interface{}
+	if code := postJSON(t, ts.URL+"/v1/batch", server.BatchRequest{}, &out); code != http.StatusBadRequest {
+		t.Fatalf("empty batch = %d, want 400", code)
+	}
+
+	big := server.BatchRequest{Sweeps: make([]server.SweepRequest, 3)}
+	for i := range big.Sweeps {
+		big.Sweeps[i] = server.SweepRequest{Source: absDiffSrc, Spec: server.SweepSpecRequest{BudgetMin: 2, BudgetMax: 3}}
+	}
+	if code := postJSON(t, ts.URL+"/v1/batch", big, &out); code != http.StatusUnprocessableEntity {
+		t.Fatalf("oversized batch = %d, want 422", code)
+	}
+
+	if code := getJSON(t, ts.URL+"/v1/batch/nope", &out); code != http.StatusNotFound {
+		t.Fatalf("unknown batch = %d, want 404", code)
+	}
+}
+
+// TestBatchPartialShed: when the admission queue fills mid-batch, the
+// already-admitted entries stay admitted, the overflow entries get
+// per-item 429s, and the response carries the Retry-After hint.
+func TestBatchPartialShed(t *testing.T) {
+	_, ts := newTestServer(t, server.Config{
+		JobWorkers:     1,
+		MaxPendingJobs: 1,
+		RetryAfter:     3 * time.Second,
+	})
+	// Occupy the single worker with a long sweep so queued entries stay
+	// queued.
+	hog := server.SweepRequest{
+		Source: gcdSrc,
+		Spec:   server.SweepSpecRequest{BudgetMin: 5, BudgetMax: 4000, Workers: 1},
+	}
+	var hogResp server.SweepCreatedResponse
+	if code := postJSON(t, ts.URL+"/v1/sweep", hog, &hogResp); code != http.StatusAccepted {
+		t.Fatalf("hog = %d", code)
+	}
+	waitJobState(t, ts.URL, hogResp.ID, jobs.StateRunning)
+
+	batch := server.BatchRequest{Sweeps: []server.SweepRequest{
+		{Source: absDiffSrc, Spec: server.SweepSpecRequest{BudgetMin: 2, BudgetMax: 3}},
+		{Source: absDiffSrc, Spec: server.SweepSpecRequest{BudgetMin: 2, BudgetMax: 4}},
+	}}
+	var resp server.BatchCreatedResponse
+	if code := postJSON(t, ts.URL+"/v1/batch", batch, &resp); code != http.StatusOK {
+		t.Fatalf("batch = %d", code)
+	}
+	if resp.Accepted != 1 || resp.Rejected != 1 {
+		t.Fatalf("accepted/rejected = %d/%d: %+v", resp.Accepted, resp.Rejected, resp.Items)
+	}
+	// Entries are admitted concurrently, so which of the two wins the
+	// single queue slot is racy; the contract is one 202 and one 429.
+	statuses := map[int]int{}
+	for _, item := range resp.Items {
+		statuses[item.Status]++
+	}
+	if statuses[http.StatusAccepted] != 1 || statuses[http.StatusTooManyRequests] != 1 {
+		t.Fatalf("statuses = %v, want one 202 and one 429: %+v", statuses, resp.Items)
+	}
+	if resp.RetryAfterSeconds != 3 {
+		t.Fatalf("RetryAfterSeconds = %d, want 3", resp.RetryAfterSeconds)
+	}
+
+	// Unblock teardown.
+	postJSON(t, ts.URL+"/v1/jobs/"+hogResp.ID+"/cancel", struct{}{}, nil)
+	for _, item := range resp.Items {
+		if item.Sweep != nil {
+			postJSON(t, ts.URL+"/v1/jobs/"+item.Sweep.ID+"/cancel", struct{}{}, nil)
+		}
+	}
+}
+
+// TestBatchAllDeduped: a batch whose every entry dedupes onto jobs from
+// an earlier submission must still get a working aggregate handle — the
+// member index, not the group label, is what GET /v1/batch/{id} reads.
+func TestBatchAllDeduped(t *testing.T) {
+	_, ts := newTestServer(t, server.Config{JobWorkers: 2})
+	first := server.BatchRequest{Sweeps: []server.SweepRequest{
+		{Source: absDiffSrc, Spec: server.SweepSpecRequest{BudgetMin: 2, BudgetMax: 3}},
+	}}
+	var resp1 server.BatchCreatedResponse
+	if code := postJSON(t, ts.URL+"/v1/batch", first, &resp1); code != http.StatusOK {
+		t.Fatalf("first batch = %d", code)
+	}
+
+	// The identical batch resubmitted: its one entry joins the live job.
+	var resp2 server.BatchCreatedResponse
+	if code := postJSON(t, ts.URL+"/v1/batch", first, &resp2); code != http.StatusOK {
+		t.Fatalf("second batch = %d", code)
+	}
+	if resp2.ID == resp1.ID {
+		t.Fatal("batch ids collided")
+	}
+	if resp2.Accepted != 1 || !resp2.Items[0].Sweep.Deduped {
+		t.Fatalf("second batch = %+v", resp2.Items)
+	}
+
+	// Both handles aggregate the same member job.
+	for _, id := range []string{resp1.ID, resp2.ID} {
+		var st server.BatchStatusResponse
+		if code := getJSON(t, ts.URL+"/v1/batch/"+id, &st); code != http.StatusOK {
+			t.Fatalf("batch %s status = %d, want 200", id, code)
+		}
+		if len(st.Jobs) != 1 || st.Jobs[0].ID != resp1.Items[0].Sweep.ID {
+			t.Fatalf("batch %s jobs = %+v", id, st.Jobs)
+		}
+	}
+}

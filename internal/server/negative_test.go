@@ -126,7 +126,10 @@ func TestMethodAndPathValidation(t *testing.T) {
 func TestCanceledClientRequests(t *testing.T) {
 	baseline := runtime.NumGoroutine()
 
-	s := server.New(server.Config{JobWorkers: 1})
+	s, err := server.New(server.Config{JobWorkers: 1})
+	if err != nil {
+		t.Fatalf("server.New: %v", err)
+	}
 	ts := httptest.NewServer(s.Handler())
 
 	// Synthesize with an already-canceled context: the client sees a
@@ -268,7 +271,10 @@ func FuzzSynthesizeHandler(f *testing.F) {
 	f.Add([]byte(`{"source":""}`))
 	f.Add([]byte(`{`))
 	f.Add([]byte(`{"source":"x","options":{"budget":1048577}}`))
-	s := server.New(server.Config{})
+	s, err := server.New(server.Config{})
+	if err != nil {
+		f.Fatalf("server.New: %v", err)
+	}
 	f.Cleanup(s.Close)
 	f.Fuzz(func(t *testing.T, body []byte) {
 		req := httptest.NewRequest(http.MethodPost, "/v1/synthesize", bytes.NewReader(body))
@@ -282,4 +288,54 @@ func FuzzSynthesizeHandler(f *testing.F) {
 			t.Fatalf("non-JSON response %q for body %q", rec.Body.Bytes(), body)
 		}
 	})
+}
+
+// TestBadObjectiveRejected: the best view validates its objective name.
+func TestBadObjectiveRejected(t *testing.T) {
+	s, err := server.New(server.Config{JobWorkers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() { ts.Close(); s.Close() })
+
+	body := `{"source":"func inc(a: num<8>) out: num<8> = begin out = a + 1; end","spec":{"budgetMin":1,"budgetMax":2}}`
+	resp, err := http.Post(ts.URL+"/v1/sweep", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var created struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&created); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		r, err := http.Get(ts.URL + "/v1/jobs/" + created.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var info struct {
+			State string `json:"state"`
+		}
+		json.NewDecoder(r.Body).Decode(&info)
+		r.Body.Close()
+		if info.State == "succeeded" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("sweep never finished")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	r, err := http.Get(ts.URL + "/v1/jobs/" + created.ID + "/result?view=best&objective=speed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Body.Close()
+	if r.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad objective = %d, want 400", r.StatusCode)
+	}
 }

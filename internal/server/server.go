@@ -1,33 +1,3 @@
-// Package server is the HTTP front door of the synthesis engine: the
-// pmsynthd API. It composes the content-addressed result cache
-// (internal/cache) and the async job manager (internal/jobs) over the
-// public pmsynth API:
-//
-//	POST /v1/synthesize        one-shot synthesis, cached and deduplicated
-//	POST /v1/sweep             create an async design-space sweep job
-//	GET  /v1/jobs              list jobs
-//	GET  /v1/jobs/{id}         job status
-//	GET  /v1/jobs/{id}/events  NDJSON stream of the ordered event log
-//	GET  /v1/jobs/{id}/result  best / pareto / table views of the sweep
-//	POST /v1/jobs/{id}/cancel  cancel a pending or running job
-//	GET  /healthz              liveness
-//	GET  /metrics              Prometheus-style counters
-//
-// Identical requests collapse at two levels. Sources collapse in a shared
-// compiled-design cache (content-addressed on the source text, singleflight)
-// used by both POST endpoints, so the same source compiles once no matter
-// how many synthesize and sweep requests race. Whole requests collapse on
-// their fingerprints: synthesize responses are cached under the request
-// fingerprint (concurrent identical misses run one synthesis), and sweep
-// submissions whose fingerprint matches a live job join that job instead of
-// starting a second one.
-//
-// Admission is lock-free in the sense that matters for availability: no
-// client-controlled work (Compile, Enumerate) ever runs under the server
-// mutex, so one slow or hostile submission cannot head-of-line block the
-// others. Sweep jobs queue on a bounded admission queue; beyond its
-// capacity submissions are shed with 429 + Retry-After instead of piling
-// up unboundedly.
 package server
 
 import (
@@ -85,6 +55,24 @@ type Config struct {
 	// RetryAfter is the backpressure hint attached to shed submissions
 	// (the Retry-After header on 429 responses); <= 0 means 1s.
 	RetryAfter time.Duration
+	// StoreDir, when non-empty, enables the disk-backed result store
+	// rooted at that directory: synthesize results and completed sweep
+	// tables persist across restarts and are served as warm hits without
+	// recompiling. Empty disables persistence.
+	StoreDir string
+	// StoreMaxBytes bounds the disk store; beyond it the least recently
+	// used entries are garbage-collected. <= 0 means 1 GiB.
+	StoreMaxBytes int64
+	// MaxBatchSweeps bounds the number of sweep specs one POST /v1/batch
+	// request may carry; <= 0 means 64.
+	MaxBatchSweeps int
+	// MaxWarmJobs bounds how many store-restored (warm) sweep jobs may be
+	// live at once; <= 0 means 256. Warm restores skip the admission
+	// queue — this is their own backpressure bound, so a client replaying
+	// its whole store corpus cannot pin every decoded table in memory for
+	// the job TTL. Beyond the bound, warm submissions are shed with 429
+	// exactly like queue-full cold ones.
+	MaxWarmJobs int
 	// CompileHook, when non-nil, runs inside the design cache's
 	// singleflight compute immediately before the compiler — exactly one
 	// call per actual compile, on the computing goroutine, never under
@@ -111,6 +99,7 @@ type Server struct {
 	cfg     Config
 	cache   *cache.Cache[*synthResult]
 	designs *cache.Cache[*pmsynth.Design]
+	store   *cache.Store // nil when persistence is disabled
 	jobs    *jobs.Manager
 	mux     *http.ServeMux
 	start   time.Time
@@ -120,15 +109,27 @@ type Server struct {
 	// synthesis — ever runs while mu is held; critical sections are map
 	// lookups and inserts only.
 	mu        sync.Mutex
-	sweepByFP map[string]string // fingerprint -> job id
+	sweepByFP map[string]string   // fingerprint -> job id
+	warmJobs  map[string]struct{} // live store-restored job ids (bounded)
+
+	// batchMu guards the batch index: batch id -> member job ids, in
+	// request order, including jobs the batch's entries deduped onto
+	// (whose group label belongs to an earlier submission). Separate
+	// from mu so batch status reads never contend with sweep admission.
+	batchMu sync.Mutex
+	batches map[string][]string
 
 	synthRequests atomic.Int64
 	sweepRequests atomic.Int64
 	sweepSheds    atomic.Int64
+	sweepWarmHits atomic.Int64
+	batchRequests atomic.Int64
 }
 
-// New builds a server. Call Close to stop its job manager.
-func New(cfg Config) *Server {
+// New builds a server. It fails only when the configured store directory
+// cannot be opened; with persistence disabled (empty StoreDir) it cannot
+// fail. Call Close to stop the job manager.
+func New(cfg Config) (*Server, error) {
 	if cfg.CacheEntries <= 0 {
 		cfg.CacheEntries = 1024
 	}
@@ -153,10 +154,28 @@ func New(cfg Config) *Server {
 	if cfg.RetryAfter <= 0 {
 		cfg.RetryAfter = time.Second
 	}
+	if cfg.StoreMaxBytes <= 0 {
+		cfg.StoreMaxBytes = 1 << 30
+	}
+	if cfg.MaxBatchSweeps <= 0 {
+		cfg.MaxBatchSweeps = 64
+	}
+	if cfg.MaxWarmJobs <= 0 {
+		cfg.MaxWarmJobs = 256
+	}
+	var store *cache.Store
+	if cfg.StoreDir != "" {
+		var err error
+		store, err = cache.OpenStore(cfg.StoreDir, cfg.StoreMaxBytes)
+		if err != nil {
+			return nil, err
+		}
+	}
 	s := &Server{
 		cfg:     cfg,
 		cache:   cache.New[*synthResult](cfg.CacheEntries),
 		designs: cache.New[*pmsynth.Design](cfg.DesignCacheEntries),
+		store:   store,
 		jobs: jobs.NewManager(jobs.Config{
 			Workers:    cfg.JobWorkers,
 			MaxPending: cfg.MaxPendingJobs,
@@ -166,6 +185,8 @@ func New(cfg Config) *Server {
 		mux:       http.NewServeMux(),
 		start:     time.Now(),
 		sweepByFP: make(map[string]string),
+		warmJobs:  make(map[string]struct{}),
+		batches:   make(map[string][]string),
 	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -176,7 +197,9 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleJobResult)
 	s.mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.handleJobCancel)
-	return s
+	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	s.mux.HandleFunc("GET /v1/batch/{id}", s.handleBatchStatus)
+	return s, nil
 }
 
 // Handler returns the root handler.
@@ -190,6 +213,15 @@ func (s *Server) CacheStats() cache.Stats { return s.cache.Stats() }
 
 // DesignCacheStats exposes the compiled-design cache counters.
 func (s *Server) DesignCacheStats() cache.Stats { return s.designs.Stats() }
+
+// StoreStats exposes the disk-store counters; ok is false when
+// persistence is disabled.
+func (s *Server) StoreStats() (st cache.StoreStats, ok bool) {
+	if s.store == nil {
+		return cache.StoreStats{}, false
+	}
+	return s.store.Stats(), true
+}
 
 // compileCached resolves a source text through the shared compiled-design
 // cache: content-addressed on the source bytes and singleflight, so
@@ -264,9 +296,33 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "pmsynthd_design_cache_inflight %d\n", dst.Inflight)
 	fmt.Fprintf(w, "pmsynthd_design_cache_evictions %d\n", dst.Evictions)
 	fmt.Fprintf(w, "pmsynthd_design_cache_entries %d\n", dst.Entries)
+	// Store counters are emitted unconditionally (zeros when persistence
+	// is disabled) so dashboards never miss the series.
+	var sst cache.StoreStats
+	storeEnabled := 0
+	if s.store != nil {
+		sst = s.store.Stats()
+		storeEnabled = 1
+	}
+	fmt.Fprintf(w, "pmsynthd_store_enabled %d\n", storeEnabled)
+	fmt.Fprintf(w, "pmsynthd_store_hits %d\n", sst.Hits)
+	fmt.Fprintf(w, "pmsynthd_store_misses %d\n", sst.Misses)
+	fmt.Fprintf(w, "pmsynthd_store_puts %d\n", sst.Puts)
+	fmt.Fprintf(w, "pmsynthd_store_put_errors %d\n", sst.PutErrors)
+	fmt.Fprintf(w, "pmsynthd_store_corrupt %d\n", sst.Corrupt)
+	fmt.Fprintf(w, "pmsynthd_store_evictions %d\n", sst.Evictions)
+	fmt.Fprintf(w, "pmsynthd_store_bytes %d\n", sst.Bytes)
+	fmt.Fprintf(w, "pmsynthd_store_entries %d\n", sst.Entries)
 	fmt.Fprintf(w, "pmsynthd_synthesize_requests %d\n", s.synthRequests.Load())
 	fmt.Fprintf(w, "pmsynthd_sweep_requests %d\n", s.sweepRequests.Load())
 	fmt.Fprintf(w, "pmsynthd_sweep_shed %d\n", s.sweepSheds.Load())
+	fmt.Fprintf(w, "pmsynthd_sweep_warm_hits %d\n", s.sweepWarmHits.Load())
+	s.mu.Lock()
+	s.pruneWarmJobsLocked()
+	warmLive := len(s.warmJobs)
+	s.mu.Unlock()
+	fmt.Fprintf(w, "pmsynthd_warm_jobs_live %d\n", warmLive)
+	fmt.Fprintf(w, "pmsynthd_batch_requests %d\n", s.batchRequests.Load())
 	fmt.Fprintf(w, "pmsynthd_jobs_created %d\n", created)
 	fmt.Fprintf(w, "pmsynthd_jobs_completed %d\n", completed)
 	fmt.Fprintf(w, "pmsynthd_jobs_running %d\n", running)
@@ -321,6 +377,18 @@ func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request) {
 
 	computed := false
 	res, err := s.cache.GetOrCompute(key, func() (*synthResult, error) {
+		// The disk tier sits behind the in-memory LRU, inside the
+		// singleflight compute: a warm entry written by an earlier process
+		// answers without recompiling, and concurrent identical misses
+		// still trigger exactly one disk read.
+		if s.store != nil {
+			if blob, ok := s.store.Get(key); ok {
+				if restored, derr := decodeSynthResult(blob); derr == nil {
+					return restored, nil
+				}
+				// Undecodable (format drift): recompute and overwrite.
+			}
+		}
 		computed = true
 		design, err := s.compileCached(req.Source)
 		if err != nil {
@@ -339,6 +407,11 @@ func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request) {
 		if emitVerilog {
 			if out.verilog, err = syn.Verilog(); err != nil {
 				return nil, fmt.Errorf("verilog: %w", err)
+			}
+		}
+		if s.store != nil {
+			if blob, eerr := encodeSynthResult(out); eerr == nil {
+				s.store.Put(key, blob) // advisory: a failed Put costs a recompute
 			}
 		}
 		return out, nil
@@ -376,10 +449,15 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad spec: %v", err)
 		return
 	}
-	// Resolve the worker default before clamping, so the cap governs the
-	// default path too: with no client value and no -sweep-workers, the
-	// flow library would expand 0 to GOMAXPROCS, sailing past a smaller
-	// MaxSweepWorkers if the clamp only saw explicit positives.
+	s.clampWorkers(&spec)
+	s.writeSweepOutcome(w, s.admitSweep(req.Source, spec, ""))
+}
+
+// clampWorkers resolves the worker default before clamping, so the cap
+// governs the default path too: with no client value and no
+// -sweep-workers, the flow library would expand 0 to GOMAXPROCS, sailing
+// past a smaller MaxSweepWorkers if the clamp only saw explicit positives.
+func (s *Server) clampWorkers(spec *pmsynth.SweepSpec) {
 	if spec.Workers <= 0 {
 		spec.Workers = s.cfg.SweepWorkers
 	}
@@ -389,37 +467,83 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	if spec.Workers > s.cfg.MaxSweepWorkers {
 		spec.Workers = s.cfg.MaxSweepWorkers
 	}
-	s.submitSweep(w, req.Source, spec)
 }
 
-// submitSweep is the sweep admission pipeline. Its structure is the
+// sweepOutcome is the admission pipeline's decision for one submission:
+// an HTTP status plus either the created/joined job response or an error
+// message. Factoring the decision out of the HTTP handler is what lets
+// POST /v1/batch fan N specs through the identical pipeline.
+type sweepOutcome struct {
+	status int                  // 200 deduped/warm, 202 created, 422/429/503 refused
+	resp   SweepCreatedResponse // valid when status < 300
+	errMsg string               // valid when status >= 300
+}
+
+// writeSweepOutcome renders one admission outcome as an HTTP response,
+// attaching the Retry-After hint to sheds.
+func (s *Server) writeSweepOutcome(w http.ResponseWriter, out sweepOutcome) {
+	if out.status >= 300 {
+		if out.status == http.StatusTooManyRequests {
+			w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
+		}
+		writeError(w, out.status, "%s", out.errMsg)
+		return
+	}
+	writeJSON(w, out.status, out.resp)
+}
+
+// retryAfterSeconds is the configured backpressure hint in whole seconds,
+// at least one.
+func (s *Server) retryAfterSeconds() int {
+	secs := int(s.cfg.RetryAfter.Round(time.Second) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
+}
+
+// admitSweep is the sweep admission pipeline. Its structure is the
 // tentpole invariant of the serving layer: client-controlled work never
 // runs under s.mu.
 //
 //  1. Short critical section: dedup lookup — a live job with this
 //     fingerprint answers the submission immediately.
-//  2. No lock: the cheap size guard, then Compile (through the shared
+//  2. No lock: the disk store lookup — a completed table persisted by an
+//     earlier run (possibly an earlier process over the same store
+//     directory) is restored as an already-succeeded job, skipping
+//     compile and evaluation entirely.
+//  3. No lock: the cheap size guard, then Compile (through the shared
 //     singleflight design cache — concurrent identical submissions
 //     compile once) and Enumerate, both on untrusted input and
 //     potentially slow.
-//  3. Short critical section: re-check for a racing identical submission
+//  4. Short critical section: re-check for a racing identical submission
 //     that committed while this one was compiling (join it if so), then
 //     submit the job and commit the fingerprint index entry.
 //
 // Job submission itself is non-blocking: when the bounded admission queue
 // is full the submission is shed with 429 and a Retry-After hint rather
-// than queueing unboundedly.
-func (s *Server) submitSweep(w http.ResponseWriter, source string, spec pmsynth.SweepSpec) {
+// than queueing unboundedly. A succeeded job's table is persisted to the
+// disk store, so the fingerprint stays answerable after the job is
+// TTL-collected — and after the process restarts.
+func (s *Server) admitSweep(source string, spec pmsynth.SweepSpec, group string) sweepOutcome {
 	fp := pmsynth.SweepFingerprint(source, spec)
 
 	s.mu.Lock()
 	s.pruneSweepIndexLocked()
 	if resp, ok := s.dedupLocked(fp); ok {
 		s.mu.Unlock()
-		writeJSON(w, http.StatusOK, resp)
-		return
+		return sweepOutcome{status: http.StatusOK, resp: resp}
 	}
 	s.mu.Unlock()
+
+	// Disk tier: a sweep computed before — by this process or a previous
+	// one over the same store directory — answers without compiling. The
+	// restored table becomes an already-succeeded job so every /v1/jobs
+	// endpoint works on it, and the fingerprint index then dedupes
+	// identical submissions onto it for as long as it lives.
+	if out, ok := s.warmSweep(fp, group); ok {
+		return out
+	}
 
 	// Size the sweep cheaply — before Enumerate materializes anything —
 	// so one absurd request cannot size an allocation the process dies
@@ -427,8 +551,7 @@ func (s *Server) submitSweep(w http.ResponseWriter, source string, spec pmsynth.
 	// spec always gets its definitive 422, never a 429 inviting retries
 	// of a request that can never be accepted.
 	if err := s.checkSweepSize(spec); err != nil {
-		writeError(w, http.StatusUnprocessableEntity, "%s", err)
-		return
+		return sweepOutcome{status: http.StatusUnprocessableEntity, errMsg: err.Error()}
 	}
 
 	// Advisory early shed: with the queue already full, a new job is
@@ -438,19 +561,16 @@ func (s *Server) submitSweep(w http.ResponseWriter, source string, spec pmsynth.
 	// the authoritative check remains Submit's, which closes the race
 	// with a queue that drains in the meantime.
 	if pending, capacity, _ := s.jobs.QueueStats(); pending >= capacity {
-		s.shedSweep(w, jobs.ErrQueueFull)
-		return
+		return s.shedOutcome(jobs.ErrQueueFull)
 	}
 	design, err := s.compileCached(source)
 	if err != nil {
-		writeError(w, http.StatusUnprocessableEntity, "compile: %v", err)
-		return
+		return sweepOutcome{status: http.StatusUnprocessableEntity, errMsg: fmt.Sprintf("compile: %v", err)}
 	}
 	// Validate the spec against the design before committing a job.
 	opts, err := spec.Enumerate(design)
 	if err != nil {
-		writeError(w, http.StatusUnprocessableEntity, "enumerate: %v", err)
-		return
+		return sweepOutcome{status: http.StatusUnprocessableEntity, errMsg: fmt.Sprintf("enumerate: %v", err)}
 	}
 	total := len(opts)
 
@@ -461,10 +581,9 @@ func (s *Server) submitSweep(w http.ResponseWriter, source string, spec pmsynth.
 	// courtesy of the design cache's singleflight.
 	if resp, ok := s.dedupLocked(fp); ok {
 		s.mu.Unlock()
-		writeJSON(w, http.StatusOK, resp)
-		return
+		return sweepOutcome{status: http.StatusOK, resp: resp}
 	}
-	job, err := s.jobs.Submit("sweep "+design.Graph.Name, total,
+	job, err := s.jobs.SubmitGroup("sweep "+design.Graph.Name, group, total,
 		func(ctx context.Context, progress func(done, total int)) (interface{}, error) {
 			sr, err := pmsynth.SweepContextProgress(ctx, design, spec, pmsynth.SweepProgress(progress))
 			if sr != nil {
@@ -476,42 +595,117 @@ func (s *Server) submitSweep(w http.ResponseWriter, source string, spec pmsynth.
 					sr.Points[i].Synthesis = nil
 				}
 			}
+			if err == nil && s.store != nil {
+				// Persist the completed table. Advisory: a failed encode
+				// or write only costs a future recompute.
+				if blob, eerr := encodeSweepResult(sr); eerr == nil {
+					s.store.Put(sweepStoreKey(fp), blob)
+				}
+			}
 			return sr, err
 		})
 	if err != nil {
 		s.mu.Unlock()
-		s.shedSweep(w, err)
-		return
+		return s.shedOutcome(err)
 	}
 	s.sweepByFP[fp] = job.ID()
 	s.mu.Unlock()
 
-	writeJSON(w, http.StatusAccepted, SweepCreatedResponse{
+	return sweepOutcome{status: http.StatusAccepted, resp: SweepCreatedResponse{
 		ID: job.ID(), State: job.Snapshot().State, Total: total,
 		Fingerprint: fp, Workers: spec.Workers,
-	})
+	}}
 }
 
-// shedSweep writes the backpressure response for a submission the job
-// manager refused: 429 with a Retry-After hint when the admission queue
-// is full, 503 when the manager is shutting down.
-func (s *Server) shedSweep(w http.ResponseWriter, err error) {
+// sweepStoreKey namespaces sweep tables in the shared disk store.
+func sweepStoreKey(fp string) string { return "sweep|" + fp }
+
+// warmSweep tries to answer a sweep submission from the disk store. On a
+// hit the restored table is registered as an already-succeeded job (no
+// queue slot, no worker) and committed to the fingerprint index, so
+// concurrent identical submissions join it; the commit re-checks the
+// index under s.mu, so two racing warm hits converge on one job.
+func (s *Server) warmSweep(fp, group string) (sweepOutcome, bool) {
+	if s.store == nil {
+		return sweepOutcome{}, false
+	}
+	blob, ok := s.store.Get(sweepStoreKey(fp))
+	if !ok {
+		return sweepOutcome{}, false
+	}
+	sr, err := decodeSweepResult(blob)
+	if err != nil {
+		// Format drift reads as a miss; the entry is overwritten when the
+		// recomputed sweep succeeds.
+		return sweepOutcome{}, false
+	}
+	name := "(restored)"
+	if sr.Design != nil && sr.Design.Graph != nil {
+		name = sr.Design.Graph.Name
+	}
+	s.mu.Lock()
+	if resp, ok := s.dedupLocked(fp); ok {
+		// A racing identical submission (warm or computed) committed
+		// first; join its job.
+		s.mu.Unlock()
+		return sweepOutcome{status: http.StatusOK, resp: resp}, true
+	}
+	// Warm restores skip the admission queue, so they carry their own
+	// bound: at most MaxWarmJobs restored tables live at once.
+	s.pruneWarmJobsLocked()
+	if len(s.warmJobs) >= s.cfg.MaxWarmJobs {
+		s.mu.Unlock()
+		s.sweepSheds.Add(1)
+		return sweepOutcome{
+			status: http.StatusTooManyRequests,
+			errMsg: fmt.Sprintf("warm-restore capacity is full (%d live restored jobs); retry after %ds",
+				s.cfg.MaxWarmJobs, s.retryAfterSeconds()),
+		}, true
+	}
+	job, err := s.jobs.SubmitDone("sweep "+name, group, len(sr.Points), sr)
+	if err != nil {
+		s.mu.Unlock()
+		return s.shedOutcome(err), true
+	}
+	s.sweepByFP[fp] = job.ID()
+	s.warmJobs[job.ID()] = struct{}{}
+	s.mu.Unlock()
+	s.sweepWarmHits.Add(1)
+	return sweepOutcome{status: http.StatusOK, resp: SweepCreatedResponse{
+		ID: job.ID(), State: jobs.StateSucceeded, Total: len(sr.Points),
+		Fingerprint: fp, Cached: true,
+	}}, true
+}
+
+// pruneWarmJobsLocked drops warm-job records whose jobs have been
+// TTL-collected. O(MaxWarmJobs) map lookups — no client-controlled work.
+// Called with s.mu held, from warm admission and from /metrics, so the
+// warm gauge never overreports past one scrape.
+func (s *Server) pruneWarmJobsLocked() {
+	for id := range s.warmJobs {
+		if _, live := s.jobs.Get(id); !live {
+			delete(s.warmJobs, id)
+		}
+	}
+}
+
+// shedOutcome converts a job-manager refusal into its backpressure
+// outcome: 429 + Retry-After when the admission queue is full, 503 when
+// the manager is shutting down.
+func (s *Server) shedOutcome(err error) sweepOutcome {
 	if errors.Is(err, jobs.ErrClosed) {
-		writeError(w, http.StatusServiceUnavailable, "server is shutting down")
-		return
+		return sweepOutcome{status: http.StatusServiceUnavailable, errMsg: "server is shutting down"}
 	}
 	s.sweepSheds.Add(1)
 	// Only the static capacity goes in the body: re-reading the live
 	// pending count here could report a queue that drained after the
 	// rejection, a self-contradictory diagnostic.
 	_, capacity, _ := s.jobs.QueueStats()
-	secs := int(s.cfg.RetryAfter.Round(time.Second) / time.Second)
-	if secs < 1 {
-		secs = 1
+	return sweepOutcome{
+		status: http.StatusTooManyRequests,
+		errMsg: fmt.Sprintf("sweep admission queue is full (capacity %d); retry after %ds",
+			capacity, s.retryAfterSeconds()),
 	}
-	w.Header().Set("Retry-After", strconv.Itoa(secs))
-	writeError(w, http.StatusTooManyRequests,
-		"sweep admission queue is full (capacity %d); retry after %ds", capacity, secs)
 }
 
 // dedupLocked answers a submission from the fingerprint index when a live

@@ -59,7 +59,10 @@ end
 // test.
 func newTestServer(t *testing.T, cfg server.Config) (*server.Server, *httptest.Server) {
 	t.Helper()
-	s := server.New(cfg)
+	s, err := server.New(cfg)
+	if err != nil {
+		t.Fatalf("server.New: %v", err)
+	}
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(func() {
 		ts.Close()

@@ -1,46 +1,3 @@
-// Package silage implements the frontend for a Silage-inspired behavioral
-// description language, the input format of the original HYPER flow used in
-// Monteiro et al., DAC'96.
-//
-// The language is a single-assignment dataflow language. Conditionals are
-// expressions written in Silage's guarded form
-//
-//	out = if cond -> thenValue || elseValue fi;
-//
-// and elaborate to multiplexor nodes in the CDFG, which is exactly the
-// structure the power management scheduling algorithm operates on.
-//
-// A full description:
-//
-//	# |a-b| from the paper's Figures 1-2
-//	func absdiff(a: num<8>, b: num<8>) out: num<8> =
-//	begin
-//	    g   = a > b;
-//	    d1  = a - b;
-//	    d2  = b - a;
-//	    out = if g -> d1 || d2 fi;
-//	end
-//
-// Types are num<W> (a W-bit word, default 8) and bool. Operators: + - *
-// comparisons (< > <= >= == !=), boolean & | !, constant shifts (x >> 2,
-// x << 3), unary minus, and the if-fi conditional. Comments run from '#'
-// to end of line.
-//
-// A file may hold several functions; the last one is the design and the
-// others are single-result helpers that inline at their call sites:
-//
-//	func absd(x: num<8>, y: num<8>) d: num<8> =
-//	begin
-//	    g = x > y;
-//	    d = if g -> x - y || y - x fi;
-//	end
-//
-//	func main(p: num<8>, q: num<8>, r: num<8>) o: num<8> =
-//	begin
-//	    o = absd(p, q) + absd(q, r);
-//	end
-//
-// Recursion is rejected; helpers may reference each other in any order.
 package silage
 
 import "fmt"

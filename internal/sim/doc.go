@@ -1,0 +1,9 @@
+// Package sim executes CDFGs. It provides a reference interpreter
+// (Evaluate) and a control-step-accurate executor (ExecuteScheduled) that
+// honors power management gating: operations whose gating guards are not
+// satisfied do not execute, exactly as their input latches would stay
+// disabled in the generated hardware. Comparing the two proves that a power
+// managed schedule computes the same outputs as the original behavior, and
+// counting activations in the gated executor gives a Monte Carlo oracle for
+// the analytic activity model in internal/power.
+package sim

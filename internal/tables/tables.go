@@ -1,7 +1,3 @@
-// Package tables regenerates every table and figure of the paper's
-// experimental section, printing the measured values of this reproduction
-// side by side with the published numbers. It is shared by cmd/tables and
-// the repository's benchmark harness.
 package tables
 
 import (

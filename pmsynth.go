@@ -1,23 +1,3 @@
-// Package pmsynth is a behavioral synthesis library with power management
-// aware scheduling, reproducing Monteiro, Devadas, Ashar and Mauskar,
-// "Scheduling Techniques to Enable Power Management", DAC 1996.
-//
-// The flow compiles a Silage-style behavioral description into a control
-// data flow graph, schedules it so that controlling signals are computed
-// before the operations they select among (maximizing shut-down
-// opportunities), binds operations to execution units (sharing units
-// between mutually exclusive operations), generates a condition-qualified
-// FSM controller, and can emit VHDL or a gate-level netlist whose
-// switching activity quantifies the power saved.
-//
-// Quick start:
-//
-//	design, _ := pmsynth.Compile(src)
-//	syn, _ := pmsynth.Synthesize(design, pmsynth.Options{Budget: 3})
-//	fmt.Println(syn.Row())     // Table II style summary
-//	text, _ := syn.VHDL()      // RTL output
-//
-// See examples/ for complete programs and DESIGN.md for the architecture.
 package pmsynth
 
 import (

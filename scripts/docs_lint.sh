@@ -1,0 +1,63 @@
+#!/usr/bin/env sh
+# docs_lint.sh — the documentation gate, run by CI.
+#
+#  1. Every Go package (every directory holding non-test .go files) must
+#     have a package comment ("// Package ..." on some non-test file —
+#     by convention its doc.go).
+#  2. Relative markdown links in the top-level docs must resolve to
+#     files that exist.
+#
+# Pure POSIX sh + grep, no dependencies, so it runs anywhere the repo
+# builds.
+set -eu
+
+cd "$(dirname "$0")/.."
+fail=0
+
+# --- 1. Package comment check -----------------------------------------
+# Library packages need a "// Package ..." comment (by convention in
+# doc.go). main packages (cmd/*, examples/*) need a doc comment block
+# directly above their "package main" line in some file.
+has_main_doc() {
+    for f in "$1"/*.go; do
+        awk 'prev ~ /^\/\// && $0 == "package main" { found = 1 }
+             { prev = $0 } END { exit !found }' "$f" && return 0
+    done
+    return 1
+}
+for dir in $(find . -name '*.go' ! -name '*_test.go' ! -path './.git/*' \
+    -exec dirname {} \; | sort -u); do
+    if grep -h '^package main$' "$dir"/*.go >/dev/null 2>&1; then
+        if ! has_main_doc "$dir"; then
+            echo "docs-lint: command in $dir has no doc comment above 'package main'" >&2
+            fail=1
+        fi
+    elif ! grep -l '^// Package ' "$dir"/*.go >/dev/null 2>&1; then
+        echo "docs-lint: package in $dir has no package comment (want a doc.go with '// Package ...')" >&2
+        fail=1
+    fi
+done
+
+# --- 2. Markdown link check -------------------------------------------
+# Extract [text](target) targets; verify relative file targets exist.
+# External links (http/https/mailto) and pure #anchors are skipped.
+for md in README.md DESIGN.md EXPERIMENTS.md; do
+    [ -f "$md" ] || { echo "docs-lint: $md missing" >&2; fail=1; continue; }
+    targets=$(grep -o '\[[^]]*\]([^)]*)' "$md" \
+        | sed 's/.*](\([^)]*\))/\1/' \
+        | grep -v '^https\{0,1\}:' | grep -v '^mailto:' | grep -v '^#' || true)
+    for t in $targets; do
+        path=${t%%#*}   # strip anchors
+        [ -n "$path" ] || continue
+        if [ ! -e "$path" ]; then
+            echo "docs-lint: $md links to missing file '$path'" >&2
+            fail=1
+        fi
+    done
+done
+
+if [ "$fail" -ne 0 ]; then
+    echo "docs-lint: FAILED" >&2
+    exit 1
+fi
+echo "docs-lint: ok"
