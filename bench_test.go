@@ -23,6 +23,7 @@ import (
 	"repro/internal/cdfg"
 	"repro/internal/chip"
 	"repro/internal/core"
+	"repro/internal/flow"
 	"repro/internal/power"
 	"repro/internal/tables"
 )
@@ -248,6 +249,9 @@ func BenchmarkSweepGCD(b *testing.B) {
 			spec.Workers = mode.workers
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
+				// Keep every iteration cold: this benchmark tracks the
+				// pipeline, not the sweep-point cache.
+				flow.ResetPointCache()
 				res, err := Sweep(c.Design, spec)
 				if err != nil {
 					b.Fatal(err)
@@ -270,6 +274,43 @@ func BenchmarkGateLevelSimulation(b *testing.B) {
 		if _, err := syn.GateLevelReport(20, int64(i)); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkSweepPerBudget times one full pipeline run per circuit at each
+// Table II budget — the per-configuration unit cost behind the committed
+// BENCH_sweep.json. It synthesizes directly (no sweep engine, no
+// sweep-point cache), so every iteration pays the real pipeline.
+func BenchmarkSweepPerBudget(b *testing.B) {
+	for _, c := range bench.All() {
+		for _, budget := range c.Budgets {
+			c, budget := c, budget
+			b.Run(fmt.Sprintf("%s@%d", c.Name, budget), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := Synthesize(c.Design, Options{Budget: budget}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkCordicPerBudget isolates the historical outlier: cordic's
+// per-configuration pipeline cost at each of its Table II budgets.
+func BenchmarkCordicPerBudget(b *testing.B) {
+	c := bench.Cordic()
+	for _, budget := range c.Budgets {
+		budget := budget
+		b.Run(fmt.Sprintf("budget%d", budget), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := Synthesize(c.Design, Options{Budget: budget}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -6,9 +6,15 @@
 // Usage:
 //
 //	pmbench [-out BENCH_sweep.json] [-workers 1,0] [-extras]
+//	        [-gate BASELINE.json] [-gate-threshold 3]
 //
 // -workers takes a comma-separated list of evaluation pool sizes; 0 means
 // GOMAXPROCS. -extras adds the non-paper circuits (diffeq, ewf, decode).
+//
+// With -gate, pmbench additionally compares the fresh measurement against
+// the given committed baseline report and exits nonzero when any circuit's
+// best ns/config exceeds -gate-threshold times the baseline's (the CI
+// performance regression gate; see scripts/bench_gate.sh).
 package main
 
 import (
@@ -26,6 +32,8 @@ func main() {
 	out := flag.String("out", "BENCH_sweep.json", "output path, or - for stdout")
 	workersFlag := flag.String("workers", "1,0", "comma-separated worker counts (0 = GOMAXPROCS)")
 	extras := flag.Bool("extras", false, "include the non-paper circuits")
+	gate := flag.String("gate", "", "baseline report to gate against (empty disables the gate)")
+	gateThreshold := flag.Float64("gate-threshold", 3, "regression factor tolerated by -gate")
 	flag.Parse()
 
 	var workers []int
@@ -65,5 +73,27 @@ func main() {
 	for _, p := range rep.Points {
 		fmt.Fprintf(os.Stderr, "%-8s %2d configs  %2d workers  %8.2fms  best %.2f%%\n",
 			p.Circuit, p.Configs, p.Workers, float64(p.WallNs)/1e6, p.BestPowerRedPct)
+	}
+
+	if *gate != "" {
+		f, err := os.Open(*gate)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pmbench: gate: %v\n", err)
+			os.Exit(1)
+		}
+		baseline, err := benchreport.ReadJSON(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pmbench: gate: %v\n", err)
+			os.Exit(1)
+		}
+		if regs := rep.CompareAgainst(baseline, *gateThreshold); len(regs) > 0 {
+			fmt.Fprintf(os.Stderr, "pmbench: performance regression against %s:\n", *gate)
+			for _, r := range regs {
+				fmt.Fprintf(os.Stderr, "  %s\n", r)
+			}
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "pmbench: gate vs %s passed (threshold %.1fx)\n", *gate, *gateThreshold)
 	}
 }

@@ -14,7 +14,7 @@
 //	         [-max-pending-jobs 64] [-sweep-workers 0]
 //	         [-max-sweep-workers 0] [-job-ttl 1h] [-event-tail 256]
 //	         [-retry-after 1s] [-store-dir DIR] [-store-max-bytes N]
-//	         [-max-batch-sweeps 64]
+//	         [-max-batch-sweeps 64] [-sweep-point-cache-entries 512]
 //
 // With -store-dir set, synthesize results and completed sweep tables
 // persist across restarts in a content-addressed disk store: a restarted
@@ -36,6 +36,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/flow"
 	"repro/internal/server"
 )
 
@@ -54,6 +55,8 @@ func main() {
 	storeMaxBytes := flag.Int64("store-max-bytes", 1<<30, "disk budget of the persistent store; LRU entries are GCed beyond it")
 	maxBatchSweeps := flag.Int("max-batch-sweeps", 64, "max sweep specs per POST /v1/batch request")
 	maxWarmJobs := flag.Int("max-warm-jobs", 256, "max live store-restored sweep jobs; warm submissions beyond it get 429")
+	sweepPointCacheEntries := flag.Int("sweep-point-cache-entries", flow.DefaultPointCacheEntries,
+		"sweep-point (pipeline context) cache capacity in entries (0 disables)")
 	drain := flag.Duration("drain", 10*time.Second, "graceful shutdown drain timeout")
 	flag.Parse()
 	if flag.NArg() != 0 {
@@ -61,6 +64,11 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+
+	// The sweep-point cache is process-wide inside internal/flow, so it is
+	// configured directly rather than through the server Config (where a
+	// zero value could not be told apart from "use the default").
+	flow.SetPointCacheCapacity(*sweepPointCacheEntries)
 
 	srv, err := server.New(server.Config{
 		CacheEntries:       *cacheEntries,

@@ -1,8 +1,9 @@
 package alloc
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 
 	"repro/internal/cdfg"
 	"repro/internal/sched"
@@ -54,12 +55,11 @@ func (b *Binding) OpsOnUnit(s *sched.Schedule, u Unit) []cdfg.NodeID {
 			out = append(out, id)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool {
-		ti, tj := s.Time[out[i]], s.Time[out[j]]
-		if ti != tj {
-			return ti < tj
+	slices.SortFunc(out, func(a, b cdfg.NodeID) int {
+		if ta, tb := s.Time[a], s.Time[b]; ta != tb {
+			return cmp.Compare(ta, tb)
 		}
-		return out[i] < out[j]
+		return cmp.Compare(a, b)
 	})
 	return out
 }
@@ -92,12 +92,11 @@ func BindWithOracle(s *sched.Schedule, exclusive func(a, b cdfg.NodeID) bool) *B
 			ops = append(ops, n.ID)
 		}
 	}
-	sort.Slice(ops, func(i, j int) bool {
-		ti, tj := s.Time[ops[i]], s.Time[ops[j]]
-		if ti != tj {
-			return ti < tj
+	slices.SortFunc(ops, func(a, b cdfg.NodeID) int {
+		if ta, tb := s.Time[a], s.Time[b]; ta != tb {
+			return cmp.Compare(ta, tb)
 		}
-		return ops[i] < ops[j]
+		return cmp.Compare(a, b)
 	})
 
 	for _, id := range ops {
@@ -207,11 +206,11 @@ func allocateRegisters(s *sched.Schedule) (int, map[cdfg.NodeID]int) {
 	if s.II == s.Steps {
 		// Left-edge: sort by definition time, reuse the first free
 		// register (its previous value dead by our start).
-		sort.Slice(vals, func(i, j int) bool {
-			if def[vals[i]] != def[vals[j]] {
-				return def[vals[i]] < def[vals[j]]
+		slices.SortFunc(vals, func(a, b cdfg.NodeID) int {
+			if def[a] != def[b] {
+				return cmp.Compare(def[a], def[b])
 			}
-			return vals[i] < vals[j]
+			return cmp.Compare(a, b)
 		})
 		regOf := make(map[cdfg.NodeID]int)
 		var regEnd []int

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"io"
 	"runtime"
+	"slices"
 	"time"
 
 	"repro/internal/bench"
@@ -82,6 +83,10 @@ func MeasureSweeps(circuits []*bench.Circuit, workerCounts []int) (*SweepBenchRe
 			if resolved <= 0 {
 				resolved = runtime.GOMAXPROCS(0)
 			}
+			// Every timed sweep starts cold: with the sweep-point cache
+			// warm, the second worker-count run would measure cache
+			// lookups instead of the pipeline.
+			flow.ResetPointCache()
 			start := time.Now()
 			ctxs, err := flow.RunAll(nil, c.Graph(), c.Design.Width, cfgs, workers)
 			wall := time.Since(start)
@@ -118,4 +123,70 @@ func (r *SweepBenchReport) WriteJSON(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(r)
+}
+
+// ReadJSON parses a report previously written by WriteJSON and checks its
+// schema tag.
+func ReadJSON(r io.Reader) (*SweepBenchReport, error) {
+	var rep SweepBenchReport
+	if err := json.NewDecoder(r).Decode(&rep); err != nil {
+		return nil, fmt.Errorf("benchreport: parse: %w", err)
+	}
+	if rep.Schema != SweepBenchSchema {
+		return nil, fmt.Errorf("benchreport: schema %q, want %q", rep.Schema, SweepBenchSchema)
+	}
+	return &rep, nil
+}
+
+// bestNsPerConfig reduces a report to its per-circuit minimum nsPerConfig
+// across worker counts: the gate compares engines, not pool shapes (the
+// committed baseline and the CI runner rarely agree on GOMAXPROCS).
+func bestNsPerConfig(r *SweepBenchReport) map[string]int64 {
+	out := make(map[string]int64)
+	for _, p := range r.Points {
+		if p.NsPerConfig <= 0 {
+			continue
+		}
+		if cur, ok := out[p.Circuit]; !ok || p.NsPerConfig < cur {
+			out[p.Circuit] = p.NsPerConfig
+		}
+	}
+	return out
+}
+
+// CompareAgainst checks r (a fresh measurement) against a committed
+// baseline: any circuit present in both whose best nsPerConfig exceeds
+// threshold times the baseline's is reported as a regression. The
+// threshold absorbs machine-to-machine noise — CI uses ~3x, so only real
+// algorithmic regressions (reintroduced quadratic passes, lost caching)
+// trip the gate. Circuits present on only one side are skipped: the gate
+// tracks shared coverage, not benchmark-set churn.
+func (r *SweepBenchReport) CompareAgainst(baseline *SweepBenchReport, threshold float64) []string {
+	if threshold <= 0 {
+		threshold = 3
+	}
+	cur := bestNsPerConfig(r)
+	base := bestNsPerConfig(baseline)
+	var regressions []string
+	for _, c := range sortedKeys(cur) {
+		b, ok := base[c]
+		if !ok {
+			continue
+		}
+		if float64(cur[c]) > threshold*float64(b) {
+			regressions = append(regressions,
+				fmt.Sprintf("%s: %.2fms/config vs baseline %.2fms/config (%.1fx > %.1fx threshold)",
+					c, float64(cur[c])/1e6, float64(b)/1e6, float64(cur[c])/float64(b), threshold))
+		}
+	}
+	return regressions
+}
+
+func sortedKeys(m map[string]int64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	slices.Sort(out)
+	return out
 }

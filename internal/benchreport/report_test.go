@@ -43,4 +43,46 @@ func TestMeasureSweeps(t *testing.T) {
 	if back.Schema != SweepBenchSchema || len(back.Points) != len(rep.Points) {
 		t.Fatalf("round-trip lost data: %+v", back)
 	}
+	// ReadJSON accepts its own output and rejects foreign schemas.
+	if _, err := ReadJSON(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("ReadJSON on own output: %v", err)
+	}
+	if _, err := ReadJSON(bytes.NewReader([]byte(`{"schema":"other/v9"}`))); err == nil {
+		t.Fatal("ReadJSON accepted a foreign schema")
+	}
+}
+
+// gateReport builds a minimal report with one point per (circuit, ns) pair.
+func gateReport(points map[string]int64) *SweepBenchReport {
+	rep := &SweepBenchReport{Schema: SweepBenchSchema}
+	for c, ns := range points {
+		rep.Points = append(rep.Points, SweepBenchPoint{Circuit: c, Configs: 1, NsPerConfig: ns})
+	}
+	return rep
+}
+
+func TestCompareAgainst(t *testing.T) {
+	baseline := gateReport(map[string]int64{"gcd": 100, "cordic": 1000, "retired": 50})
+	// Within threshold, including improvements, passes; circuits present
+	// on only one side are skipped.
+	cur := gateReport(map[string]int64{"gcd": 250, "cordic": 40, "brandnew": 9999})
+	if regs := cur.CompareAgainst(baseline, 3); len(regs) != 0 {
+		t.Fatalf("unexpected regressions: %v", regs)
+	}
+	// A circuit past the threshold trips the gate.
+	cur = gateReport(map[string]int64{"gcd": 301, "cordic": 40})
+	regs := cur.CompareAgainst(baseline, 3)
+	if len(regs) != 1 {
+		t.Fatalf("regressions = %v, want exactly gcd", regs)
+	}
+	// The per-circuit reduction takes the best (minimum) point across
+	// worker counts on both sides.
+	multi := gateReport(nil)
+	multi.Points = []SweepBenchPoint{
+		{Circuit: "gcd", Configs: 1, NsPerConfig: 500},
+		{Circuit: "gcd", Configs: 1, NsPerConfig: 120},
+	}
+	if regs := multi.CompareAgainst(baseline, 3); len(regs) != 0 {
+		t.Fatalf("best-point reduction failed: %v", regs)
+	}
 }

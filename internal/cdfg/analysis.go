@@ -2,7 +2,7 @@ package cdfg
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 )
 
 // NodeSet is a set of node IDs.
@@ -23,7 +23,7 @@ func (s NodeSet) Sorted() []NodeID {
 	for id := range s {
 		out = append(out, id)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }
 

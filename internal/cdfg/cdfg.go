@@ -3,7 +3,6 @@ package cdfg
 import (
 	"errors"
 	"fmt"
-	"sort"
 )
 
 // NodeID identifies a node within one Graph. IDs are dense indices starting
@@ -385,6 +384,7 @@ func (g *Graph) AddControlEdge(from, to NodeID) error {
 	if from < 0 || int(from) >= len(g.nodes) || to < 0 || int(to) >= len(g.nodes) {
 		return fmt.Errorf("cdfg: control edge references undefined node (%d -> %d)", from, to)
 	}
+	g.invalidateSchedDeps()
 	g.controlEdges = append(g.controlEdges, ControlEdge{From: from, To: to})
 	return nil
 }
@@ -395,7 +395,13 @@ func (g *Graph) ControlEdges() []ControlEdge { return g.controlEdges }
 
 // ClearControlEdges removes all control edges (used when re-running the
 // power management pass with a different configuration).
-func (g *Graph) ClearControlEdges() { g.controlEdges = nil }
+func (g *Graph) ClearControlEdges() {
+	if g.controlEdges == nil {
+		return
+	}
+	g.invalidateSchedDeps()
+	g.controlEdges = nil
+}
 
 // SchedSuccs returns the scheduling successors of id: dataflow successors
 // plus control-edge targets. A fresh slice is returned.
@@ -444,41 +450,92 @@ func (g *Graph) Validate() error {
 }
 
 // TopoOrder returns a topological order over the scheduling graph (data +
-// control edges). An error is returned if a cycle exists.
+// control edges). An error is returned if a cycle exists. The order is
+// memoized until the node list or the control edges change, and the
+// returned slice is shared with the cache: treat it as read-only.
 func (g *Graph) TopoOrder() ([]NodeID, error) {
+	return g.topoMemo()
+}
+
+// nodeMinHeap is a binary min-heap of node IDs: TopoOrder's deterministic
+// smallest-ready-first order without re-sorting a queue on every pop.
+type nodeMinHeap []NodeID
+
+func (h *nodeMinHeap) push(id NodeID) {
+	q := append(*h, id)
+	i := len(q) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if q[p] <= q[i] {
+			break
+		}
+		q[p], q[i] = q[i], q[p]
+		i = p
+	}
+	*h = q
+}
+
+func (h *nodeMinHeap) pop() NodeID {
+	q := *h
+	top := q[0]
+	last := len(q) - 1
+	q[0] = q[last]
+	q = q[:last]
+	i := 0
+	for {
+		l, r, s := 2*i+1, 2*i+2, i
+		if l < len(q) && q[l] < q[s] {
+			s = l
+		}
+		if r < len(q) && q[r] < q[s] {
+			s = r
+		}
+		if s == i {
+			break
+		}
+		q[i], q[s] = q[s], q[i]
+		i = s
+	}
+	*h = q
+	return top
+}
+
+// computeTopoOrder does the work behind TopoOrder on a memo miss.
+func (g *Graph) computeTopoOrder() ([]NodeID, error) {
 	n := len(g.nodes)
 	indeg := make([]int, n)
-	extraSuccs := make(map[NodeID][]NodeID, len(g.controlEdges))
-	for _, e := range g.controlEdges {
-		indeg[e.To]++
-		extraSuccs[e.From] = append(extraSuccs[e.From], e.To)
+	var extraSuccs map[NodeID][]NodeID
+	if len(g.controlEdges) > 0 {
+		extraSuccs = make(map[NodeID][]NodeID, len(g.controlEdges))
+		for _, e := range g.controlEdges {
+			indeg[e.To]++
+			extraSuccs[e.From] = append(extraSuccs[e.From], e.To)
+		}
 	}
 	for _, nd := range g.nodes {
 		indeg[nd.ID] += len(nd.Args)
 	}
 	// Deterministic order: process ready nodes in ID order.
-	queue := make([]NodeID, 0, n)
+	heap := make(nodeMinHeap, 0, n)
 	for i := 0; i < n; i++ {
 		if indeg[i] == 0 {
-			queue = append(queue, NodeID(i))
+			heap.push(NodeID(i))
 		}
 	}
 	order := make([]NodeID, 0, n)
-	for len(queue) > 0 {
-		sort.Slice(queue, func(i, j int) bool { return queue[i] < queue[j] })
-		id := queue[0]
-		queue = queue[1:]
+	for len(heap) > 0 {
+		id := heap.pop()
 		order = append(order, id)
 		for _, s := range g.succs[id] {
 			indeg[s]--
 			if indeg[s] == 0 {
-				queue = append(queue, s)
+				heap.push(s)
 			}
 		}
 		for _, s := range extraSuccs[id] {
 			indeg[s]--
 			if indeg[s] == 0 {
-				queue = append(queue, s)
+				heap.push(s)
 			}
 		}
 	}

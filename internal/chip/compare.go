@@ -154,8 +154,14 @@ func CompareContext(fc *flow.Context, vectors []map[string]int64) (Report, error
 	pmSim.ResetStats()
 	baseSim.ResetStats()
 
+	// One compiled reference program serves the whole vector stream; its
+	// reused output map is read before the next EvalReuse call.
+	ref, err := sim.Compile(g, sim.Options{Width: fc.Width})
+	if err != nil {
+		return rep, err
+	}
 	for i, in := range vectors {
-		want, err := sim.Evaluate(g, in, sim.Options{Width: fc.Width})
+		want, err := ref.EvalReuse(in)
 		if err != nil {
 			return rep, err
 		}

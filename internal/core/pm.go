@@ -1,8 +1,9 @@
 package core
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 
 	"repro/internal/cdfg"
 	"repro/internal/sched"
@@ -316,15 +317,14 @@ func candidateOrders(g *cdfg.Graph, cfg Config) ([][]cdfg.NodeID, error) {
 	}
 	byHeight := func(asc bool) []cdfg.NodeID {
 		out := append([]cdfg.NodeID(nil), muxes...)
-		sort.SliceStable(out, func(i, j int) bool {
-			hi, hj := height[out[i]], height[out[j]]
-			if hi != hj {
+		slices.SortStableFunc(out, func(a, b cdfg.NodeID) int {
+			if ha, hb := height[a], height[b]; ha != hb {
 				if asc {
-					return hi < hj
+					return cmp.Compare(ha, hb)
 				}
-				return hi > hj
+				return cmp.Compare(hb, ha)
 			}
-			return out[i] < out[j]
+			return cmp.Compare(a, b)
 		})
 		return out
 	}
@@ -372,14 +372,14 @@ func greedyWeightOrder(g *cdfg.Graph, muxes []cdfg.NodeID, weights map[cdfg.Clas
 		score[m] = weightOf(gs.trueSet) + weightOf(gs.falseSet)
 	}
 	out := append([]cdfg.NodeID(nil), muxes...)
-	sort.SliceStable(out, func(i, j int) bool {
-		if score[out[i]] != score[out[j]] {
-			return score[out[i]] > score[out[j]]
+	slices.SortStableFunc(out, func(a, b cdfg.NodeID) int {
+		if score[a] != score[b] {
+			return cmp.Compare(score[b], score[a])
 		}
-		if height[out[i]] != height[out[j]] {
-			return height[out[i]] < height[out[j]]
+		if height[a] != height[b] {
+			return cmp.Compare(height[a], height[b])
 		}
-		return out[i] < out[j]
+		return cmp.Compare(a, b)
 	})
 	return out
 }

@@ -1,8 +1,9 @@
 package ctrl
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 
 	"repro/internal/alloc"
 	"repro/internal/cdfg"
@@ -88,7 +89,7 @@ func Build(s *sched.Schedule, b *alloc.Binding, guards sim.Guards, pm bool) (*Co
 	for id := range condSet {
 		c.CondNodes = append(c.CondNodes, id)
 	}
-	sort.Slice(c.CondNodes, func(i, j int) bool { return c.CondNodes[i] < c.CondNodes[j] })
+	slices.Sort(c.CondNodes)
 
 	guardsOf := func(id cdfg.NodeID) []sim.Guard {
 		if !pm {
@@ -123,17 +124,17 @@ func Build(s *sched.Schedule, b *alloc.Binding, guards sim.Guards, pm bool) (*Co
 			Guards: guardsOf(n.ID),
 		})
 	}
-	sort.Slice(c.Loads, func(i, j int) bool {
-		if c.Loads[i].Step != c.Loads[j].Step {
-			return c.Loads[i].Step < c.Loads[j].Step
+	slices.SortFunc(c.Loads, func(a, b Load) int {
+		if a.Step != b.Step {
+			return cmp.Compare(a.Step, b.Step)
 		}
-		return c.Loads[i].Node < c.Loads[j].Node
+		return cmp.Compare(a.Node, b.Node)
 	})
-	sort.Slice(c.UnitLoads, func(i, j int) bool {
-		if c.UnitLoads[i].Step != c.UnitLoads[j].Step {
-			return c.UnitLoads[i].Step < c.UnitLoads[j].Step
+	slices.SortFunc(c.UnitLoads, func(a, b UnitLoad) int {
+		if a.Step != b.Step {
+			return cmp.Compare(a.Step, b.Step)
 		}
-		return c.UnitLoads[i].Op < c.UnitLoads[j].Op
+		return cmp.Compare(a.Op, b.Op)
 	})
 	return c, nil
 }

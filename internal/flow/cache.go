@@ -1,0 +1,133 @@
+package flow
+
+// Sweep-point caching. A design-space sweep runs the standard pipeline
+// once per configuration; the serving layer runs whole sweeps repeatedly
+// as clients iterate on budgets and orders over the same design. The
+// pipeline is deterministic — (graph, width, config) fully determines
+// every artifact — so completed Contexts are memoized in a global LRU
+// keyed by the graph's content hash plus a canonical encoding of the
+// width and configuration. A repeated sweep point returns the cached
+// Context without running any pass.
+//
+// Only successful runs are cached (a failure, including cancellation,
+// retries on the next request), and a cached Context has its Ctx field
+// cleared so no canceled context outlives the run that computed it.
+// Cached Contexts are shared: consumers treat sweep results as read-only
+// artifacts, which is already the contract for Contexts handed out by
+// RunAll.
+
+import (
+	"math"
+	"slices"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/cache"
+	"repro/internal/cdfg"
+	"repro/internal/core"
+)
+
+// DefaultPointCacheEntries is the default capacity of the sweep-point
+// cache. Entries hold full pipeline artifacts (schedules, bindings,
+// controllers), so the default stays modest; the pmsynthd flag
+// -sweep-point-cache-entries overrides it.
+const DefaultPointCacheEntries = 512
+
+var pointCache = struct {
+	mu       sync.RWMutex
+	capacity int
+	c        *cache.Cache[*Context]
+}{
+	capacity: DefaultPointCacheEntries,
+	c:        cache.New[*Context](DefaultPointCacheEntries),
+}
+
+// SetPointCacheCapacity resizes the sweep-point cache, dropping all
+// resident entries and resetting its counters. A capacity of zero or less
+// disables caching entirely.
+func SetPointCacheCapacity(n int) {
+	pointCache.mu.Lock()
+	defer pointCache.mu.Unlock()
+	pointCache.capacity = n
+	if n <= 0 {
+		pointCache.c = nil
+		return
+	}
+	pointCache.c = cache.New[*Context](n)
+}
+
+// ResetPointCache drops all resident entries (and counters) while keeping
+// the configured capacity. Benchmarks use it to keep every timed sweep
+// iteration cold.
+func ResetPointCache() {
+	pointCache.mu.Lock()
+	defer pointCache.mu.Unlock()
+	if pointCache.capacity <= 0 {
+		return
+	}
+	pointCache.c = cache.New[*Context](pointCache.capacity)
+}
+
+// PointCacheStats snapshots the sweep-point cache counters. A disabled
+// cache reports zeros.
+func PointCacheStats() cache.Stats {
+	pointCache.mu.RLock()
+	c := pointCache.c
+	pointCache.mu.RUnlock()
+	if c == nil {
+		return cache.Stats{}
+	}
+	return c.Stats()
+}
+
+// pointKey canonically encodes one sweep point. The graph contributes its
+// memoized content hash; width and every Config field follow in a fixed
+// order, with map fields (resources, weights) emitted in sorted key order
+// and float weights encoded bit-exactly.
+func pointKey(g *cdfg.Graph, width int, cfg core.Config) string {
+	var b strings.Builder
+	b.Grow(96)
+	b.WriteString(g.ContentHash())
+	sep := func() { b.WriteByte('|') }
+	num := func(v int64) {
+		sep()
+		b.WriteString(strconv.FormatInt(v, 10))
+	}
+	num(int64(width))
+	num(int64(cfg.Budget))
+	num(int64(cfg.II))
+	num(int64(cfg.Order))
+	if cfg.ForceDirected {
+		num(1)
+	} else {
+		num(0)
+	}
+	sep()
+	if cfg.Resources != nil {
+		classes := make([]cdfg.Class, 0, len(cfg.Resources))
+		for c := range cfg.Resources {
+			classes = append(classes, c)
+		}
+		slices.Sort(classes)
+		b.WriteByte('r')
+		for _, c := range classes {
+			num(int64(c))
+			num(int64(cfg.Resources[c]))
+		}
+	}
+	sep()
+	if cfg.Weights != nil {
+		classes := make([]cdfg.Class, 0, len(cfg.Weights))
+		for c := range cfg.Weights {
+			classes = append(classes, c)
+		}
+		slices.Sort(classes)
+		b.WriteByte('w')
+		for _, c := range classes {
+			num(int64(c))
+			num(int64(math.Float64bits(cfg.Weights[c])))
+		}
+	}
+	return b.String()
+}

@@ -16,7 +16,10 @@ import (
 //
 // The shared read-only analyses of g (fanin cones, depth, height, critical
 // path) are prewarmed once and flow into every worker's private clones, so
-// the per-configuration runs do not recompute them.
+// the per-configuration runs do not recompute them. Completed points are
+// additionally memoized in the process-wide sweep-point cache (see
+// cache.go): re-running a sweep point for an identical (graph, width,
+// config) triple returns the cached Context without executing any pass.
 //
 // A configuration whose pipeline fails has its error recorded in the
 // Context's Err field; RunAll itself returns an error only when ctx is
@@ -60,8 +63,7 @@ func RunAllObserved(ctx context.Context, g *cdfg.Graph, width int, cfgs []core.C
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				fc := &Context{Ctx: ctx, Graph: g, Width: width, Config: cfgs[i]}
-				fc.Err = Standard().Run(fc)
+				fc := runPoint(ctx, g, width, cfgs[i])
 				out[i] = fc
 				if observe != nil {
 					observe(i, fc)
@@ -80,4 +82,49 @@ feed:
 	close(jobs)
 	wg.Wait()
 	return out, ctx.Err()
+}
+
+// runPoint evaluates one sweep point through the sweep-point cache: a
+// point already computed for an identical (graph, width, config) triple
+// returns its memoized Context, concurrent requests for the same point
+// coalesce onto one pipeline run, and everything else runs the standard
+// pipeline directly. Failed runs — including canceled ones — are never
+// cached.
+func runPoint(ctx context.Context, g *cdfg.Graph, width int, cfg core.Config) *Context {
+	pointCache.mu.RLock()
+	c := pointCache.c
+	pointCache.mu.RUnlock()
+
+	run := func() *Context {
+		fc := &Context{Ctx: ctx, Graph: g, Width: width, Config: cfg}
+		fc.Err = Standard().Run(fc)
+		return fc
+	}
+	if c == nil {
+		return run()
+	}
+	var failed *Context
+	fc, err := c.GetOrCompute(pointKey(g, width, cfg), func() (*Context, error) {
+		fc := run()
+		if fc.Err != nil {
+			// Keep the Context (the caller reports its Err) but make the
+			// cache skip it so a later request retries.
+			failed = fc
+			return nil, fc.Err
+		}
+		// A cached Context must not pin the requester's cancellation
+		// context beyond the run that computed it.
+		fc.Ctx = nil
+		return fc, nil
+	})
+	if err != nil {
+		if failed != nil {
+			return failed
+		}
+		// Joined another caller's failed computation: that failure may
+		// have been a cancellation of *their* ctx, so run locally rather
+		// than report a foreign error.
+		return run()
+	}
+	return fc
 }

@@ -1,7 +1,8 @@
 package mutex
 
 import (
-	"sort"
+	"cmp"
+	"slices"
 
 	"repro/internal/cdfg"
 	"repro/internal/sim"
@@ -160,11 +161,18 @@ func (a *Analysis) Guards() sim.Guards {
 		for l := range conds[0] {
 			lits = append(lits, l)
 		}
-		sort.Slice(lits, func(i, j int) bool {
-			if lits[i].Sel != lits[j].Sel {
-				return lits[i].Sel < lits[j].Sel
+		slices.SortFunc(lits, func(a, b Literal) int {
+			if a.Sel != b.Sel {
+				return cmp.Compare(a.Sel, b.Sel)
 			}
-			return !lits[i].WhenTrue
+			// false literals order before true ones.
+			if a.WhenTrue == b.WhenTrue {
+				return 0
+			}
+			if !a.WhenTrue {
+				return -1
+			}
+			return 1
 		})
 		for _, l := range lits {
 			out[id] = append(out[id], sim.Guard{Sel: l.Sel, WhenTrue: l.WhenTrue})

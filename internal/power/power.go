@@ -2,8 +2,9 @@ package power
 
 import (
 	"fmt"
+	"math/bits"
 	"math/rand"
-	"sort"
+	"slices"
 
 	"repro/internal/cdfg"
 	"repro/internal/sched"
@@ -19,8 +20,12 @@ var Weights = map[cdfg.Class]float64{
 	cdfg.ClassMul:  20,
 }
 
-// maxExactSelects bounds the exhaustive enumeration: 2^20 outcomes.
-const maxExactSelects = 20
+// maxExactSelects bounds the exhaustive enumeration: 2^26 outcomes. The
+// word-parallel evaluator walks 64 joint outcomes per machine word, so the
+// worst case costs 2^20 word-operation blocks — comparable to what the
+// scalar walk paid for 2^20 outcomes when the bound was 20. Designs beyond
+// the bound fall back to the independence approximation.
+const maxExactSelects = 26
 
 // Activity holds per-node execution probabilities under the equiprobable
 // select model. Interface nodes and wiring have probability 1 but carry no
@@ -92,8 +97,21 @@ func distinctSelects(guards sim.Guards) []cdfg.NodeID {
 	for id := range set {
 		out = append(out, id)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
+}
+
+// lanePattern[i] is the value of select index i across one 64-outcome
+// block: bit j of lanePattern[i] is bit i of the joint outcome base+j.
+// Selects with index >= 6 are constant across a block (all-0s or all-1s,
+// taken from the block number), so only the low six need patterns.
+var lanePattern = [6]uint64{
+	0xAAAAAAAAAAAAAAAA, // bit 0 of the outcome: 0101... per lane
+	0xCCCCCCCCCCCCCCCC, // bit 1
+	0xF0F0F0F0F0F0F0F0, // bit 2
+	0xFF00FF00FF00FF00, // bit 3
+	0xFFFF0000FFFF0000, // bit 4
+	0xFFFFFFFF00000000, // bit 5
 }
 
 // AnalyzeExact computes execution probabilities by enumerating all 2^k
@@ -101,6 +119,15 @@ func distinctSelects(guards sim.Guards) []cdfg.NodeID {
 // executes under an outcome when, for every guard, the select has the
 // required value AND the select-producing operation itself executes
 // (nested shut-down: a dead comparator enables nothing).
+//
+// The enumeration is word-parallel: 64 joint outcomes are packed per
+// uint64 lane word. For select index i, its value over outcome v is bit i
+// of v, so per 64-outcome block each select's lane word is either a fixed
+// periodic pattern (i < 6) or all-0s/all-1s taken from the block number
+// (i >= 6). A node's execution set becomes branch-free AND/AND-NOT word
+// operations over its compiled guards, and counts come from popcounts.
+// The probabilities are bit-identical to the scalar outcome walk (kept as
+// analyzeExactScalar and checked differentially).
 //
 // When k exceeds maxExactSelects the function falls back to the
 // independence approximation 2^-#guards and reports it via the bool result
@@ -125,57 +152,154 @@ func AnalyzeExact(g *cdfg.Graph, guards sim.Guards) (Activity, bool) {
 		}
 		return Activity{Prob: prob}, false
 	}
+	compiled, guarded, ok := compileGuards(g, guards, sels)
+	if !ok {
+		// Callers hold validated graphs; treat as all-on.
+		return Ungated(g), false
+	}
+	k := len(sels)
+	// laneMask keeps only the populated lanes when fewer than 64 joint
+	// outcomes exist (k < 6).
+	laneMask := ^uint64(0)
+	if k < 6 {
+		laneMask = 1<<(1<<uint(k)) - 1
+	}
+	blocks := 1
+	if k > 6 {
+		blocks = 1 << uint(k-6)
+	}
+	// execW[id] holds node id's execution set over the current block, one
+	// bit per outcome. Unguarded nodes execute everywhere and are never
+	// overwritten; guarded nodes are fully rewritten each block before
+	// any consumer reads them (topological order).
+	execW := make([]uint64, n)
+	for i := range execW {
+		execW[i] = ^uint64(0)
+	}
+	counts := make([]int64, n)
+	selVal := make([]uint64, k)
+	for i := 0; i < k && i < 6; i++ {
+		selVal[i] = lanePattern[i]
+	}
+	for b := 0; b < blocks; b++ {
+		for i := 6; i < k; i++ {
+			if b>>(uint(i)-6)&1 == 1 {
+				selVal[i] = ^uint64(0)
+			} else {
+				selVal[i] = 0
+			}
+		}
+		for _, id := range guarded {
+			w := laneMask
+			for _, gd := range compiled[id] {
+				w &= execW[gd.sel] & (selVal[gd.selIdx] ^ gd.invert)
+			}
+			execW[id] = w
+			counts[id] += int64(bits.OnesCount64(w))
+		}
+	}
+	total := int64(1) << uint(k)
+	for i := range prob {
+		prob[i] = 1
+	}
+	for _, id := range guarded {
+		prob[id] = float64(counts[id]) / float64(total)
+	}
+	return Activity{Prob: prob}, true
+}
+
+// wGuard is one compiled gating condition of the word-parallel evaluator:
+// the guarded node executes where the select's execution word is set and
+// the select's value word matches the wanted polarity.
+type wGuard struct {
+	// sel indexes execW: the node producing the controlling signal.
+	sel cdfg.NodeID
+	// selIdx is the select's index in the distinct-select ordering.
+	selIdx int
+	// invert is all-1s when the guard wants select=0 (the select value
+	// word is XOR-flipped before masking), 0 when it wants select=1.
+	invert uint64
+}
+
+// compileGuards lowers the guard map into slice-indexed form, listing the
+// guarded nodes in topological order so that a select's execution word is
+// final before any node guarded on it is evaluated (selects precede their
+// muxes' branch cones by construction). ok is false when the graph has no
+// topological order (cyclic).
+func compileGuards(g *cdfg.Graph, guards sim.Guards, sels []cdfg.NodeID) (compiled [][]wGuard, guarded []cdfg.NodeID, ok bool) {
+	order, err := g.TopoOrder()
+	if err != nil {
+		return nil, nil, false
+	}
 	selIndex := make(map[cdfg.NodeID]int, len(sels))
 	for i, s := range sels {
 		selIndex[s] = i
 	}
-	// Evaluate nodes in topological order so that exec(sel) is known
-	// before any node guarded on sel (selects precede their muxes'
-	// branch cones by construction).
-	order, err := g.TopoOrder()
-	if err != nil {
-		// Callers hold validated graphs; treat as all-on.
-		return Ungated(g), false
-	}
-	// Compile the guard map into slice-indexed form once: the enumeration
-	// loop below runs 2^k times and map probes inside it dominated whole
-	// verification runs. Unguarded nodes always execute, so only guarded
-	// nodes need per-outcome evaluation.
-	type cGuard struct {
-		sel  cdfg.NodeID
-		mask int // 1 << selIndex[sel]
-		want int // mask when the guard wants select=1, else 0
-	}
-	compiled := make([][]cGuard, n)
-	guarded := make([]cdfg.NodeID, 0, len(guards))
+	compiled = make([][]wGuard, g.NumNodes())
+	guarded = make([]cdfg.NodeID, 0, len(guards))
 	for _, id := range order {
 		gl := guards[id]
 		if len(gl) == 0 {
 			continue
 		}
-		cg := make([]cGuard, len(gl))
+		cg := make([]wGuard, len(gl))
 		for i, gd := range gl {
-			mask := 1 << uint(selIndex[gd.Sel])
-			want := 0
+			inv := ^uint64(0)
 			if gd.WhenTrue {
-				want = mask
+				inv = 0
 			}
-			cg[i] = cGuard{sel: gd.Sel, mask: mask, want: want}
+			cg[i] = wGuard{sel: gd.Sel, selIdx: selIndex[gd.Sel], invert: inv}
 		}
 		compiled[id] = cg
 		guarded = append(guarded, id)
 	}
-	counts := make([]int, n)
+	return compiled, guarded, true
+}
+
+// analyzeExactScalar is the scalar reference implementation of
+// AnalyzeExact: the same 2^k joint-outcome enumeration walked one outcome
+// at a time. It is retained verbatim (modulo shared compilation helpers)
+// as the differential-testing oracle for the word-parallel evaluator —
+// the two must agree bit for bit on every graph.
+func analyzeExactScalar(g *cdfg.Graph, guards sim.Guards) (Activity, bool) {
+	n := g.NumNodes()
+	prob := make([]float64, n)
+	if len(guards) == 0 {
+		for i := range prob {
+			prob[i] = 1
+		}
+		return Activity{Prob: prob}, true
+	}
+	sels := distinctSelects(guards)
+	if len(sels) > maxExactSelects {
+		for _, nd := range g.Nodes() {
+			p := 1.0
+			for range guards[nd.ID] {
+				p /= 2
+			}
+			prob[nd.ID] = p
+		}
+		return Activity{Prob: prob}, false
+	}
+	compiled, guarded, ok := compileGuards(g, guards, sels)
+	if !ok {
+		return Ungated(g), false
+	}
+	counts := make([]int64, n)
 	exec := make([]bool, n)
 	for i := range exec {
 		exec[i] = true // unguarded nodes always execute
 	}
-	total := 1 << uint(len(sels))
-	for v := 0; v < total; v++ {
+	total := int64(1) << uint(len(sels))
+	for v := int64(0); v < total; v++ {
 		for _, id := range guarded {
 			e := true
 			for _, gd := range compiled[id] {
-				if !exec[gd.sel] || v&gd.mask != gd.want {
+				want := int64(0)
+				if gd.invert == 0 {
+					want = 1
+				}
+				if !exec[gd.sel] || v>>uint(gd.selIdx)&1 != want {
 					e = false
 					break
 				}
@@ -195,6 +319,15 @@ func AnalyzeExact(g *cdfg.Graph, guards sim.Guards) (Activity, bool) {
 	return Activity{Prob: prob}, true
 }
 
+// AnalyzeExactReference exposes the scalar reference implementation for
+// differential testing (the internal/verify oracle and the power package's
+// own fuzz target compare it against the word-parallel AnalyzeExact). It
+// is not a public analysis entry point: production callers always use
+// AnalyzeExact.
+func AnalyzeExactReference(g *cdfg.Graph, guards sim.Guards) (Activity, bool) {
+	return analyzeExactScalar(g, guards)
+}
+
 // MonteCarlo estimates execution probabilities by running the gated
 // schedule on random input vectors (uniform over the datapath width). This
 // reflects true data correlations rather than the equiprobable-select
@@ -205,15 +338,19 @@ func MonteCarlo(s *sched.Schedule, guards sim.Guards, width, runs int, seed int6
 		return Activity{}, fmt.Errorf("power: runs must be positive, got %d", runs)
 	}
 	g := s.Graph
+	prog, err := sim.CompileScheduled(s, guards, sim.Options{Width: width})
+	if err != nil {
+		return Activity{}, err
+	}
 	r := rand.New(rand.NewSource(seed))
 	counts := make([]int, g.NumNodes())
 	limit := int64(1) << uint(width)
+	in := make(map[string]int64, len(g.Inputs()))
 	for i := 0; i < runs; i++ {
-		in := make(map[string]int64, len(g.Inputs()))
 		for _, id := range g.Inputs() {
 			in[g.Node(id).Name] = r.Int63n(limit)
 		}
-		res, err := sim.ExecuteScheduled(s, guards, in, sim.Options{Width: width})
+		res, err := prog.RunReuse(in)
 		if err != nil {
 			return Activity{}, err
 		}

@@ -1,8 +1,9 @@
 package sched
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 
 	"repro/internal/cdfg"
 )
@@ -128,12 +129,11 @@ func List(g *cdfg.Graph, budget, ii int, res Resources) (*Schedule, error) {
 
 	for t := 1; t <= budget && scheduledOps < totalOps; t++ {
 		// Deterministic candidate order: least ALAP, then ID.
-		sort.Slice(ready, func(i, j int) bool {
-			a, b := ready[i], ready[j]
+		slices.SortFunc(ready, func(a, b readyOp) int {
 			if w.ALAP[a.id] != w.ALAP[b.id] {
-				return w.ALAP[a.id] < w.ALAP[b.id]
+				return cmp.Compare(w.ALAP[a.id], w.ALAP[b.id])
 			}
-			return a.id < b.id
+			return cmp.Compare(a.id, b.id)
 		})
 		slot := (t - 1) % ii
 		// Iterate over a snapshot: settle() appends ops that become

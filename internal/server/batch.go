@@ -23,6 +23,7 @@ import (
 	"strconv"
 	"sync"
 
+	"repro"
 	"repro/internal/jobs"
 )
 
@@ -70,11 +71,21 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	// Admit concurrently through a bounded pool. Validation failures are
 	// decided inline; everything else goes through admitSweep, which is
 	// race-safe by design (racing identical entries converge on one job).
+	// Identical entries *within* the batch (equal sweep fingerprints) are
+	// collapsed before admission: only the first occurrence runs the
+	// pipeline, and later ones dedupe onto its outcome after the pool
+	// drains. The fingerprint index would converge them onto one job
+	// anyway, but which entry got the 202 would then depend on goroutine
+	// scheduling; pre-grouping makes the lowest index the deterministic
+	// winner and skips the redundant admission work.
 	sem := make(chan struct{}, maxBatchAdmitters)
 	var wg sync.WaitGroup
+	repIdx := make(map[string]int) // sweep fingerprint -> first entry index
+	dupOf := make([]int, len(req.Sweeps))
 	for i, sw := range req.Sweeps {
 		item := &items[i]
 		item.Index = i
+		dupOf[i] = -1
 		if sw.Source == "" {
 			item.Status = http.StatusBadRequest
 			item.Error = "missing source"
@@ -87,6 +98,12 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			continue
 		}
 		s.clampWorkers(&spec)
+		fp := pmsynth.SweepFingerprint(sw.Source, spec)
+		if first, ok := repIdx[fp]; ok {
+			dupOf[i] = first
+			continue
+		}
+		repIdx[fp] = i
 		wg.Add(1)
 		sem <- struct{}{}
 		go func(source string) {
@@ -102,6 +119,26 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		}(sw.Source)
 	}
 	wg.Wait()
+
+	// Resolve in-batch duplicates against their representative's outcome —
+	// exactly what a standalone resubmission would have received: a dedup
+	// join onto the representative's job when it was admitted, the same
+	// refusal when it was refused.
+	for i, first := range dupOf {
+		if first < 0 {
+			continue
+		}
+		if rep := items[first].Sweep; rep != nil {
+			items[i].Status = http.StatusOK
+			items[i].Sweep = &SweepCreatedResponse{
+				ID: rep.ID, State: rep.State, Total: rep.Total,
+				Fingerprint: rep.Fingerprint, Deduped: true,
+			}
+		} else {
+			items[i].Status = items[first].Status
+			items[i].Error = items[first].Error
+		}
+	}
 
 	resp := BatchCreatedResponse{ID: id, Items: items}
 	anyShed := false

@@ -17,6 +17,7 @@ import (
 
 	"repro"
 	"repro/internal/cache"
+	"repro/internal/flow"
 	"repro/internal/jobs"
 )
 
@@ -296,6 +297,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "pmsynthd_design_cache_inflight %d\n", dst.Inflight)
 	fmt.Fprintf(w, "pmsynthd_design_cache_evictions %d\n", dst.Evictions)
 	fmt.Fprintf(w, "pmsynthd_design_cache_entries %d\n", dst.Entries)
+	// Sweep-point cache counters come from the process-wide cache inside
+	// internal/flow (shared by every sweep this server runs).
+	pst := flow.PointCacheStats()
+	fmt.Fprintf(w, "pmsynthd_sweeppoint_cache_hits %d\n", pst.Hits)
+	fmt.Fprintf(w, "pmsynthd_sweeppoint_cache_misses %d\n", pst.Misses)
+	fmt.Fprintf(w, "pmsynthd_sweeppoint_cache_entries %d\n", pst.Entries)
 	// Store counters are emitted unconditionally (zeros when persistence
 	// is disabled) so dashboards never miss the series.
 	var sst cache.StoreStats

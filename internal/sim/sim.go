@@ -29,87 +29,69 @@ func boolVal(b bool) int64 {
 	return 0
 }
 
-// apply computes one operation on already-masked operand values.
-func apply(n *cdfg.Node, args []int64, o Options) (int64, error) {
-	switch n.Kind {
-	case cdfg.KindAdd:
-		return o.mask(args[0] + args[1]), nil
-	case cdfg.KindSub:
-		return o.mask(args[0] - args[1]), nil
-	case cdfg.KindMul:
-		return o.mask(args[0] * args[1]), nil
-	case cdfg.KindLt:
-		return boolVal(args[0] < args[1]), nil
-	case cdfg.KindGt:
-		return boolVal(args[0] > args[1]), nil
-	case cdfg.KindLe:
-		return boolVal(args[0] <= args[1]), nil
-	case cdfg.KindGe:
-		return boolVal(args[0] >= args[1]), nil
-	case cdfg.KindEq:
-		return boolVal(args[0] == args[1]), nil
-	case cdfg.KindNe:
-		return boolVal(args[0] != args[1]), nil
-	case cdfg.KindAnd:
-		return boolVal(args[0] != 0 && args[1] != 0), nil
-	case cdfg.KindOr:
-		return boolVal(args[0] != 0 || args[1] != 0), nil
-	case cdfg.KindNot:
-		return boolVal(args[0] == 0), nil
-	case cdfg.KindShl:
-		return o.mask(args[0] << uint(n.Shift)), nil
-	case cdfg.KindShr:
-		return o.mask(args[0] >> uint(n.Shift)), nil
-	default:
-		return 0, fmt.Errorf("sim: cannot apply %s node %q", n.Kind, n.Name)
+// canApply reports whether applyKnown handles the kind. Compilation checks
+// this once per node so the evaluation loops carry no error branch.
+func canApply(k cdfg.Kind) bool {
+	switch k {
+	case cdfg.KindAdd, cdfg.KindSub, cdfg.KindMul,
+		cdfg.KindLt, cdfg.KindGt, cdfg.KindLe, cdfg.KindGe,
+		cdfg.KindEq, cdfg.KindNe,
+		cdfg.KindAnd, cdfg.KindOr, cdfg.KindNot,
+		cdfg.KindShl, cdfg.KindShr:
+		return true
 	}
+	return false
+}
+
+// applyKnown computes one operation of a kind canApply accepted, on
+// already-masked operand values. Unary kinds ignore a1.
+func applyKnown(k cdfg.Kind, shift int, a0, a1 int64, o Options) int64 {
+	switch k {
+	case cdfg.KindAdd:
+		return o.mask(a0 + a1)
+	case cdfg.KindSub:
+		return o.mask(a0 - a1)
+	case cdfg.KindMul:
+		return o.mask(a0 * a1)
+	case cdfg.KindLt:
+		return boolVal(a0 < a1)
+	case cdfg.KindGt:
+		return boolVal(a0 > a1)
+	case cdfg.KindLe:
+		return boolVal(a0 <= a1)
+	case cdfg.KindGe:
+		return boolVal(a0 >= a1)
+	case cdfg.KindEq:
+		return boolVal(a0 == a1)
+	case cdfg.KindNe:
+		return boolVal(a0 != a1)
+	case cdfg.KindAnd:
+		return boolVal(a0 != 0 && a1 != 0)
+	case cdfg.KindOr:
+		return boolVal(a0 != 0 || a1 != 0)
+	case cdfg.KindNot:
+		return boolVal(a0 == 0)
+	case cdfg.KindShl:
+		return o.mask(a0 << uint(shift))
+	case cdfg.KindShr:
+		return o.mask(a0 >> uint(shift))
+	}
+	panic(fmt.Sprintf("sim: applyKnown on unvetted kind %s", k))
 }
 
 // Evaluate interprets the graph on the given inputs (keyed by input node
 // name) and returns the outputs keyed by output node name. Every input must
 // be provided. Values are masked per Options.
+//
+// Evaluate is the one-vector convenience wrapper over the compiled
+// behavioral path; callers pushing many vectors through one graph compile a
+// Program once instead.
 func Evaluate(g *cdfg.Graph, inputs map[string]int64, opt Options) (map[string]int64, error) {
-	order, err := g.TopoOrder()
+	p, err := Compile(g, opt)
 	if err != nil {
 		return nil, err
 	}
-	vals := make([]int64, g.NumNodes())
-	for _, id := range order {
-		n := g.Node(id)
-		switch n.Kind {
-		case cdfg.KindInput:
-			v, ok := inputs[n.Name]
-			if !ok {
-				return nil, fmt.Errorf("sim: missing input %q", n.Name)
-			}
-			vals[id] = opt.mask(v)
-		case cdfg.KindConst:
-			vals[id] = opt.mask(n.Value)
-		case cdfg.KindOutput:
-			vals[id] = vals[n.Args[0]]
-		case cdfg.KindMux:
-			if vals[n.Args[cdfg.MuxSel]] != 0 {
-				vals[id] = vals[n.Args[cdfg.MuxTrue]]
-			} else {
-				vals[id] = vals[n.Args[cdfg.MuxFalse]]
-			}
-		default:
-			args := make([]int64, len(n.Args))
-			for i, a := range n.Args {
-				args[i] = vals[a]
-			}
-			v, err := apply(n, args, opt)
-			if err != nil {
-				return nil, err
-			}
-			vals[id] = v
-		}
-	}
-	out := make(map[string]int64, len(g.Outputs()))
-	for _, id := range g.Outputs() {
-		out[g.Node(id).Name] = vals[id]
-	}
-	return out, nil
+	return p.Eval(inputs)
 }
 
 // Guard is one gating condition attached to an operation by the power
@@ -154,140 +136,15 @@ func (r Result) NumExecuted(g *cdfg.Graph, c cdfg.Class) int {
 // valid values (a multiplexor needs its select and the selected data input;
 // everything else needs all arguments), and that every output is valid at
 // the end. The error cases indicate an unsound gating assignment.
+//
+// ExecuteScheduled is the one-sample convenience wrapper over the compiled
+// scheduled path; callers pushing many samples through one schedule compile
+// a ScheduledProgram once instead.
 func ExecuteScheduled(s *sched.Schedule, guards Guards, inputs map[string]int64, opt Options) (Result, error) {
-	g := s.Graph
-	vals := make([]int64, g.NumNodes())
-	valid := make([]bool, g.NumNodes())
-	executed := make([]bool, g.NumNodes())
-
-	// Interface nodes settle before step 1.
-	for _, id := range g.Inputs() {
-		n := g.Node(id)
-		v, ok := inputs[n.Name]
-		if !ok {
-			return Result{}, fmt.Errorf("sim: missing input %q", n.Name)
-		}
-		vals[id] = opt.mask(v)
-		valid[id] = true
-		executed[id] = true
-	}
-	for _, id := range g.Consts() {
-		vals[id] = opt.mask(g.Node(id).Value)
-		valid[id] = true
-		executed[id] = true
-	}
-
-	// enabled evaluates an op's guards. A guard whose select is not
-	// valid means the op's controlling mux was itself shut down, which
-	// implies this op must not execute either.
-	enabled := func(id cdfg.NodeID) bool {
-		for _, gd := range guards[id] {
-			if !valid[gd.Sel] {
-				return false
-			}
-			if (vals[gd.Sel] != 0) != gd.WhenTrue {
-				return false
-			}
-		}
-		return true
-	}
-
-	order, err := g.TopoOrder()
+	p, err := CompileScheduled(s, guards, opt)
 	if err != nil {
 		return Result{}, err
 	}
-
-	// settleWires propagates values through zero-latency nodes (shifts
-	// and outputs) whose predecessors are valid. Processing the full
-	// topological order each step is O(V) and keeps the logic simple.
-	settleWires := func() error {
-		for _, id := range order {
-			n := g.Node(id)
-			if valid[id] || n.Latency() != 0 || n.Kind == cdfg.KindInput || n.Kind == cdfg.KindConst {
-				continue
-			}
-			allValid := true
-			for _, a := range n.Args {
-				if !valid[a] {
-					allValid = false
-					break
-				}
-			}
-			if !allValid {
-				continue
-			}
-			switch n.Kind {
-			case cdfg.KindOutput:
-				vals[id] = vals[n.Args[0]]
-			case cdfg.KindShl, cdfg.KindShr:
-				v, err := apply(n, []int64{vals[n.Args[0]]}, opt)
-				if err != nil {
-					return err
-				}
-				vals[id] = v
-			default:
-				return fmt.Errorf("sim: unexpected zero-latency %s node %q", n.Kind, n.Name)
-			}
-			valid[id] = true
-			executed[id] = true
-		}
-		return nil
-	}
-	if err := settleWires(); err != nil {
-		return Result{}, err
-	}
-
-	for t := 1; t <= s.Steps; t++ {
-		for _, id := range s.OpsInStep(t) {
-			n := g.Node(id)
-			if !enabled(id) {
-				continue
-			}
-			if n.Kind == cdfg.KindMux {
-				sel := n.Args[cdfg.MuxSel]
-				if !valid[sel] {
-					return Result{}, fmt.Errorf("sim: mux %q executes at step %d with invalid select", n.Name, t)
-				}
-				var chosen cdfg.NodeID
-				if vals[sel] != 0 {
-					chosen = n.Args[cdfg.MuxTrue]
-				} else {
-					chosen = n.Args[cdfg.MuxFalse]
-				}
-				if !valid[chosen] {
-					return Result{}, fmt.Errorf("sim: mux %q selects invalid input %q at step %d",
-						n.Name, g.Node(chosen).Name, t)
-				}
-				vals[id] = vals[chosen]
-			} else {
-				args := make([]int64, len(n.Args))
-				for i, a := range n.Args {
-					if !valid[a] {
-						return Result{}, fmt.Errorf("sim: op %q reads invalid value %q at step %d",
-							n.Name, g.Node(a).Name, t)
-					}
-					args[i] = vals[a]
-				}
-				v, err := apply(n, args, opt)
-				if err != nil {
-					return Result{}, err
-				}
-				vals[id] = v
-			}
-			valid[id] = true
-			executed[id] = true
-		}
-		if err := settleWires(); err != nil {
-			return Result{}, err
-		}
-	}
-
-	out := make(map[string]int64, len(g.Outputs()))
-	for _, id := range g.Outputs() {
-		if !valid[id] {
-			return Result{}, fmt.Errorf("sim: output %q never became valid", g.Node(id).Name)
-		}
-		out[g.Node(id).Name] = vals[id]
-	}
-	return Result{Outputs: out, Executed: executed}, nil
+	// The program is throwaway, so handing out its buffers is safe.
+	return p.RunReuse(inputs)
 }

@@ -7,8 +7,21 @@ import (
 
 	pmsynth "repro"
 	"repro/internal/chip"
+	"repro/internal/power"
 	"repro/internal/sim"
 )
+
+// distinctSelectCount counts the distinct guard select nodes, the exponent
+// of both exact activity enumerations.
+func distinctSelectCount(guards sim.Guards) int {
+	set := map[int64]bool{}
+	for _, gl := range guards {
+		for _, gd := range gl {
+			set[int64(gd.Sel)] = true
+		}
+	}
+	return len(set)
+}
 
 // Matrix enumerates the configuration space the oracle exercises for one
 // design: (Order x Budget x workers), plus an optional pipelined point.
@@ -55,6 +68,7 @@ const (
 	StageSynthesize  = "synthesize"
 	StageSchedule    = "schedule-valid"
 	StageBehavioral  = "behavioral"
+	StageActivity    = "activity-differential"
 	StageGateLevel   = "gate-level"
 	StageDeterminism = "determinism"
 	StageSweep       = "sweep-determinism"
@@ -243,40 +257,77 @@ func checkPoint(rep *Report, design *pmsynth.Design, src string, p point,
 	// and the ungated baseline schedule must both reproduce the reference
 	// interpreter (the baseline check matters whenever the gate-level
 	// stage is disabled or skipped for width).
+	// The three simulators are compiled once per point and reused across
+	// the whole probe set; each program's output map is read before its
+	// next run, so the reuse variants are safe here.
 	g := design.Graph
 	opt := sim.Options{Width: design.Width}
-	for i, in := range vectors {
+	ref, refErr := sim.Compile(g, opt)
+	pmProg, pmErr := sim.CompileScheduled(syn.PM.Schedule, syn.PM.Guards, opt)
+	var baseProg *sim.ScheduledProgram
+	var baseErr error
+	if syn.BaselineSchedule != nil {
+		baseProg, baseErr = sim.CompileScheduled(syn.BaselineSchedule, nil, opt)
+	}
+	if refErr != nil || pmErr != nil || baseErr != nil {
 		rep.Checks++
-		want, err := sim.Evaluate(g, in, opt)
-		if err != nil {
-			rep.addf(StageBehavioral, pt, "reference eval failed on vector %d %v: %v", i, in, err)
-			continue
-		}
-		got, err := sim.ExecuteScheduled(syn.PM.Schedule, syn.PM.Guards, in, opt)
-		if err != nil {
-			rep.addf(StageBehavioral, pt, "gated execution failed on vector %d %v: %v", i, in, err)
-			continue
-		}
-		for k, v := range want {
-			if got.Outputs[k] != v {
-				rep.addf(StageBehavioral, pt,
-					"output %s mismatch on vector %d %v: gated %d, reference %d",
-					k, i, in, got.Outputs[k], v)
+		rep.addf(StageBehavioral, pt, "simulator compile failed: ref %v, gated %v, baseline %v",
+			refErr, pmErr, baseErr)
+	} else {
+		for i, in := range vectors {
+			rep.Checks++
+			want, err := ref.EvalReuse(in)
+			if err != nil {
+				rep.addf(StageBehavioral, pt, "reference eval failed on vector %d %v: %v", i, in, err)
+				continue
+			}
+			got, err := pmProg.RunReuse(in)
+			if err != nil {
+				rep.addf(StageBehavioral, pt, "gated execution failed on vector %d %v: %v", i, in, err)
+				continue
+			}
+			for k, v := range want {
+				if got.Outputs[k] != v {
+					rep.addf(StageBehavioral, pt,
+						"output %s mismatch on vector %d %v: gated %d, reference %d",
+						k, i, in, got.Outputs[k], v)
+				}
+			}
+			if baseProg == nil {
+				continue
+			}
+			base, err := baseProg.RunReuse(in)
+			if err != nil {
+				rep.addf(StageBehavioral, pt, "baseline execution failed on vector %d %v: %v", i, in, err)
+				continue
+			}
+			for k, v := range want {
+				if base.Outputs[k] != v {
+					rep.addf(StageBehavioral, pt,
+						"output %s mismatch on vector %d %v: baseline %d, reference %d",
+						k, i, in, base.Outputs[k], v)
+				}
 			}
 		}
-		if syn.BaselineSchedule == nil {
-			continue
-		}
-		base, err := sim.ExecuteScheduled(syn.BaselineSchedule, nil, in, opt)
-		if err != nil {
-			rep.addf(StageBehavioral, pt, "baseline execution failed on vector %d %v: %v", i, in, err)
-			continue
-		}
-		for k, v := range want {
-			if base.Outputs[k] != v {
-				rep.addf(StageBehavioral, pt,
-					"output %s mismatch on vector %d %v: baseline %d, reference %d",
-					k, i, in, base.Outputs[k], v)
+	}
+
+	// Activity differential: the word-parallel exact activity analysis
+	// must be bit-identical to the scalar reference enumeration. Both are
+	// exponential in the distinct select count, so the stage caps the
+	// scalar side at 2^16 joint outcomes.
+	if n := distinctSelectCount(syn.PM.Guards); n <= 16 {
+		rep.Checks++
+		fast, fastOK := power.AnalyzeExact(syn.PM.Graph, syn.PM.Guards)
+		ref, refOK := power.AnalyzeExactReference(syn.PM.Graph, syn.PM.Guards)
+		if fastOK != refOK {
+			rep.addf(StageActivity, pt, "exactness differs: word-parallel %v, scalar %v", fastOK, refOK)
+		} else if fastOK {
+			for id := range fast.Prob {
+				if fast.Prob[id] != ref.Prob[id] {
+					rep.addf(StageActivity, pt,
+						"node %d probability differs: word-parallel %v, scalar %v",
+						id, fast.Prob[id], ref.Prob[id])
+				}
 			}
 		}
 	}

@@ -1,0 +1,31 @@
+#!/usr/bin/env sh
+# bench_gate.sh — the sweep-performance regression gate, run by CI.
+#
+# Measures a fresh design-space sweep over the paper's circuits with
+# cmd/pmbench and compares each circuit's best ns/config against the
+# committed BENCH_sweep.json. The threshold (default 3x) absorbs the
+# machine-to-machine noise between the baseline host and the CI runner;
+# only a genuine algorithmic regression — a reintroduced quadratic pass,
+# lost memoization, a dead cache — moves ns/config by that much.
+#
+# Usage: scripts/bench_gate.sh [baseline.json] [threshold]
+set -eu
+
+cd "$(dirname "$0")/.."
+
+baseline="${1:-BENCH_sweep.json}"
+threshold="${2:-3}"
+
+if [ ! -f "$baseline" ]; then
+    echo "bench_gate: baseline $baseline not found" >&2
+    exit 1
+fi
+
+# The fresh measurement goes to a scratch file: the gate must never
+# overwrite the committed baseline (that happens deliberately, by running
+# `go run ./cmd/pmbench` on the reference machine).
+tmp="$(mktemp /tmp/bench_gate.XXXXXX.json)"
+trap 'rm -f "$tmp"' EXIT
+
+go run ./cmd/pmbench -out "$tmp" -workers 1,0 \
+    -gate "$baseline" -gate-threshold "$threshold"
