@@ -75,6 +75,10 @@ type APIError struct {
 	Message string
 	// RetryAfter is the server's backpressure hint, when present (429).
 	RetryAfter time.Duration
+	// TraceID is the server-side telemetry trace id of the failed
+	// request (the X-Pmsynthd-Trace header), for correlating the
+	// failure with server logs and /debug/traces.
+	TraceID string
 }
 
 // Error implements error.
@@ -92,29 +96,37 @@ func (e *APIError) Temporary() bool {
 // by dedup or cache, never by duplicated work), so retrying is safe; the
 // one non-idempotent endpoint, job cancel, bypasses do (see CancelJob).
 func (c *Client) do(ctx context.Context, method, path string, in, out interface{}) error {
+	_, err := c.doTrace(ctx, method, path, in, out)
+	return err
+}
+
+// doTrace is do plus the request's server-side trace id (the
+// X-Pmsynthd-Trace header of the attempt that produced the outcome);
+// empty when the server sent none.
+func (c *Client) doTrace(ctx context.Context, method, path string, in, out interface{}) (string, error) {
 	var body []byte
 	if in != nil {
 		var err error
 		if body, err = json.Marshal(in); err != nil {
-			return fmt.Errorf("client: encode request: %w", err)
+			return "", fmt.Errorf("client: encode request: %w", err)
 		}
 	}
 	for attempt := 0; ; attempt++ {
-		apiErr, err := c.once(ctx, method, path, body, out)
+		trace, apiErr, err := c.once(ctx, method, path, body, out)
 		if err == nil && apiErr == nil {
-			return nil
+			return trace, nil
 		}
 		// Transport errors and retryable statuses consume the budget;
 		// definitive refusals (4xx other than 429) return immediately.
 		retryable := err != nil || apiErr.Temporary()
 		if !retryable {
-			return apiErr
+			return trace, apiErr
 		}
 		if attempt >= c.maxRetries {
 			if err != nil {
-				return err
+				return trace, err
 			}
-			return apiErr
+			return trace, apiErr
 		}
 		wait := c.backoff(attempt)
 		if apiErr != nil && apiErr.RetryAfter > 0 {
@@ -124,21 +136,22 @@ func (c *Client) do(ctx context.Context, method, path string, in, out interface{
 			wait = c.maxWait
 		}
 		if err := sleepCtx(ctx, wait); err != nil {
-			return err
+			return trace, err
 		}
 	}
 }
 
-// once runs a single HTTP attempt. A non-2xx response returns (apiErr,
-// nil); a transport failure returns (nil, err).
-func (c *Client) once(ctx context.Context, method, path string, body []byte, out interface{}) (*APIError, error) {
+// once runs a single HTTP attempt, returning the response's trace id
+// header alongside the outcome. A non-2xx response returns (trace,
+// apiErr, nil); a transport failure returns ("", nil, err).
+func (c *Client) once(ctx context.Context, method, path string, body []byte, out interface{}) (string, *APIError, error) {
 	var rd io.Reader
 	if body != nil {
 		rd = bytes.NewReader(body)
 	}
 	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
 	if err != nil {
-		return nil, fmt.Errorf("client: %w", err)
+		return "", nil, fmt.Errorf("client: %w", err)
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
@@ -146,27 +159,31 @@ func (c *Client) once(ctx context.Context, method, path string, body []byte, out
 	req.Header.Set("User-Agent", c.userAgent)
 	resp, err := c.hc.Do(req)
 	if err != nil {
-		return nil, fmt.Errorf("client: %s %s: %w", method, path, err)
+		return "", nil, fmt.Errorf("client: %s %s: %w", method, path, err)
 	}
 	defer resp.Body.Close()
+	trace := resp.Header.Get("X-Pmsynthd-Trace")
 	data, err := io.ReadAll(resp.Body)
 	if err != nil {
-		return nil, fmt.Errorf("client: read response: %w", err)
+		return trace, nil, fmt.Errorf("client: read response: %w", err)
 	}
 	if resp.StatusCode >= 300 {
-		return newAPIError(resp, data), nil
+		return trace, newAPIError(resp, data), nil
 	}
 	if out != nil {
 		if err := json.Unmarshal(data, out); err != nil {
-			return nil, fmt.Errorf("client: decode response (%s %s): %w", method, path, err)
+			return trace, nil, fmt.Errorf("client: decode response (%s %s): %w", method, path, err)
 		}
 	}
-	return nil, nil
+	return trace, nil, nil
 }
 
 // newAPIError builds the typed error from a non-2xx response.
 func newAPIError(resp *http.Response, data []byte) *APIError {
-	apiErr := &APIError{Status: resp.StatusCode}
+	apiErr := &APIError{
+		Status:  resp.StatusCode,
+		TraceID: resp.Header.Get("X-Pmsynthd-Trace"),
+	}
 	var eb struct {
 		Error string `json:"error"`
 	}
@@ -253,8 +270,12 @@ func (c *Client) Metrics(ctx context.Context) (map[string]int64, error) {
 // Synthesize runs one configuration through POST /v1/synthesize.
 func (c *Client) Synthesize(ctx context.Context, req SynthesizeRequest) (*SynthesizeResult, error) {
 	var res SynthesizeResult
-	if err := c.do(ctx, http.MethodPost, "/v1/synthesize", req, &res); err != nil {
+	trace, err := c.doTrace(ctx, http.MethodPost, "/v1/synthesize", req, &res)
+	if err != nil {
 		return nil, err
+	}
+	if res.Trace == "" {
+		res.Trace = trace
 	}
 	return &res, nil
 }
@@ -265,8 +286,12 @@ func (c *Client) Synthesize(ctx context.Context, req SynthesizeRequest) (*Synthe
 // State.Terminal() first, or use SweepAndWait.
 func (c *Client) Sweep(ctx context.Context, req SweepRequest) (*SweepJob, error) {
 	var job SweepJob
-	if err := c.do(ctx, http.MethodPost, "/v1/sweep", req, &job); err != nil {
+	trace, err := c.doTrace(ctx, http.MethodPost, "/v1/sweep", req, &job)
+	if err != nil {
 		return nil, err
+	}
+	if job.Trace == "" {
+		job.Trace = trace
 	}
 	return &job, nil
 }
@@ -320,7 +345,7 @@ func (c *Client) CancelJob(ctx context.Context, id string) (*JobInfo, error) {
 	if err != nil {
 		return nil, fmt.Errorf("client: encode request: %w", err)
 	}
-	apiErr, err := c.once(ctx, http.MethodPost, "/v1/jobs/"+url.PathEscape(id)+"/cancel", body, &info)
+	_, apiErr, err := c.once(ctx, http.MethodPost, "/v1/jobs/"+url.PathEscape(id)+"/cancel", body, &info)
 	if err != nil {
 		return nil, err
 	}
@@ -328,6 +353,19 @@ func (c *Client) CancelJob(ctx context.Context, id string) (*JobInfo, error) {
 		return nil, apiErr
 	}
 	return &info, nil
+}
+
+// JobTrace fetches a job's telemetry trace via GET /v1/jobs/{id}/trace:
+// the span tree of the submission that started it — admission, compile,
+// queue wait, and one span per flow pass and sweep point. A still-running
+// job returns a partial forest. 404 means the job kept no trace id or the
+// trace was evicted from the server's bounded retention ring.
+func (c *Client) JobTrace(ctx context.Context, id string) (*Trace, error) {
+	var tr Trace
+	if err := c.do(ctx, http.MethodGet, "/v1/jobs/"+url.PathEscape(id)+"/trace", nil, &tr); err != nil {
+		return nil, err
+	}
+	return &tr, nil
 }
 
 // JobResult fetches a result view of a finished sweep job.

@@ -1,0 +1,85 @@
+package client_test
+
+// Round-trip tests of the SDK's telemetry surface against an in-process
+// pmsynthd: trace ids on responses and typed errors, and the JobTrace
+// span-tree fetch.
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"testing"
+
+	"repro/client"
+	"repro/internal/server"
+)
+
+func TestTraceSurfacing(t *testing.T) {
+	c := newClient(t, server.Config{})
+	ctx := context.Background()
+
+	res, err := c.Synthesize(ctx, client.SynthesizeRequest{
+		Source:  absDiffSrc,
+		Options: client.Options{Budget: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trace == "" {
+		t.Fatalf("synthesize result carries no trace id: %+v", res)
+	}
+
+	// A refused request still carries its trace id on the typed error.
+	_, err = c.Synthesize(ctx, client.SynthesizeRequest{Source: "not silage"})
+	var apiErr *client.APIError
+	if !errors.As(err, &apiErr) {
+		t.Fatalf("bad-source error = %v", err)
+	}
+	if apiErr.TraceID == "" {
+		t.Fatalf("APIError carries no trace id: %+v", apiErr)
+	}
+
+	job, info, err := c.SweepAndWait(ctx, client.SweepRequest{
+		Source: absDiffSrc,
+		Spec:   client.SweepSpec{BudgetMin: 2, BudgetMax: 3},
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.Trace == "" {
+		t.Fatalf("sweep job carries no trace id: %+v", job)
+	}
+	if info.Trace != job.Trace {
+		t.Fatalf("job info trace %q != submission trace %q", info.Trace, job.Trace)
+	}
+
+	tr, err := c.JobTrace(ctx, job.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.ID != job.Trace {
+		t.Fatalf("trace id = %q, want %q", tr.ID, job.Trace)
+	}
+	if tr.Spans == 0 || len(tr.Roots) == 0 {
+		t.Fatalf("trace is empty: %+v", tr)
+	}
+	root := tr.Roots[0]
+	if root.Name != "POST /v1/sweep" {
+		t.Fatalf("root span = %q, want POST /v1/sweep", root.Name)
+	}
+	if root.Duration() <= 0 {
+		t.Fatalf("root duration = %v, want > 0", root.Duration())
+	}
+	if got := root.Attr("code"); got != "202" {
+		t.Fatalf("root code attr = %q, want 202", got)
+	}
+	if got := root.Attr("no-such-attr"); got != "" {
+		t.Fatalf("missing attr = %q, want empty", got)
+	}
+
+	// Unknown jobs 404 through the typed error path.
+	_, err = c.JobTrace(ctx, "j-does-not-exist")
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusNotFound {
+		t.Fatalf("unknown-job trace error = %v", err)
+	}
+}

@@ -57,6 +57,9 @@ type SynthesizeResult struct {
 	// VHDL and Verilog carry the requested RTL artifacts.
 	VHDL    string `json:"vhdl,omitempty"`
 	Verilog string `json:"verilog,omitempty"`
+	// Trace is the server-side telemetry trace id of this request,
+	// from the response body or the X-Pmsynthd-Trace header.
+	Trace string `json:"trace,omitempty"`
 }
 
 // SweepSpec enumerates a design-space sweep as the cross product of its
@@ -106,6 +109,10 @@ type SweepJob struct {
 	// Cached reports the result was restored from the server's
 	// persistent store with no recomputation.
 	Cached bool `json:"cached,omitempty"`
+	// Trace is the telemetry trace id the job's spans are recorded
+	// under — pass it to Client.JobTrace. On deduped responses it is
+	// the original submission's trace (the one running the job).
+	Trace string `json:"trace,omitempty"`
 }
 
 // JobState is a job lifecycle state.
@@ -137,6 +144,9 @@ type JobInfo struct {
 	Done     int       `json:"done"`
 	Total    int       `json:"total"`
 	Err      string    `json:"err,omitempty"`
+	// Trace is the telemetry trace id the job's spans are recorded
+	// under; empty when the server retained no trace for the job.
+	Trace string `json:"trace,omitempty"`
 }
 
 // Event is one entry of a job's ordered event log. Seq strictly
@@ -236,4 +246,48 @@ type Health struct {
 	Status string    `json:"status"`
 	Uptime string    `json:"uptime"`
 	Time   time.Time `json:"time"`
+}
+
+// TraceAttr is one key/value annotation on a trace span.
+type TraceAttr struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// TraceSpan is one span of a server-side trace, with children nested.
+type TraceSpan struct {
+	ID         int64        `json:"id"`
+	Parent     int64        `json:"parent,omitempty"`
+	Name       string       `json:"name"`
+	Start      time.Time    `json:"start"`
+	DurationNs int64        `json:"durationNs"`
+	Attrs      []TraceAttr  `json:"attrs,omitempty"`
+	Children   []*TraceSpan `json:"children,omitempty"`
+}
+
+// Duration is DurationNs as a time.Duration.
+func (s *TraceSpan) Duration() time.Duration { return time.Duration(s.DurationNs) }
+
+// Attr returns the value of the named attribute, or "".
+func (s *TraceSpan) Attr(key string) string {
+	for _, a := range s.Attrs {
+		if a.Key == key {
+			return a.Value
+		}
+	}
+	return ""
+}
+
+// Trace is the response of GET /v1/jobs/{id}/trace: the finished spans
+// of the job's submission assembled into trees by parent links. A trace
+// fetched while the job is still running is a partial forest — spans
+// whose parent has not finished yet surface as extra roots.
+type Trace struct {
+	ID    string    `json:"id"`
+	Start time.Time `json:"start"`
+	// Spans counts the recorded spans; Dropped counts spans discarded
+	// beyond the server's per-trace retention bound.
+	Spans   int          `json:"spans"`
+	Dropped int64        `json:"dropped,omitempty"`
+	Roots   []*TraceSpan `json:"roots"`
 }

@@ -20,15 +20,20 @@
 //	cancel  -id ID              cancel a job
 //	events  -id ID [-from N]    stream a job's NDJSON event log
 //	result  -id ID [-view v] [-objective o]
+//	trace   -id ID [-json]      a job's telemetry span tree
 //	batchstatus -id ID          aggregate batch status
 //
 // The SDK retries shed (429) submissions with the server's Retry-After
-// hint automatically; pmclient surfaces only definitive failures.
+// hint automatically; pmclient surfaces only definitive failures. With
+// the global -v flag, pmclient prints the server's telemetry trace id
+// of each submission on stderr; failed requests always print it, so a
+// refusal can be correlated with server logs and /debug/traces.
 package main
 
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -41,8 +46,13 @@ import (
 	"repro/client"
 )
 
+// verbose is the global -v flag: print each submission's server-side
+// telemetry trace id on stderr.
+var verbose bool
+
 func main() {
 	addr := flag.String("addr", "http://127.0.0.1:8357", "pmsynthd base URL")
+	flag.BoolVar(&verbose, "v", false, "print each request's telemetry trace id on stderr")
 	flag.Usage = usage
 	flag.Parse()
 	if flag.NArg() < 1 {
@@ -68,7 +78,7 @@ func main() {
 		err = runBatch(ctx, c, args)
 	case "jobs":
 		err = runJobs(ctx, c)
-	case "job", "cancel", "events", "result", "batchstatus":
+	case "job", "cancel", "events", "result", "trace", "batchstatus":
 		err = runJobCmd(ctx, c, cmd, args)
 	default:
 		fmt.Fprintf(os.Stderr, "pmclient: unknown command %q\n", cmd)
@@ -77,14 +87,27 @@ func main() {
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "pmclient: %v\n", err)
+		// A refused request still carries the server's trace id; print
+		// it so the failure can be found in server logs and traces.
+		var apiErr *client.APIError
+		if errors.As(err, &apiErr) && apiErr.TraceID != "" {
+			fmt.Fprintf(os.Stderr, "pmclient: server trace %s\n", apiErr.TraceID)
+		}
 		os.Exit(1)
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: pmclient [-addr URL] <command> [flags]
-commands: health metrics synth sweep batch jobs job cancel events result batchstatus
+	fmt.Fprintln(os.Stderr, `usage: pmclient [-addr URL] [-v] <command> [flags]
+commands: health metrics synth sweep batch jobs job cancel events result trace batchstatus
 run "pmclient <command> -h" for command flags`)
+}
+
+// traceNote prints a submission's trace id on stderr under -v.
+func traceNote(trace string) {
+	if verbose && trace != "" {
+		fmt.Fprintf(os.Stderr, "trace %s\n", trace)
+	}
 }
 
 // printJSON renders any value as indented JSON on stdout.
@@ -146,6 +169,7 @@ func runSynth(ctx context.Context, c *client.Client, args []string) error {
 	if err != nil {
 		return err
 	}
+	traceNote(res.Trace)
 	return printJSON(res)
 }
 
@@ -217,6 +241,7 @@ func runSweep(ctx context.Context, c *client.Client, args []string) error {
 		if err != nil {
 			return err
 		}
+		traceNote(job.Trace)
 		return printJSON(job)
 	}
 	job, info, err := c.SweepAndWait(ctx, req, func(ev client.Event) {
@@ -225,6 +250,7 @@ func runSweep(ctx context.Context, c *client.Client, args []string) error {
 	if err != nil {
 		return err
 	}
+	traceNote(job.Trace)
 	switch {
 	case job.Cached:
 		fmt.Fprintln(os.Stderr, "served from the persistent store (no recompute)")
@@ -317,6 +343,7 @@ func runJobCmd(ctx context.Context, c *client.Client, cmd string, args []string)
 	from := fs.Int64("from", 0, "resume the event stream after this sequence number")
 	view := fs.String("view", "best", "result view: best, pareto, table")
 	objective := fs.String("objective", "", "best-view objective: power, area, steps")
+	asJSON := fs.Bool("json", false, "print the raw trace JSON instead of the rendered tree")
 	fs.Parse(args)
 	if *id == "" {
 		return fmt.Errorf("missing -id")
@@ -348,6 +375,23 @@ func runJobCmd(ctx context.Context, c *client.Client, cmd string, args []string)
 			return nil
 		}
 		return printJSON(res)
+	case "trace":
+		tr, err := c.JobTrace(ctx, *id)
+		if err != nil {
+			return err
+		}
+		if *asJSON {
+			return printJSON(tr)
+		}
+		fmt.Printf("trace %s  spans %d", tr.ID, tr.Spans)
+		if tr.Dropped > 0 {
+			fmt.Printf("  dropped %d", tr.Dropped)
+		}
+		fmt.Println()
+		for _, root := range tr.Roots {
+			printSpan(root, 0)
+		}
+		return nil
 	case "batchstatus":
 		st, err := c.BatchStatus(ctx, *id)
 		if err != nil {
@@ -356,4 +400,17 @@ func runJobCmd(ctx context.Context, c *client.Client, cmd string, args []string)
 		return printJSON(st)
 	}
 	return fmt.Errorf("unreachable command %q", cmd)
+}
+
+// printSpan renders one span subtree as an indented line per span:
+// name, duration, and the attribute annotations.
+func printSpan(sp *client.TraceSpan, depth int) {
+	fmt.Printf("%s%-24s %12s", strings.Repeat("  ", depth), sp.Name, sp.Duration())
+	for _, a := range sp.Attrs {
+		fmt.Printf("  %s=%s", a.Key, a.Value)
+	}
+	fmt.Println()
+	for _, kid := range sp.Children {
+		printSpan(kid, depth+1)
+	}
 }

@@ -12,6 +12,7 @@
 //	pmsched -builtin gcd -steps 7                      # run a paper benchmark
 //	pmsched -builtin gcd -sweep 5:10                   # concurrent budget sweep
 //	pmsched -builtin gcd -sweep 5:10 -pareto           # Pareto-optimal points only
+//	pmsched -builtin cordic -dump-source               # print a builtin's Silage text
 package main
 
 import (
@@ -67,16 +68,19 @@ func main() {
 	sweep := flag.String("sweep", "", "budget sweep range lo:hi — evaluate every budget concurrently")
 	pareto := flag.Bool("pareto", false, "with -sweep, report the Pareto-optimal points and the best configuration")
 	workers := flag.Int("workers", 0, "sweep worker pool size (0 = GOMAXPROCS)")
+	dumpSource := flag.Bool("dump-source", false, "print the design's Silage source and exit (for feeding builtins to pmsynthd)")
 	flag.Parse()
 
 	var design *pmsynth.Design
+	var source string
 	switch {
 	case *srcPath != "":
 		data, err := os.ReadFile(*srcPath)
 		if err != nil {
 			fail("%v", err)
 		}
-		design, err = pmsynth.Compile(string(data))
+		source = string(data)
+		design, err = pmsynth.Compile(source)
 		if err != nil {
 			fail("%v", err)
 		}
@@ -96,9 +100,13 @@ func main() {
 		default:
 			fail("unknown builtin %q", *builtin)
 		}
-		design = c.Design
+		design, source = c.Design, c.Source
 	default:
 		fail("need -src or -builtin (try -builtin absdiff -steps 3)")
+	}
+	if *dumpSource {
+		fmt.Print(source)
+		return
 	}
 
 	cp, err := pmsynth.CriticalPath(design)

@@ -15,10 +15,19 @@
 //	         [-max-sweep-workers 0] [-job-ttl 1h] [-event-tail 256]
 //	         [-retry-after 1s] [-store-dir DIR] [-store-max-bytes N]
 //	         [-max-batch-sweeps 64] [-sweep-point-cache-entries 512]
+//	         [-log-level info] [-log-format json] [-trace-capacity 256]
+//	         [-debug-addr ADDR]
 //
 // With -store-dir set, synthesize results and completed sweep tables
 // persist across restarts in a content-addressed disk store: a restarted
 // daemon answers repeated requests from disk without recompiling.
+//
+// Logging is structured (log/slog) on stderr: one access-log line per
+// request and one lifecycle line per job transition, each carrying the
+// telemetry trace id, at -log-level (debug|info|warn|error) in
+// -log-format (json|text). With -debug-addr set, a second listener
+// serves net/http/pprof under /debug/pprof/ — kept off the API address
+// so profiling endpoints are never exposed where the API is.
 //
 // The process shuts down gracefully on SIGINT/SIGTERM: the listener stops
 // accepting, in-flight requests drain (bounded by -drain), and running
@@ -29,8 +38,8 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -38,6 +47,7 @@ import (
 
 	"repro/internal/flow"
 	"repro/internal/server"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -57,11 +67,26 @@ func main() {
 	maxWarmJobs := flag.Int("max-warm-jobs", 256, "max live store-restored sweep jobs; warm submissions beyond it get 429")
 	sweepPointCacheEntries := flag.Int("sweep-point-cache-entries", flow.DefaultPointCacheEntries,
 		"sweep-point (pipeline context) cache capacity in entries (0 disables)")
+	logLevel := flag.String("log-level", "info", "log level: debug, info, warn or error")
+	logFormat := flag.String("log-format", "json", "log format: json or text")
+	traceCapacity := flag.Int("trace-capacity", 256, "retained request/job traces for /debug/traces and /v1/jobs/{id}/trace")
+	debugAddr := flag.String("debug-addr", "", "listen address for the pprof debug server (empty disables)")
 	drain := flag.Duration("drain", 10*time.Second, "graceful shutdown drain timeout")
 	flag.Parse()
 	if flag.NArg() != 0 {
 		fmt.Fprintf(os.Stderr, "pmsynthd: unexpected arguments %v\n", flag.Args())
 		flag.Usage()
+		os.Exit(2)
+	}
+
+	level, err := telemetry.ParseLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pmsynthd: %v\n", err)
+		os.Exit(2)
+	}
+	logger, err := telemetry.NewLogger(os.Stderr, level, *logFormat)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pmsynthd: %v\n", err)
 		os.Exit(2)
 	}
 
@@ -84,9 +109,12 @@ func main() {
 		StoreMaxBytes:      *storeMaxBytes,
 		MaxBatchSweeps:     *maxBatchSweeps,
 		MaxWarmJobs:        *maxWarmJobs,
+		Logger:             logger,
+		TraceCapacity:      *traceCapacity,
 	})
 	if err != nil {
-		log.Fatalf("pmsynthd: %v", err)
+		logger.Error("startup failed", "err", err)
+		os.Exit(1)
 	}
 	httpSrv := &http.Server{
 		Addr:              *addr,
@@ -94,27 +122,57 @@ func main() {
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
+	// The pprof listener is separate from the API listener by design: it
+	// is opt-in, typically bound to localhost, and never reachable at the
+	// address the API is served on. Registered on a private mux — the
+	// net/http/pprof import also touches http.DefaultServeMux, which is
+	// not used here.
+	var debugSrv *http.Server
+	if *debugAddr != "" {
+		dmux := http.NewServeMux()
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		debugSrv = &http.Server{
+			Addr:              *debugAddr,
+			Handler:           dmux,
+			ReadHeaderTimeout: 10 * time.Second,
+		}
+		go func() {
+			logger.Info("pprof debug server listening", "addr", *debugAddr)
+			if err := debugSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				logger.Error("pprof debug server failed", "err", err)
+			}
+		}()
+	}
+
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("pmsynthd listening on http://%s", *addr)
+		logger.Info("pmsynthd listening", "addr", *addr)
 		errc <- httpSrv.ListenAndServe()
 	}()
 
 	select {
 	case err := <-errc:
-		log.Fatalf("pmsynthd: serve: %v", err)
+		logger.Error("serve failed", "err", err)
+		os.Exit(1)
 	case <-ctx.Done():
 	}
 
-	log.Printf("pmsynthd: shutting down (drain %s)", *drain)
+	logger.Info("shutting down", "drain", *drain)
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
-		log.Printf("pmsynthd: drain: %v", err)
+		logger.Warn("drain incomplete", "err", err)
+	}
+	if debugSrv != nil {
+		debugSrv.Shutdown(shutdownCtx)
 	}
 	srv.Close() // cancels running jobs and stops the manager
-	log.Printf("pmsynthd: bye")
+	logger.Info("bye")
 }

@@ -24,6 +24,7 @@ package cache
 //     entry degrades to a miss.
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/hex"
@@ -32,10 +33,13 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/telemetry"
 )
 
 // storeMagic brands every entry file; bump the digit on any format change
@@ -177,6 +181,33 @@ func (s *Store) Get(key string) (val []byte, ok bool) {
 	s.hits.Add(1)
 	s.touch(name, path)
 	return val, true
+}
+
+// GetCtx is Get with telemetry: when ctx carries a trace, the lookup
+// records a "store.get" span annotated hit=true/false. With tracing off
+// it is exactly Get — the span path allocates nothing.
+func (s *Store) GetCtx(ctx context.Context, key string) (val []byte, ok bool) {
+	_, sp := telemetry.StartSpan(ctx, "store.get")
+	val, ok = s.Get(key)
+	if sp != nil {
+		sp.SetAttr("hit", strconv.FormatBool(ok))
+		sp.End()
+	}
+	return val, ok
+}
+
+// PutCtx is Put with telemetry: a "store.put" span records the write
+// (err attr on failure). With tracing off it is exactly Put.
+func (s *Store) PutCtx(ctx context.Context, key string, val []byte) error {
+	_, sp := telemetry.StartSpan(ctx, "store.put")
+	err := s.Put(key, val)
+	if sp != nil {
+		if err != nil {
+			sp.SetAttr("err", err.Error())
+		}
+		sp.End()
+	}
+	return err
 }
 
 // touch refreshes an entry's LRU position. Best effort: the mtime bump

@@ -12,6 +12,7 @@ import (
 	"repro/internal/ctrl"
 	"repro/internal/power"
 	"repro/internal/sched"
+	"repro/internal/telemetry"
 )
 
 // Context carries one configuration's inputs and every artifact the passes
@@ -119,6 +120,11 @@ func (p *Pipeline) Names() []string {
 // Run executes the passes in order, recording a timing per pass. The first
 // pass error aborts the pipeline; cancellation of c.Ctx is checked between
 // passes.
+//
+// When c.Ctx carries a telemetry.Trace, every pass additionally records a
+// "pass:<name>" span. Spans only observe — an instrumented run produces
+// byte-identical artifacts to an untraced one — and the disabled path
+// (no trace in the context) allocates nothing.
 func (p *Pipeline) Run(c *Context) error {
 	if c == nil || c.Graph == nil {
 		return errors.New("flow: nil context or graph")
@@ -127,12 +133,16 @@ func (p *Pipeline) Run(c *Context) error {
 		if err := c.canceled(); err != nil {
 			return fmt.Errorf("flow: canceled before pass %q: %w", pass.Name(), err)
 		}
+		_, sp := telemetry.StartSpan(c.Ctx, "pass:"+pass.Name())
 		start := time.Now()
 		err := pass.Run(c)
 		c.Timings = append(c.Timings, PassTiming{Pass: pass.Name(), Elapsed: time.Since(start)})
 		if err != nil {
+			sp.SetAttr("err", err.Error())
+			sp.End()
 			return fmt.Errorf("flow: pass %q: %w", pass.Name(), err)
 		}
+		sp.End()
 	}
 	return nil
 }

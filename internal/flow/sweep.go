@@ -3,10 +3,12 @@ package flow
 import (
 	"context"
 	"runtime"
+	"strconv"
 	"sync"
 
 	"repro/internal/cdfg"
 	"repro/internal/core"
+	"repro/internal/telemetry"
 )
 
 // RunAll evaluates the standard pipeline once per configuration over a
@@ -90,16 +92,37 @@ feed:
 // coalesce onto one pipeline run, and everything else runs the standard
 // pipeline directly. Failed runs — including canceled ones — are never
 // cached.
+//
+// With a telemetry.Trace on ctx, each evaluation records a "point" span
+// (budget/II config attrs) whose children are the per-pass spans; a
+// point answered from the cache records the span with cached=true and no
+// pass children (the passes ran under whichever trace computed it).
 func runPoint(ctx context.Context, g *cdfg.Graph, width int, cfg core.Config) *Context {
 	pointCache.mu.RLock()
 	c := pointCache.c
 	pointCache.mu.RUnlock()
 
+	ctx, psp := telemetry.StartSpan(ctx, "point")
+	if psp != nil {
+		psp.SetAttr("budget", strconv.Itoa(cfg.Budget))
+		if cfg.II > 0 {
+			psp.SetAttr("ii", strconv.Itoa(cfg.II))
+		}
+		defer psp.End()
+	}
+
+	ran := false
 	run := func() *Context {
+		ran = true
 		fc := &Context{Ctx: ctx, Graph: g, Width: width, Config: cfg}
 		fc.Err = Standard().Run(fc)
 		return fc
 	}
+	defer func() {
+		if !ran {
+			psp.SetAttr("cached", "true")
+		}
+	}()
 	if c == nil {
 		return run()
 	}

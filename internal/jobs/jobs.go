@@ -5,6 +5,7 @@ import (
 	"crypto/rand"
 	"encoding/hex"
 	"errors"
+	"log/slog"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -61,7 +62,11 @@ type Info struct {
 	Name string `json:"name"`
 	// Group is the batch label the job was submitted under, if any; all
 	// jobs of one POST /v1/batch share a group.
-	Group    string    `json:"group,omitempty"`
+	Group string `json:"group,omitempty"`
+	// Trace is the telemetry trace id the job's spans are recorded
+	// under, if the submitter traced it: the handle for
+	// GET /v1/jobs/{id}/trace and for correlating server logs.
+	Trace    string    `json:"trace,omitempty"`
 	State    State     `json:"state"`
 	Created  time.Time `json:"created"`
 	Started  time.Time `json:"started"`
@@ -76,6 +81,7 @@ type Job struct {
 	id    string
 	name  string
 	group string
+	trace string
 
 	mu       sync.Mutex
 	state    State
@@ -112,7 +118,7 @@ func (j *Job) Snapshot() Info {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	info := Info{
-		ID: j.id, Name: j.name, Group: j.group, State: j.state,
+		ID: j.id, Name: j.name, Group: j.group, Trace: j.trace, State: j.state,
 		Created: j.created, Started: j.started, Finished: j.finished,
 		Done: j.done, Total: j.total,
 	}
@@ -226,6 +232,7 @@ type Manager struct {
 	jobs        map[string]*Job
 	ttl         time.Duration
 	eventTail   int
+	log         *slog.Logger // nil disables lifecycle logging
 	base        context.Context
 	stop        context.CancelFunc
 	wg          sync.WaitGroup // worker goroutines
@@ -246,6 +253,10 @@ type Manager struct {
 	created   atomic.Int64
 	completed atomic.Int64
 	rejected  atomic.Int64
+	// running counts jobs currently in StateRunning, maintained at the
+	// two transitions (worker pickup, finalize) so gauges read it in O(1)
+	// instead of snapshotting every job on each /metrics scrape.
+	running atomic.Int64
 }
 
 // Config parameterizes a Manager.
@@ -265,6 +276,10 @@ type Config struct {
 	// GCInterval is how often the janitor sweeps; <= 0 means TTL/4
 	// (clamped to at least a second).
 	GCInterval time.Duration
+	// Logger, when non-nil, receives structured job lifecycle events
+	// (started, succeeded, failed, canceled) carrying job, name, group
+	// and trace ids. Nil disables lifecycle logging entirely.
+	Logger *slog.Logger
 }
 
 // NewManager starts a manager: its fixed worker pool and its janitor
@@ -295,6 +310,7 @@ func NewManager(cfg Config) *Manager {
 		wake:        make(chan struct{}, 1),
 		ttl:         cfg.TTL,
 		eventTail:   cfg.EventTail,
+		log:         cfg.Logger,
 		base:        base,
 		stop:        stop,
 		janitorDone: make(chan struct{}),
@@ -312,17 +328,19 @@ func NewManager(cfg Config) *Manager {
 // shed with ErrQueueFull and nothing is retained. total may be 0 when
 // the amount of work is unknown up front; progress ticks refine it.
 func (m *Manager) Submit(name string, total int, fn Func) (*Job, error) {
-	return m.SubmitGroup(name, "", total, fn)
+	return m.SubmitGroup(name, "", "", total, fn)
 }
 
-// SubmitGroup is Submit with a group label: jobs submitted under the same
-// non-empty group (a batch id) are retrievable together with Group. The
-// label is purely an index — it never affects scheduling.
-func (m *Manager) SubmitGroup(name, group string, total int, fn Func) (*Job, error) {
+// SubmitGroup is Submit with a group label and a telemetry trace id.
+// Jobs submitted under the same non-empty group (a batch id) are
+// retrievable together with Group; trace names the submitter's telemetry
+// trace so job snapshots carry the correlation handle. Both are purely
+// indexes — they never affect scheduling.
+func (m *Manager) SubmitGroup(name, group, trace string, total int, fn Func) (*Job, error) {
 	ctx, cancel := context.WithCancel(m.base)
 	now := time.Now()
 	j := &Job{
-		id: newID(), name: name, group: group, state: StatePending,
+		id: newID(), name: name, group: group, trace: trace, state: StatePending,
 		created: now, total: total, ringCap: m.eventTail,
 		notify: make(chan struct{}),
 		cancel: cancel, ctx: ctx, fn: fn,
@@ -362,7 +380,7 @@ func (m *Manager) SubmitGroup(name, group string, total int, fn Func) (*Job, err
 // views as a freshly computed one — without consuming a queue slot or a
 // worker. The job's event log holds a created event and a terminal
 // succeeded event with Done == Total.
-func (m *Manager) SubmitDone(name, group string, total int, val interface{}) (*Job, error) {
+func (m *Manager) SubmitDone(name, group, trace string, total int, val interface{}) (*Job, error) {
 	m.qmu.Lock()
 	if m.closed {
 		m.qmu.Unlock()
@@ -371,7 +389,7 @@ func (m *Manager) SubmitDone(name, group string, total int, val interface{}) (*J
 	m.qmu.Unlock()
 	now := time.Now()
 	j := &Job{
-		id: newID(), name: name, group: group, state: StateSucceeded,
+		id: newID(), name: name, group: group, trace: trace, state: StateSucceeded,
 		created: now, started: now, finished: now,
 		done: total, total: total, ringCap: m.eventTail,
 		result: val,
@@ -464,9 +482,16 @@ func (m *Manager) run(j *Job) {
 	}
 	j.state = StateRunning
 	j.started = time.Now()
+	m.running.Add(1)
 	j.append("started", j.started)
 	ctx, fn := j.ctx, j.fn
+	wait := j.started.Sub(j.created)
 	j.mu.Unlock()
+	if m.log != nil {
+		m.log.Info("job started",
+			"job", j.id, "name", j.name, "group", j.group, "trace", j.trace,
+			"queue_wait", wait)
+	}
 
 	val, err := fn(ctx, j.progress)
 	if err == nil && ctx.Err() != nil {
@@ -485,10 +510,19 @@ func (m *Manager) finish(j *Job, val interface{}, err error) {
 // no-op unless the job is still queued — that is how Cancel finalizes a
 // pending job promptly without racing a worker that just started it.
 func (m *Manager) finalize(j *Job, val interface{}, err error, onlyPending bool) {
+	var logEvent func()
+	defer func() {
+		if logEvent != nil {
+			logEvent() // after j.mu is released
+		}
+	}()
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if j.state.Terminal() || (onlyPending && j.state != StatePending) {
 		return
+	}
+	if j.state == StateRunning {
+		m.running.Add(-1)
 	}
 	j.fn = nil
 	j.finished = time.Now()
@@ -513,6 +547,21 @@ func (m *Manager) finalize(j *Job, val interface{}, err error, onlyPending bool)
 	}
 	j.append(string(j.state), j.finished)
 	m.completed.Add(1)
+	if m.log != nil {
+		state, errStr := j.state, ""
+		if j.err != nil {
+			errStr = j.err.Error()
+		}
+		var elapsed time.Duration
+		if !j.started.IsZero() {
+			elapsed = j.finished.Sub(j.started)
+		}
+		logEvent = func() {
+			m.log.Info("job finished",
+				"job", j.id, "name", j.name, "group", j.group, "trace", j.trace,
+				"state", string(state), "elapsed", elapsed, "err", errStr)
+		}
+	}
 }
 
 // Get returns the job with the given id.
@@ -578,14 +627,16 @@ func (m *Manager) Counters() (created, completed int64) {
 	return m.created.Load(), m.completed.Load()
 }
 
-// QueueStats reports the admission queue: jobs currently waiting for a
-// worker, the queue capacity, and how many submissions were shed with
-// ErrQueueFull.
-func (m *Manager) QueueStats() (pending, capacity int, rejected int64) {
+// QueueStats reports the admission queue and the worker pool: jobs
+// currently waiting for a worker, jobs currently running (an O(1)
+// counter maintained at the state transitions — scrapes never iterate
+// the job table), the queue capacity, and how many submissions were
+// shed with ErrQueueFull.
+func (m *Manager) QueueStats() (pending, running, capacity int, rejected int64) {
 	m.qmu.Lock()
 	pending = len(m.queue)
 	m.qmu.Unlock()
-	return pending, m.maxPending, m.rejected.Load()
+	return pending, int(m.running.Load()), m.maxPending, m.rejected.Load()
 }
 
 // janitor periodically garbage-collects expired jobs until Close.

@@ -207,9 +207,9 @@ func TestSubmitShedsWhenQueueFull(t *testing.T) {
 	if n := len(m.List()); n != 3 {
 		t.Fatalf("job table holds %d jobs after shed, want 3", n)
 	}
-	pending, capacity, rejected := m.QueueStats()
-	if pending != 2 || capacity != 2 || rejected != 1 {
-		t.Fatalf("QueueStats = %d, %d, %d; want 2, 2, 1", pending, capacity, rejected)
+	pending, running, capacity, rejected := m.QueueStats()
+	if pending != 2 || running != 1 || capacity != 2 || rejected != 1 {
+		t.Fatalf("QueueStats = %d, %d, %d, %d; want 2, 1, 2, 1", pending, running, capacity, rejected)
 	}
 
 	// Canceling a queued job reclaims its admission slot immediately —
@@ -218,7 +218,7 @@ func TestSubmitShedsWhenQueueFull(t *testing.T) {
 	if !m.Cancel(queued2.ID()) {
 		t.Fatal("Cancel returned false for a queued job")
 	}
-	if pending, _, _ := m.QueueStats(); pending != 1 {
+	if pending, _, _, _ := m.QueueStats(); pending != 1 {
 		t.Fatalf("pending = %d after canceling a queued job, want 1", pending)
 	}
 	readmitted, err := m.Submit("readmitted", 0, noop)
@@ -472,7 +472,7 @@ func TestListOrder(t *testing.T) {
 
 func TestSubmitDone(t *testing.T) {
 	m := newTestManager(t, 1)
-	j, err := m.SubmitDone("warm sweep", "batch-1", 6, "restored-result")
+	j, err := m.SubmitDone("warm sweep", "batch-1", "", 6, "restored-result")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -504,16 +504,16 @@ func TestSubmitDone(t *testing.T) {
 	if created != 1 || completed != 1 {
 		t.Fatalf("counters = %d, %d", created, completed)
 	}
-	// It consumed no queue slot.
-	if pending, _, _ := m.QueueStats(); pending != 0 {
-		t.Fatalf("pending = %d", pending)
+	// It consumed no queue slot and never counted as running.
+	if pending, running, _, _ := m.QueueStats(); pending != 0 || running != 0 {
+		t.Fatalf("pending, running = %d, %d", pending, running)
 	}
 }
 
 func TestSubmitDoneAfterClose(t *testing.T) {
 	m := NewManager(Config{Workers: 1, TTL: time.Hour, GCInterval: time.Hour})
 	m.Close()
-	if _, err := m.SubmitDone("late", "", 1, nil); !errors.Is(err, ErrClosed) {
+	if _, err := m.SubmitDone("late", "", "", 1, nil); !errors.Is(err, ErrClosed) {
 		t.Fatalf("err = %v, want ErrClosed", err)
 	}
 }
@@ -525,11 +525,11 @@ func TestGroups(t *testing.T) {
 		<-release
 		return "ok", nil
 	}
-	a, err := m.SubmitGroup("a", "g1", 1, fn)
+	a, err := m.SubmitGroup("a", "g1", "", 1, fn)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := m.SubmitGroup("b", "g2", 1, fn)
+	b, err := m.SubmitGroup("b", "g2", "", 1, fn)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -560,11 +560,80 @@ func TestGroups(t *testing.T) {
 
 func TestGroupSurvivesInList(t *testing.T) {
 	m := newTestManager(t, 1)
-	if _, err := m.SubmitDone("w", "batch-7", 1, nil); err != nil {
+	if _, err := m.SubmitDone("w", "batch-7", "", 1, nil); err != nil {
 		t.Fatal(err)
 	}
 	list := m.List()
 	if len(list) != 1 || list[0].Group != "batch-7" {
 		t.Fatalf("List = %+v", list)
+	}
+}
+
+// TestRunningCounter pins the O(1) running gauge: it tracks the
+// pending→running and running→terminal transitions exactly, and a
+// canceled pending job never decrements it below zero.
+func TestRunningCounter(t *testing.T) {
+	m := newTestManager(t, 2)
+	release := make(chan struct{})
+	started := make(chan struct{}, 2)
+	fn := func(ctx context.Context, progress func(int, int)) (interface{}, error) {
+		started <- struct{}{}
+		select {
+		case <-release:
+		case <-ctx.Done():
+		}
+		return nil, nil
+	}
+	a := submit(t, m, "a", 0, fn)
+	b := submit(t, m, "b", 0, fn)
+	<-started
+	<-started
+	if _, running, _, _ := m.QueueStats(); running != 2 {
+		t.Fatalf("running = %d with both workers busy, want 2", running)
+	}
+	// A queued job canceled while pending must not touch the counter.
+	victim := submit(t, m, "victim", 0, fn)
+	if !m.Cancel(victim.ID()) {
+		t.Fatal("Cancel(queued) = false")
+	}
+	waitTerminal(t, victim)
+	if _, running, _, _ := m.QueueStats(); running != 2 {
+		t.Fatalf("running = %d after canceling a pending job, want 2", running)
+	}
+	close(release)
+	waitTerminal(t, a)
+	waitTerminal(t, b)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, running, _, _ := m.QueueStats(); running == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			_, running, _, _ := m.QueueStats()
+			t.Fatalf("running = %d after all jobs finished, want 0", running)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestJobTraceHandle: the trace id given at submission is surfaced on
+// every snapshot, for both queued and pre-completed jobs.
+func TestJobTraceHandle(t *testing.T) {
+	m := newTestManager(t, 1)
+	j, err := m.SubmitGroup("traced", "", "tr-123", 0,
+		func(ctx context.Context, progress func(int, int)) (interface{}, error) { return nil, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := j.Snapshot().Trace; got != "tr-123" {
+		t.Fatalf("Trace = %q, want tr-123", got)
+	}
+	waitTerminal(t, j)
+	done, err := m.SubmitDone("warm", "", "tr-456", 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := done.Snapshot().Trace; got != "tr-456" {
+		t.Fatalf("warm Trace = %q, want tr-456", got)
 	}
 }

@@ -49,6 +49,9 @@ type SynthesizeResponse struct {
 	// Cached reports whether the response was served without running
 	// the flow (resident entry or coalesced onto an in-flight run).
 	Cached bool `json:"cached"`
+	// Trace is the telemetry trace id of this request (also in the
+	// X-Pmsynthd-Trace response header); empty when tracing is off.
+	Trace string `json:"trace,omitempty"`
 	// Row is the Table II style summary.
 	Row pmsynth.Row `json:"row"`
 	// VHDL and Verilog carry the requested RTL artifacts.
@@ -97,6 +100,11 @@ type SweepCreatedResponse struct {
 	// store: the job is already succeeded and its result views are
 	// immediately readable, with no recompilation or evaluation.
 	Cached bool `json:"cached,omitempty"`
+	// Trace is the telemetry trace id the job's spans are recorded
+	// under — the handle for GET /v1/jobs/{id}/trace. On deduped
+	// responses it is the original submission's trace (the one that
+	// actually runs the job), not this request's.
+	Trace string `json:"trace,omitempty"`
 }
 
 // BatchRequest is the body of POST /v1/batch: N sweep submissions fanned

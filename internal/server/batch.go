@@ -108,7 +108,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		sem <- struct{}{}
 		go func(source string) {
 			defer func() { <-sem; wg.Done() }()
-			out := s.admitSweep(source, spec, id)
+			out := s.admitSweep(r.Context(), source, spec, id)
 			item.Status = out.status
 			if out.status < 300 {
 				sweep := out.resp
@@ -132,7 +132,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			items[i].Status = http.StatusOK
 			items[i].Sweep = &SweepCreatedResponse{
 				ID: rep.ID, State: rep.State, Total: rep.Total,
-				Fingerprint: rep.Fingerprint, Deduped: true,
+				Fingerprint: rep.Fingerprint, Deduped: true, Trace: rep.Trace,
 			}
 		} else {
 			items[i].Status = items[first].Status

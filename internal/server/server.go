@@ -7,6 +7,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"runtime"
 	"sort"
@@ -17,8 +18,8 @@ import (
 
 	"repro"
 	"repro/internal/cache"
-	"repro/internal/flow"
 	"repro/internal/jobs"
+	"repro/internal/telemetry"
 )
 
 // Config parameterizes the server.
@@ -81,6 +82,13 @@ type Config struct {
 	// head-of-line regression test injects a blocking compile here and
 	// the dedup tests count compiles through it.
 	CompileHook func(source string)
+	// Logger receives the structured access log and job lifecycle
+	// events; nil discards them.
+	Logger *slog.Logger
+	// TraceCapacity bounds the ring of retained request/job traces
+	// served by GET /debug/traces and GET /v1/jobs/{id}/trace;
+	// <= 0 means 256.
+	TraceCapacity int
 }
 
 // maxBudget bounds any requested control-step budget. Schedules allocate
@@ -104,6 +112,9 @@ type Server struct {
 	jobs    *jobs.Manager
 	mux     *http.ServeMux
 	start   time.Time
+	log     *slog.Logger
+	traces  *telemetry.Ring
+	metrics *serverMetrics
 
 	// mu guards only the sweep dedup index. The invariant the admission
 	// pipeline preserves: no client-controlled work — Compile, Enumerate,
@@ -172,6 +183,10 @@ func New(cfg Config) (*Server, error) {
 			return nil, err
 		}
 	}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = telemetry.NopLogger()
+	}
 	s := &Server{
 		cfg:     cfg,
 		cache:   cache.New[*synthResult](cfg.CacheEntries),
@@ -182,13 +197,17 @@ func New(cfg Config) (*Server, error) {
 			MaxPending: cfg.MaxPendingJobs,
 			EventTail:  cfg.EventTail,
 			TTL:        cfg.JobTTL,
+			Logger:     cfg.Logger,
 		}),
 		mux:       http.NewServeMux(),
 		start:     time.Now(),
+		log:       logger,
+		traces:    telemetry.NewRing(cfg.TraceCapacity),
 		sweepByFP: make(map[string]string),
 		warmJobs:  make(map[string]struct{}),
 		batches:   make(map[string][]string),
 	}
+	s.metrics = newServerMetrics(s)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("POST /v1/synthesize", s.handleSynthesize)
@@ -197,14 +216,17 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobStatus)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleJobResult)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleJobTrace)
 	s.mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.handleJobCancel)
 	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	s.mux.HandleFunc("GET /v1/batch/{id}", s.handleBatchStatus)
+	s.mux.HandleFunc("GET /debug/traces", s.handleDebugTraces)
 	return s, nil
 }
 
-// Handler returns the root handler.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the root handler: the API mux behind the telemetry
+// middleware (per-request traces, latency histograms, access log).
+func (s *Server) Handler() http.Handler { return s.withTelemetry(s.mux) }
 
 // Close stops the job manager, canceling running jobs.
 func (s *Server) Close() { s.jobs.Close() }
@@ -231,15 +253,33 @@ func (s *Server) StoreStats() (st cache.StoreStats, ok bool) {
 // is slow to compile blocks only the requests that need it. Compile
 // errors are returned to every coalesced waiter and never cached, so a
 // transient failure does not poison the source.
-func (s *Server) compileCached(source string) (*pmsynth.Design, error) {
+//
+// With a trace on ctx the resolution records a "compile" span; a lookup
+// answered without compiling (resident entry or coalesced onto another
+// caller's compile) is marked cached=true, and the compile-duration
+// histogram counts only actual compiles.
+func (s *Server) compileCached(ctx context.Context, source string) (*pmsynth.Design, error) {
 	sum := sha256.Sum256([]byte(source))
 	key := "src|" + hex.EncodeToString(sum[:])
-	return s.designs.GetOrCompute(key, func() (*pmsynth.Design, error) {
+	_, sp := telemetry.StartSpan(ctx, "compile")
+	compiled := false
+	d, err := s.designs.GetOrCompute(key, func() (*pmsynth.Design, error) {
+		compiled = true
 		if hook := s.cfg.CompileHook; hook != nil {
 			hook(source)
 		}
 		return pmsynth.Compile(source)
 	})
+	if sp != nil {
+		if !compiled {
+			sp.SetAttr("cached", "true")
+		}
+		if err != nil {
+			sp.SetAttr("err", err.Error())
+		}
+		sp.End()
+	}
+	return d, err
 }
 
 // writeJSON writes a JSON response body.
@@ -275,68 +315,13 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// handleMetrics renders the whole registry as Prometheus text. Every
+// series is a callback over the live counters or a histogram fed by the
+// hot paths, so a scrape is O(registry size) — it never iterates the job
+// table or any other per-entry state.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	st := s.cache.Stats()
-	dst := s.designs.Stats()
-	created, completed := s.jobs.Counters()
-	pending, queueCap, rejected := s.jobs.QueueStats()
-	running := 0
-	for _, info := range s.jobs.List() {
-		if info.State == jobs.StateRunning {
-			running++
-		}
-	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	fmt.Fprintf(w, "pmsynthd_cache_hits %d\n", st.Hits)
-	fmt.Fprintf(w, "pmsynthd_cache_misses %d\n", st.Misses)
-	fmt.Fprintf(w, "pmsynthd_cache_inflight %d\n", st.Inflight)
-	fmt.Fprintf(w, "pmsynthd_cache_evictions %d\n", st.Evictions)
-	fmt.Fprintf(w, "pmsynthd_cache_entries %d\n", st.Entries)
-	fmt.Fprintf(w, "pmsynthd_design_cache_hits %d\n", dst.Hits)
-	fmt.Fprintf(w, "pmsynthd_design_cache_misses %d\n", dst.Misses)
-	fmt.Fprintf(w, "pmsynthd_design_cache_inflight %d\n", dst.Inflight)
-	fmt.Fprintf(w, "pmsynthd_design_cache_evictions %d\n", dst.Evictions)
-	fmt.Fprintf(w, "pmsynthd_design_cache_entries %d\n", dst.Entries)
-	// Sweep-point cache counters come from the process-wide cache inside
-	// internal/flow (shared by every sweep this server runs).
-	pst := flow.PointCacheStats()
-	fmt.Fprintf(w, "pmsynthd_sweeppoint_cache_hits %d\n", pst.Hits)
-	fmt.Fprintf(w, "pmsynthd_sweeppoint_cache_misses %d\n", pst.Misses)
-	fmt.Fprintf(w, "pmsynthd_sweeppoint_cache_entries %d\n", pst.Entries)
-	// Store counters are emitted unconditionally (zeros when persistence
-	// is disabled) so dashboards never miss the series.
-	var sst cache.StoreStats
-	storeEnabled := 0
-	if s.store != nil {
-		sst = s.store.Stats()
-		storeEnabled = 1
-	}
-	fmt.Fprintf(w, "pmsynthd_store_enabled %d\n", storeEnabled)
-	fmt.Fprintf(w, "pmsynthd_store_hits %d\n", sst.Hits)
-	fmt.Fprintf(w, "pmsynthd_store_misses %d\n", sst.Misses)
-	fmt.Fprintf(w, "pmsynthd_store_puts %d\n", sst.Puts)
-	fmt.Fprintf(w, "pmsynthd_store_put_errors %d\n", sst.PutErrors)
-	fmt.Fprintf(w, "pmsynthd_store_corrupt %d\n", sst.Corrupt)
-	fmt.Fprintf(w, "pmsynthd_store_evictions %d\n", sst.Evictions)
-	fmt.Fprintf(w, "pmsynthd_store_bytes %d\n", sst.Bytes)
-	fmt.Fprintf(w, "pmsynthd_store_entries %d\n", sst.Entries)
-	fmt.Fprintf(w, "pmsynthd_synthesize_requests %d\n", s.synthRequests.Load())
-	fmt.Fprintf(w, "pmsynthd_sweep_requests %d\n", s.sweepRequests.Load())
-	fmt.Fprintf(w, "pmsynthd_sweep_shed %d\n", s.sweepSheds.Load())
-	fmt.Fprintf(w, "pmsynthd_sweep_warm_hits %d\n", s.sweepWarmHits.Load())
-	s.mu.Lock()
-	s.pruneWarmJobsLocked()
-	warmLive := len(s.warmJobs)
-	s.mu.Unlock()
-	fmt.Fprintf(w, "pmsynthd_warm_jobs_live %d\n", warmLive)
-	fmt.Fprintf(w, "pmsynthd_batch_requests %d\n", s.batchRequests.Load())
-	fmt.Fprintf(w, "pmsynthd_jobs_created %d\n", created)
-	fmt.Fprintf(w, "pmsynthd_jobs_completed %d\n", completed)
-	fmt.Fprintf(w, "pmsynthd_jobs_running %d\n", running)
-	fmt.Fprintf(w, "pmsynthd_jobs_pending %d\n", pending)
-	fmt.Fprintf(w, "pmsynthd_jobs_queue_capacity %d\n", queueCap)
-	fmt.Fprintf(w, "pmsynthd_jobs_rejected %d\n", rejected)
-	fmt.Fprintf(w, "pmsynthd_uptime_seconds %d\n", int64(time.Since(s.start).Seconds()))
+	s.metrics.reg.Render(w)
 }
 
 // handleSynthesize runs one configuration through the flow, answering from
@@ -382,6 +367,7 @@ func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request) {
 	// sets must not alias.
 	key := fmt.Sprintf("%s|vhdl=%t|verilog=%t", fp, emitVHDL, emitVerilog)
 
+	ctx, ssp := telemetry.StartSpan(r.Context(), "synthesize")
 	computed := false
 	res, err := s.cache.GetOrCompute(key, func() (*synthResult, error) {
 		// The disk tier sits behind the in-memory LRU, inside the
@@ -389,7 +375,7 @@ func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request) {
 		// answers without recompiling, and concurrent identical misses
 		// still trigger exactly one disk read.
 		if s.store != nil {
-			if blob, ok := s.store.Get(key); ok {
+			if blob, ok := s.store.GetCtx(ctx, key); ok {
 				if restored, derr := decodeSynthResult(blob); derr == nil {
 					return restored, nil
 				}
@@ -397,7 +383,7 @@ func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 		computed = true
-		design, err := s.compileCached(req.Source)
+		design, err := s.compileCached(ctx, req.Source)
 		if err != nil {
 			return nil, fmt.Errorf("compile: %w", err)
 		}
@@ -418,11 +404,17 @@ func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request) {
 		}
 		if s.store != nil {
 			if blob, eerr := encodeSynthResult(out); eerr == nil {
-				s.store.Put(key, blob) // advisory: a failed Put costs a recompute
+				s.store.PutCtx(ctx, key, blob) // advisory: a failed Put costs a recompute
 			}
 		}
 		return out, nil
 	})
+	if ssp != nil {
+		if !computed {
+			ssp.SetAttr("cached", "true")
+		}
+		ssp.End()
+	}
 	if err != nil {
 		writeError(w, http.StatusUnprocessableEntity, "%v", err)
 		return
@@ -430,6 +422,7 @@ func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, SynthesizeResponse{
 		Fingerprint: fp,
 		Cached:      !computed,
+		Trace:       telemetry.TraceFrom(ctx).ID(),
 		Row:         res.row,
 		VHDL:        res.vhdl,
 		Verilog:     res.verilog,
@@ -457,7 +450,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.clampWorkers(&spec)
-	s.writeSweepOutcome(w, s.admitSweep(req.Source, spec, ""))
+	s.writeSweepOutcome(w, s.admitSweep(r.Context(), req.Source, spec, ""))
 }
 
 // clampWorkers resolves the worker default before clamping, so the cap
@@ -532,7 +525,14 @@ func (s *Server) retryAfterSeconds() int {
 // than queueing unboundedly. A succeeded job's table is persisted to the
 // disk store, so the fingerprint stays answerable after the job is
 // TTL-collected — and after the process restarts.
-func (s *Server) admitSweep(source string, spec pmsynth.SweepSpec, group string) sweepOutcome {
+//
+// When ctx carries a telemetry trace (the middleware always attaches
+// one), the admission records a "queue-wait" span from submission to
+// worker pickup and the job itself continues the same trace: its "run"
+// span, the per-point and per-pass spans underneath, all parent back to
+// the submitting request's root span, and the job snapshot carries the
+// trace id for GET /v1/jobs/{id}/trace.
+func (s *Server) admitSweep(ctx context.Context, source string, spec pmsynth.SweepSpec, group string) sweepOutcome {
 	fp := pmsynth.SweepFingerprint(source, spec)
 
 	s.mu.Lock()
@@ -548,7 +548,7 @@ func (s *Server) admitSweep(source string, spec pmsynth.SweepSpec, group string)
 	// restored table becomes an already-succeeded job so every /v1/jobs
 	// endpoint works on it, and the fingerprint index then dedupes
 	// identical submissions onto it for as long as it lives.
-	if out, ok := s.warmSweep(fp, group); ok {
+	if out, ok := s.warmSweep(ctx, fp, group); ok {
 		return out
 	}
 
@@ -567,10 +567,10 @@ func (s *Server) admitSweep(source string, spec pmsynth.SweepSpec, group string)
 	// maximal. Dedup (above) has already had its chance to answer, and
 	// the authoritative check remains Submit's, which closes the race
 	// with a queue that drains in the meantime.
-	if pending, capacity, _ := s.jobs.QueueStats(); pending >= capacity {
+	if pending, _, capacity, _ := s.jobs.QueueStats(); pending >= capacity {
 		return s.shedOutcome(jobs.ErrQueueFull)
 	}
-	design, err := s.compileCached(source)
+	design, err := s.compileCached(ctx, source)
 	if err != nil {
 		return sweepOutcome{status: http.StatusUnprocessableEntity, errMsg: fmt.Sprintf("compile: %v", err)}
 	}
@@ -581,6 +581,9 @@ func (s *Server) admitSweep(source string, spec pmsynth.SweepSpec, group string)
 	}
 	total := len(opts)
 
+	tr := telemetry.TraceFrom(ctx)
+	rootSp := telemetry.SpanFrom(ctx)
+
 	s.mu.Lock()
 	// Re-check: an identical submission may have committed a job while
 	// this one was compiling. Joining it preserves the invariant that one
@@ -590,9 +593,20 @@ func (s *Server) admitSweep(source string, spec pmsynth.SweepSpec, group string)
 		s.mu.Unlock()
 		return sweepOutcome{status: http.StatusOK, resp: resp}
 	}
-	job, err := s.jobs.SubmitGroup("sweep "+design.Graph.Name, group, total,
-		func(ctx context.Context, progress func(done, total int)) (interface{}, error) {
-			sr, err := pmsynth.SweepContextProgress(ctx, design, spec, pmsynth.SweepProgress(progress))
+	// The queue-wait span opens now and is ended by the job Func's first
+	// action (worker pickup); a shed submission ends it immediately,
+	// marked shed so the wait histogram only sees real pickups.
+	_, qsp := telemetry.StartSpan(ctx, "queue-wait")
+	job, err := s.jobs.SubmitGroup("sweep "+design.Graph.Name, group, tr.ID(), total,
+		func(jobCtx context.Context, progress func(done, total int)) (interface{}, error) {
+			qsp.End()
+			// The job continues the submitting request's trace: jobCtx
+			// carries the job's cancellation, re-dressed with the trace
+			// and re-parented under the request's root span.
+			jctx := telemetry.WithSpan(telemetry.WithTrace(jobCtx, tr), rootSp)
+			jctx, runSp := telemetry.StartSpan(jctx, "run")
+			defer runSp.End()
+			sr, err := pmsynth.SweepContextProgress(jctx, design, spec, pmsynth.SweepProgress(progress))
 			if sr != nil {
 				// The result views serve Options/Row/Err/Elapsed only;
 				// dropping the full per-point synthesis artifacts keeps
@@ -606,13 +620,15 @@ func (s *Server) admitSweep(source string, spec pmsynth.SweepSpec, group string)
 				// Persist the completed table. Advisory: a failed encode
 				// or write only costs a future recompute.
 				if blob, eerr := encodeSweepResult(sr); eerr == nil {
-					s.store.Put(sweepStoreKey(fp), blob)
+					s.store.PutCtx(jctx, sweepStoreKey(fp), blob)
 				}
 			}
 			return sr, err
 		})
 	if err != nil {
 		s.mu.Unlock()
+		qsp.SetAttr("shed", "true")
+		qsp.End()
 		return s.shedOutcome(err)
 	}
 	s.sweepByFP[fp] = job.ID()
@@ -620,7 +636,7 @@ func (s *Server) admitSweep(source string, spec pmsynth.SweepSpec, group string)
 
 	return sweepOutcome{status: http.StatusAccepted, resp: SweepCreatedResponse{
 		ID: job.ID(), State: job.Snapshot().State, Total: total,
-		Fingerprint: fp, Workers: spec.Workers,
+		Fingerprint: fp, Workers: spec.Workers, Trace: tr.ID(),
 	}}
 }
 
@@ -632,11 +648,11 @@ func sweepStoreKey(fp string) string { return "sweep|" + fp }
 // queue slot, no worker) and committed to the fingerprint index, so
 // concurrent identical submissions join it; the commit re-checks the
 // index under s.mu, so two racing warm hits converge on one job.
-func (s *Server) warmSweep(fp, group string) (sweepOutcome, bool) {
+func (s *Server) warmSweep(ctx context.Context, fp, group string) (sweepOutcome, bool) {
 	if s.store == nil {
 		return sweepOutcome{}, false
 	}
-	blob, ok := s.store.Get(sweepStoreKey(fp))
+	blob, ok := s.store.GetCtx(ctx, sweepStoreKey(fp))
 	if !ok {
 		return sweepOutcome{}, false
 	}
@@ -669,7 +685,8 @@ func (s *Server) warmSweep(fp, group string) (sweepOutcome, bool) {
 				s.cfg.MaxWarmJobs, s.retryAfterSeconds()),
 		}, true
 	}
-	job, err := s.jobs.SubmitDone("sweep "+name, group, len(sr.Points), sr)
+	trace := telemetry.TraceFrom(ctx).ID()
+	job, err := s.jobs.SubmitDone("sweep "+name, group, trace, len(sr.Points), sr)
 	if err != nil {
 		s.mu.Unlock()
 		return s.shedOutcome(err), true
@@ -680,7 +697,7 @@ func (s *Server) warmSweep(fp, group string) (sweepOutcome, bool) {
 	s.sweepWarmHits.Add(1)
 	return sweepOutcome{status: http.StatusOK, resp: SweepCreatedResponse{
 		ID: job.ID(), State: jobs.StateSucceeded, Total: len(sr.Points),
-		Fingerprint: fp, Cached: true,
+		Fingerprint: fp, Cached: true, Trace: trace,
 	}}, true
 }
 
@@ -707,7 +724,7 @@ func (s *Server) shedOutcome(err error) sweepOutcome {
 	// Only the static capacity goes in the body: re-reading the live
 	// pending count here could report a queue that drained after the
 	// rejection, a self-contradictory diagnostic.
-	_, capacity, _ := s.jobs.QueueStats()
+	_, _, capacity, _ := s.jobs.QueueStats()
 	return sweepOutcome{
 		status: http.StatusTooManyRequests,
 		errMsg: fmt.Sprintf("sweep admission queue is full (capacity %d); retry after %ds",
@@ -730,7 +747,7 @@ func (s *Server) dedupLocked(fp string) (SweepCreatedResponse, bool) {
 			info.State == jobs.StateSucceeded {
 			return SweepCreatedResponse{
 				ID: info.ID, State: info.State, Total: info.Total,
-				Fingerprint: fp, Deduped: true,
+				Fingerprint: fp, Deduped: true, Trace: info.Trace,
 			}, true
 		}
 	}

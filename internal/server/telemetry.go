@@ -1,0 +1,307 @@
+package server
+
+// The server's observability wiring: the metrics registry behind
+// /metrics, the span observer that turns trace spans into duration
+// histograms, the HTTP middleware that opens a trace per request, and
+// the trace-serving endpoints.
+//
+// Every series the pre-registry /metrics handler emitted keeps its exact
+// name and line format (existing scrapers grep lines like
+// "pmsynthd_cache_misses 1"); the registry adds # HELP/# TYPE headers,
+// labeled cache-tier counters, and duration histograms on top.
+
+import (
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/flow"
+	"repro/internal/telemetry"
+)
+
+// serverMetrics owns the registry and the handles the hot paths write to.
+// Pre-existing atomic counters are exported through render-time callbacks
+// so the scrape stays O(1) and the counting code is untouched.
+type serverMetrics struct {
+	reg *telemetry.Registry
+
+	httpLatency  telemetry.HistogramVec // per-route request latency
+	queueWait    telemetry.Histogram    // sweep admission -> worker pickup
+	jobRun       telemetry.Histogram    // job Func wall clock
+	passDuration telemetry.HistogramVec // per-pass pipeline time
+	compile      telemetry.Histogram    // actual (non-cached) compiles
+	point        telemetry.HistogramVec // sweep-point time, by cached
+}
+
+// newServerMetrics builds the registry: every legacy pmsynthd_* series as
+// a callback over the existing counters, plus the new histogram and
+// labeled families.
+func newServerMetrics(s *Server) *serverMetrics {
+	r := telemetry.NewRegistry()
+	m := &serverMetrics{reg: r}
+
+	ctr := func(name, help string, fn func() int64) {
+		r.CounterFunc(name, help, func() float64 { return float64(fn()) })
+	}
+	gauge := func(name, help string, fn func() int64) {
+		r.GaugeFunc(name, help, func() float64 { return float64(fn()) })
+	}
+
+	// Synthesize result cache (the in-memory LRU).
+	ctr("pmsynthd_cache_hits", "synthesize result cache hits", func() int64 { return s.cache.Stats().Hits })
+	ctr("pmsynthd_cache_misses", "synthesize result cache misses", func() int64 { return s.cache.Stats().Misses })
+	gauge("pmsynthd_cache_inflight", "synthesize computations in flight", func() int64 { return s.cache.Stats().Inflight })
+	ctr("pmsynthd_cache_evictions", "synthesize result cache evictions", func() int64 { return s.cache.Stats().Evictions })
+	gauge("pmsynthd_cache_entries", "synthesize result cache resident entries", func() int64 { return s.cache.Stats().Entries })
+
+	// Shared compiled-design cache.
+	ctr("pmsynthd_design_cache_hits", "compiled-design cache hits", func() int64 { return s.designs.Stats().Hits })
+	ctr("pmsynthd_design_cache_misses", "compiled-design cache misses", func() int64 { return s.designs.Stats().Misses })
+	gauge("pmsynthd_design_cache_inflight", "design compiles in flight", func() int64 { return s.designs.Stats().Inflight })
+	ctr("pmsynthd_design_cache_evictions", "compiled-design cache evictions", func() int64 { return s.designs.Stats().Evictions })
+	gauge("pmsynthd_design_cache_entries", "compiled-design cache resident entries", func() int64 { return s.designs.Stats().Entries })
+
+	// Process-wide sweep-point cache (internal/flow).
+	ctr("pmsynthd_sweeppoint_cache_hits", "sweep-point cache hits", func() int64 { return flow.PointCacheStats().Hits })
+	ctr("pmsynthd_sweeppoint_cache_misses", "sweep-point cache misses", func() int64 { return flow.PointCacheStats().Misses })
+	gauge("pmsynthd_sweeppoint_cache_entries", "sweep-point cache resident entries", func() int64 { return flow.PointCacheStats().Entries })
+
+	// Disk store. Series are emitted unconditionally (zeros when
+	// persistence is disabled) so dashboards never miss them.
+	storeStats := func() cache.StoreStats {
+		if s.store == nil {
+			return cache.StoreStats{}
+		}
+		return s.store.Stats()
+	}
+	gauge("pmsynthd_store_enabled", "1 when the persistent store is configured", func() int64 {
+		if s.store != nil {
+			return 1
+		}
+		return 0
+	})
+	ctr("pmsynthd_store_hits", "disk store hits", func() int64 { return storeStats().Hits })
+	ctr("pmsynthd_store_misses", "disk store misses", func() int64 { return storeStats().Misses })
+	ctr("pmsynthd_store_puts", "disk store successful writes", func() int64 { return storeStats().Puts })
+	ctr("pmsynthd_store_put_errors", "disk store failed writes", func() int64 { return storeStats().PutErrors })
+	ctr("pmsynthd_store_corrupt", "disk store entries rejected by verification", func() int64 { return storeStats().Corrupt })
+	ctr("pmsynthd_store_evictions", "disk store size-bound evictions", func() int64 { return storeStats().Evictions })
+	gauge("pmsynthd_store_bytes", "disk store resident bytes", func() int64 { return storeStats().Bytes })
+	gauge("pmsynthd_store_entries", "disk store resident entries", func() int64 { return storeStats().Entries })
+
+	// Request and admission counters.
+	ctr("pmsynthd_synthesize_requests", "POST /v1/synthesize requests", s.synthRequests.Load)
+	ctr("pmsynthd_sweep_requests", "POST /v1/sweep requests", s.sweepRequests.Load)
+	ctr("pmsynthd_sweep_shed", "sweep submissions shed with 429", s.sweepSheds.Load)
+	ctr("pmsynthd_sweep_warm_hits", "sweep submissions answered from the disk store", s.sweepWarmHits.Load)
+	gauge("pmsynthd_warm_jobs_live", "live store-restored sweep jobs", func() int64 {
+		s.mu.Lock()
+		s.pruneWarmJobsLocked()
+		n := len(s.warmJobs)
+		s.mu.Unlock()
+		return int64(n)
+	})
+	ctr("pmsynthd_batch_requests", "POST /v1/batch requests", s.batchRequests.Load)
+
+	// Job manager. The running gauge reads the manager's O(1) transition
+	// counter — scrapes never iterate the job table.
+	ctr("pmsynthd_jobs_created", "jobs ever created", func() int64 { c, _ := s.jobs.Counters(); return c })
+	ctr("pmsynthd_jobs_completed", "jobs ever completed", func() int64 { _, c := s.jobs.Counters(); return c })
+	gauge("pmsynthd_jobs_running", "jobs currently running", func() int64 {
+		_, running, _, _ := s.jobs.QueueStats()
+		return int64(running)
+	})
+	gauge("pmsynthd_jobs_pending", "jobs waiting for a worker", func() int64 {
+		pending, _, _, _ := s.jobs.QueueStats()
+		return int64(pending)
+	})
+	gauge("pmsynthd_jobs_queue_capacity", "admission queue capacity", func() int64 {
+		_, _, capacity, _ := s.jobs.QueueStats()
+		return int64(capacity)
+	})
+	ctr("pmsynthd_jobs_rejected", "submissions shed with queue-full", func() int64 {
+		_, _, _, rejected := s.jobs.QueueStats()
+		return rejected
+	})
+	gauge("pmsynthd_uptime_seconds", "seconds since the server started", func() int64 {
+		return int64(time.Since(s.start).Seconds())
+	})
+	gauge("pmsynthd_traces_retained", "traces retained in the debug ring", func() int64 {
+		return int64(s.traces.Len())
+	})
+
+	// Cache tiers under one labeled family, for cross-tier dashboards.
+	tiers := r.CounterFuncVec("pmsynthd_cache_tier_requests",
+		"cache lookups by tier and result", "tier", "result")
+	tiers.With(func() float64 { return float64(s.cache.Stats().Hits) }, "result", "hit")
+	tiers.With(func() float64 { return float64(s.cache.Stats().Misses) }, "result", "miss")
+	tiers.With(func() float64 { return float64(s.designs.Stats().Hits) }, "design", "hit")
+	tiers.With(func() float64 { return float64(s.designs.Stats().Misses) }, "design", "miss")
+	tiers.With(func() float64 { return float64(flow.PointCacheStats().Hits) }, "sweeppoint", "hit")
+	tiers.With(func() float64 { return float64(flow.PointCacheStats().Misses) }, "sweeppoint", "miss")
+	tiers.With(func() float64 { return float64(storeStats().Hits) }, "store", "hit")
+	tiers.With(func() float64 { return float64(storeStats().Misses) }, "store", "miss")
+
+	// Duration histograms, fed by the middleware and the span observer.
+	m.httpLatency = r.HistogramVec("pmsynthd_http_request_duration_seconds",
+		"HTTP request latency by route", nil, "route")
+	m.queueWait = r.Histogram("pmsynthd_job_queue_wait_seconds",
+		"sweep job wait from admission to worker pickup", nil)
+	m.jobRun = r.Histogram("pmsynthd_job_run_seconds",
+		"sweep job run time on a worker", nil)
+	m.passDuration = r.HistogramVec("pmsynthd_pass_duration_seconds",
+		"pipeline pass duration by pass name", nil, "pass")
+	m.compile = r.Histogram("pmsynthd_compile_seconds",
+		"behavioral-source compile time (actual compiles only)", nil)
+	m.point = r.HistogramVec("pmsynthd_sweep_point_seconds",
+		"sweep-point evaluation time, split by point-cache outcome", nil, "cached")
+	return m
+}
+
+// observeSpan feeds duration histograms from ended spans. It is the
+// trace observer of every request trace, invoked synchronously on each
+// Span.End — including spans past the trace's retention bound — and may
+// be called from many goroutines at once (sweep workers).
+func (m *serverMetrics) observeSpan(sp *telemetry.Span) {
+	name := sp.Name()
+	switch {
+	case name == "queue-wait":
+		if sp.Attr("shed") != "true" {
+			m.queueWait.Observe(sp.Duration().Seconds())
+		}
+	case name == "run":
+		m.jobRun.Observe(sp.Duration().Seconds())
+	case name == "compile":
+		if sp.Attr("cached") != "true" {
+			m.compile.Observe(sp.Duration().Seconds())
+		}
+	case name == "point":
+		cached := "false"
+		if sp.Attr("cached") == "true" {
+			cached = "true"
+		}
+		m.point.With(cached).Observe(sp.Duration().Seconds())
+	case strings.HasPrefix(name, "pass:"):
+		m.passDuration.With(name[len("pass:"):]).Observe(sp.Duration().Seconds())
+	}
+}
+
+// statusRecorder captures the response status for the access log and the
+// root span, passing Flush through so NDJSON event streaming keeps
+// working behind the middleware.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	if r.status == 0 {
+		r.status = code
+	}
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(b []byte) (int, error) {
+	if r.status == 0 {
+		r.status = http.StatusOK
+	}
+	return r.ResponseWriter.Write(b)
+}
+
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// withTelemetry is the outermost HTTP middleware: it opens a trace and a
+// root span per request (named by the matched route pattern, so the
+// histogram label space is bounded by the route table), returns the
+// trace id in X-Pmsynthd-Trace, observes the per-route latency
+// histogram, and writes one structured access-log line.
+//
+// Traces for /metrics, /healthz and /debug/* requests still exist (the
+// header and histograms work) but are not retained in the ring — a
+// scraper polling every few seconds must not evict the job traces the
+// ring is for.
+func (s *Server) withTelemetry(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		route := "(unmatched)"
+		if _, pattern := s.mux.Handler(r); pattern != "" {
+			route = pattern
+		}
+		tr := telemetry.NewTrace("", telemetry.WithObserver(s.metrics.observeSpan))
+		if retainTrace(route) {
+			s.traces.Add(tr)
+		}
+		ctx := telemetry.WithTrace(r.Context(), tr)
+		ctx, root := telemetry.StartSpan(ctx, route)
+		w.Header().Set("X-Pmsynthd-Trace", tr.ID())
+		rec := &statusRecorder{ResponseWriter: w}
+		start := time.Now()
+		next.ServeHTTP(rec, r.WithContext(ctx))
+		elapsed := time.Since(start)
+		if rec.status == 0 {
+			rec.status = http.StatusOK // handler never wrote: implicit 200
+		}
+		root.SetAttr("code", strconv.Itoa(rec.status))
+		root.End()
+		s.metrics.httpLatency.With(route).Observe(elapsed.Seconds())
+		logger := s.log.Info
+		if route == "GET /metrics" || route == "GET /healthz" {
+			logger = s.log.Debug // scrapes and probes are noise at info
+		}
+		logger("http request",
+			"method", r.Method, "path", r.URL.Path, "route", route,
+			"code", rec.status, "elapsed", elapsed, "trace", tr.ID())
+	})
+}
+
+// retainTrace decides whether a route's traces go into the debug ring.
+func retainTrace(route string) bool {
+	return route != "GET /metrics" && route != "GET /healthz" &&
+		!strings.HasPrefix(route, "GET /debug/")
+}
+
+// handleJobTrace serves the span forest of the trace that admitted (and,
+// for computed sweeps, ran) a job. 404s: unknown job, a job admitted
+// with tracing off, or a trace already evicted from the bounded ring.
+func (s *Server) handleJobTrace(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	id := j.Snapshot().Trace
+	if id == "" {
+		writeError(w, http.StatusNotFound, "job %q has no recorded trace", j.ID())
+		return
+	}
+	tr, ok := s.traces.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "trace %q is no longer retained", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, tr.Snapshot())
+}
+
+// handleDebugTraces serves the most recent retained traces, newest
+// first. ?n= bounds the count (default 20).
+func (s *Server) handleDebugTraces(w http.ResponseWriter, r *http.Request) {
+	n := 20
+	if q := r.URL.Query().Get("n"); q != "" {
+		v, err := strconv.Atoi(q)
+		if err != nil || v < 1 {
+			writeError(w, http.StatusBadRequest, "bad n %q: want a positive integer", q)
+			return
+		}
+		n = v
+	}
+	traces := s.traces.Recent(n)
+	out := make([]telemetry.Snapshot, 0, len(traces))
+	for _, tr := range traces {
+		out = append(out, tr.Snapshot())
+	}
+	writeJSON(w, http.StatusOK, out)
+}

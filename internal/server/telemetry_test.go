@@ -1,0 +1,211 @@
+package server_test
+
+// End-to-end tests of the telemetry surface: every response carries its
+// trace id (header and body), a sweep job's trace assembles into the
+// span tree the architecture promises — admission spans under the HTTP
+// root, one span per sweep point, one span per flow pass — with intact
+// parent links and real durations, and the trace endpoints answer 404
+// for jobs whose trace was never retained.
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"testing"
+
+	"repro/internal/jobs"
+	"repro/internal/server"
+	"repro/internal/telemetry"
+)
+
+// traceSweepSrc is the absdiff example under a unique name, so this
+// test's sweep points can never be served from the process-wide
+// sweep-point cache warmed by other tests — a cached point records no
+// pass spans, and this test asserts they exist.
+const traceSweepSrc = `
+func absdiff_traced(a: num<8>, b: num<8>) out: num<8> =
+begin
+    g   = a > b;
+    d1  = a - b;
+    d2  = b - a;
+    out = if g -> d1 || d2 fi;
+end
+`
+
+// postJSONResp is postJSON plus the raw *http.Response, for tests that
+// need response headers.
+func postJSONResp(t *testing.T, url string, body interface{}, out interface{}) *http.Response {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != nil {
+		if err := json.Unmarshal(data, out); err != nil {
+			t.Fatalf("bad response body %q: %v", data, err)
+		}
+	}
+	return resp
+}
+
+// findSpans returns every span named name anywhere in the forest.
+func findSpans(roots []*telemetry.SpanNode, name string) []*telemetry.SpanNode {
+	var out []*telemetry.SpanNode
+	var walk func(ns []*telemetry.SpanNode)
+	walk = func(ns []*telemetry.SpanNode) {
+		for _, n := range ns {
+			if n.Name == name {
+				out = append(out, n)
+			}
+			walk(n.Children)
+		}
+	}
+	walk(roots)
+	return out
+}
+
+// TestSweepTraceSpanTree submits a sweep, waits for it, and verifies the
+// job's trace covers the whole path: HTTP root -> compile + queue-wait,
+// job run -> one point span per configuration -> one span per flow
+// pass, every span with a positive duration and a parent link that
+// matches its position in the tree.
+func TestSweepTraceSpanTree(t *testing.T) {
+	_, ts := newTestServer(t, server.Config{})
+
+	req := server.SweepRequest{
+		Source: traceSweepSrc,
+		Spec:   server.SweepSpecRequest{BudgetMin: 2, BudgetMax: 3},
+	}
+	var created server.SweepCreatedResponse
+	resp := postJSONResp(t, ts.URL+"/v1/sweep", req, &created)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("sweep create status = %d", resp.StatusCode)
+	}
+	if created.Trace == "" {
+		t.Fatal("created response carries no trace id")
+	}
+	if hdr := resp.Header.Get("X-Pmsynthd-Trace"); hdr != created.Trace {
+		t.Fatalf("X-Pmsynthd-Trace = %q, body trace = %q", hdr, created.Trace)
+	}
+
+	events := streamEvents(t, ts.URL+"/v1/jobs/"+created.ID+"/events", nil)
+	checkMonotonic(t, events, jobs.StateSucceeded)
+
+	// The job snapshot carries the same trace handle.
+	var info jobs.Info
+	if code := getJSON(t, ts.URL+"/v1/jobs/"+created.ID, &info); code != http.StatusOK {
+		t.Fatalf("job status = %d", code)
+	}
+	if info.Trace != created.Trace {
+		t.Fatalf("job snapshot trace = %q, want %q", info.Trace, created.Trace)
+	}
+
+	var snap telemetry.Snapshot
+	if code := getJSON(t, ts.URL+"/v1/jobs/"+created.ID+"/trace", &snap); code != http.StatusOK {
+		t.Fatalf("trace status = %d", code)
+	}
+	if snap.ID != created.Trace {
+		t.Fatalf("trace id = %q, want %q", snap.ID, created.Trace)
+	}
+	if snap.Dropped != 0 {
+		t.Fatalf("trace dropped %d spans", snap.Dropped)
+	}
+
+	// The HTTP root span carries the admission spans.
+	roots := findSpans(snap.Roots, "POST /v1/sweep")
+	if len(roots) != 1 {
+		t.Fatalf("%d 'POST /v1/sweep' root spans, want 1", len(roots))
+	}
+	root := roots[0]
+	for _, name := range []string{"compile", "queue-wait", "run"} {
+		kids := findSpans(root.Children, name)
+		if len(kids) != 1 {
+			t.Fatalf("%d %q spans under the root, want 1", len(kids), name)
+		}
+	}
+
+	// One point span per configuration under the run span, each with one
+	// span per pipeline pass underneath.
+	run := findSpans(root.Children, "run")[0]
+	points := findSpans(run.Children, "point")
+	if len(points) != created.Total {
+		t.Fatalf("%d point spans, want %d", len(points), created.Total)
+	}
+	passes := []string{"pass:schedule", "pass:bind", "pass:controller", "pass:baseline", "pass:activity"}
+	for _, pt := range points {
+		for _, pass := range passes {
+			if got := findSpans(pt.Children, pass); len(got) != 1 {
+				t.Fatalf("point span %d has %d %q spans, want 1", pt.ID, len(got), pass)
+			}
+		}
+	}
+
+	// Durations are real and parent links match tree positions.
+	var walk func(parent *telemetry.SpanNode, ns []*telemetry.SpanNode)
+	walk = func(parent *telemetry.SpanNode, ns []*telemetry.SpanNode) {
+		for _, n := range ns {
+			if n.DurationNs <= 0 {
+				t.Errorf("span %d %q has duration %d, want > 0", n.ID, n.Name, n.DurationNs)
+			}
+			if parent != nil && n.Parent != parent.ID {
+				t.Errorf("span %d %q has parent %d, want %d", n.ID, n.Name, n.Parent, parent.ID)
+			}
+			walk(n, n.Children)
+		}
+	}
+	walk(nil, snap.Roots)
+
+	// The trace is also in the recent-traces listing.
+	var recent []telemetry.Snapshot
+	if code := getJSON(t, ts.URL+"/debug/traces?n=100", &recent); code != http.StatusOK {
+		t.Fatalf("debug traces status = %d", code)
+	}
+	found := false
+	for _, r := range recent {
+		if r.ID == created.Trace {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("trace %q missing from /debug/traces", created.Trace)
+	}
+}
+
+// TestSynthesizeTraceHeader pins that one-shot synthesis responses carry
+// the trace id in both the body and the response header.
+func TestSynthesizeTraceHeader(t *testing.T) {
+	_, ts := newTestServer(t, server.Config{})
+	req := server.SynthesizeRequest{
+		Source:  traceSweepSrc,
+		Options: server.OptionsRequest{Budget: 2},
+	}
+	var res server.SynthesizeResponse
+	resp := postJSONResp(t, ts.URL+"/v1/synthesize", req, &res)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("synthesize status = %d", resp.StatusCode)
+	}
+	if res.Trace == "" {
+		t.Fatal("synthesize response carries no trace id")
+	}
+	if hdr := resp.Header.Get("X-Pmsynthd-Trace"); hdr != res.Trace {
+		t.Fatalf("X-Pmsynthd-Trace = %q, body trace = %q", hdr, res.Trace)
+	}
+}
+
+// TestJobTraceNotFound pins the 404 contract of the trace endpoint.
+func TestJobTraceNotFound(t *testing.T) {
+	_, ts := newTestServer(t, server.Config{})
+	if code := getJSON(t, ts.URL+"/v1/jobs/j-does-not-exist/trace", nil); code != http.StatusNotFound {
+		t.Fatalf("unknown job trace status = %d, want 404", code)
+	}
+}

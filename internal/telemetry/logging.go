@@ -1,0 +1,47 @@
+package telemetry
+
+// log/slog construction helpers shared by the daemon and tests: a level
+// and format resolved from flag strings, with trace correlation left to
+// the callers (they attach the trace id as an attribute).
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// ParseLevel resolves a textual log level: debug, info, warn, error.
+func ParseLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(s) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "", "info":
+		return slog.LevelInfo, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return 0, fmt.Errorf("telemetry: unknown log level %q (valid: debug, info, warn, error)", s)
+}
+
+// NewLogger builds a structured logger writing to w: format is "json"
+// (the default; machine-shippable, one object per line) or "text"
+// (logfmt-style, for humans at a terminal).
+func NewLogger(w io.Writer, level slog.Level, format string) (*slog.Logger, error) {
+	opts := &slog.HandlerOptions{Level: level}
+	switch strings.ToLower(format) {
+	case "", "json":
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	case "text":
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	}
+	return nil, fmt.Errorf("telemetry: unknown log format %q (valid: json, text)", format)
+}
+
+// NopLogger returns a logger that discards everything — the default for
+// embedded servers (tests, examples) that did not configure logging.
+func NopLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, &slog.HandlerOptions{Level: slog.Level(127)}))
+}

@@ -1,0 +1,230 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegistryRender(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("pmsynthd_requests", "total requests")
+	c.Add(3)
+	r.GaugeFunc("pmsynthd_uptime_seconds", "uptime", func() float64 { return 42 })
+	cv := r.CounterVec("pmsynthd_cache_tier_requests", "per-tier requests", "tier", "result")
+	cv.With("memory", "hit").Add(5)
+	cv.With("memory", "miss").Inc()
+	h := r.Histogram("pmsynthd_latency_seconds", "latency", []float64{0.01, 0.1, 1})
+	// Binary-exact values so the rendered _sum is a stable string.
+	h.Observe(0.0078125)
+	h.Observe(0.0625)
+	h.Observe(4)
+
+	var b strings.Builder
+	r.Render(&b)
+	out := b.String()
+
+	for _, want := range []string{
+		"# HELP pmsynthd_requests total requests",
+		"# TYPE pmsynthd_requests counter",
+		"pmsynthd_requests 3",
+		"# TYPE pmsynthd_uptime_seconds gauge",
+		"pmsynthd_uptime_seconds 42",
+		`pmsynthd_cache_tier_requests{tier="memory",result="hit"} 5`,
+		`pmsynthd_cache_tier_requests{tier="memory",result="miss"} 1`,
+		"# TYPE pmsynthd_latency_seconds histogram",
+		`pmsynthd_latency_seconds_bucket{le="0.01"} 1`,
+		`pmsynthd_latency_seconds_bucket{le="0.1"} 2`,
+		`pmsynthd_latency_seconds_bucket{le="1"} 2`,
+		`pmsynthd_latency_seconds_bucket{le="+Inf"} 3`,
+		"pmsynthd_latency_seconds_sum 4.0703125",
+		"pmsynthd_latency_seconds_count 3",
+	} { // verify each expected line appears exactly once
+		if strings.Count(out, want+"\n") != 1 {
+			t.Fatalf("rendered output missing or duplicating %q:\n%s", want, out)
+		}
+	}
+
+	// Families render sorted by name.
+	if strings.Index(out, "pmsynthd_cache_tier_requests") > strings.Index(out, "pmsynthd_latency_seconds") {
+		t.Fatal("families not sorted by name")
+	}
+}
+
+func TestRegistryDuplicatePanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	r.Gauge("x", "")
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	cv := r.CounterVec("m", "", "p")
+	cv.With("a\"b\\c\nd").Inc()
+	var b strings.Builder
+	r.Render(&b)
+	if !strings.Contains(b.String(), `m{p="a\"b\\c\nd"} 1`) {
+		t.Fatalf("label not escaped:\n%s", b.String())
+	}
+}
+
+func TestHistogramBucketMonotonicity(t *testing.T) {
+	r := NewRegistry()
+	hv := r.HistogramVec("lat", "", nil, "route")
+	h := hv.With("/v1/sweep")
+	for _, v := range []float64{0.00005, 0.002, 0.002, 0.3, 100} {
+		h.Observe(v)
+	}
+	var b strings.Builder
+	r.Render(&b)
+	// Cumulative counts must be nondecreasing and end at the total.
+	prev := int64(-1)
+	lines := strings.Split(b.String(), "\n")
+	seen := 0
+	for _, ln := range lines {
+		if !strings.HasPrefix(ln, "lat_bucket") {
+			continue
+		}
+		seen++
+		var n int64
+		if _, err := fmtSscan(ln, &n); err != nil {
+			t.Fatalf("parse %q: %v", ln, err)
+		}
+		if n < prev {
+			t.Fatalf("bucket counts regress at %q", ln)
+		}
+		prev = n
+	}
+	if seen != len(DefBuckets)+1 {
+		t.Fatalf("rendered %d buckets, want %d", seen, len(DefBuckets)+1)
+	}
+	if prev != 5 {
+		t.Fatalf("+Inf bucket = %d, want 5", prev)
+	}
+}
+
+// fmtSscan pulls the trailing integer off a rendered sample line.
+func fmtSscan(line string, n *int64) (int, error) {
+	i := strings.LastIndexByte(line, ' ')
+	v, err := parseInt(line[i+1:])
+	*n = v
+	return 1, err
+}
+
+func parseInt(s string) (int64, error) {
+	var v int64
+	for _, c := range s {
+		if c < '0' || c > '9' {
+			return 0, &parseErr{s}
+		}
+		v = v*10 + int64(c-'0')
+	}
+	return v, nil
+}
+
+type parseErr struct{ s string }
+
+func (e *parseErr) Error() string { return "bad int " + e.s }
+
+func TestParseLevelAndLogger(t *testing.T) {
+	if _, err := ParseLevel("verbose"); err == nil {
+		t.Fatal("bad level accepted")
+	}
+	lv, err := ParseLevel("warn")
+	if err != nil || lv.String() != "WARN" {
+		t.Fatalf("ParseLevel(warn) = %v, %v", lv, err)
+	}
+	var b strings.Builder
+	lg, err := NewLogger(&b, lv, "json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg.Info("dropped")
+	lg.Warn("kept", "k", "v")
+	out := b.String()
+	if strings.Contains(out, "dropped") || !strings.Contains(out, `"msg":"kept"`) {
+		t.Fatalf("level filtering wrong: %s", out)
+	}
+	if _, err := NewLogger(&b, lv, "xml"); err == nil {
+		t.Fatal("bad format accepted")
+	}
+	NopLogger().Error("nowhere")
+}
+
+func TestHandlesAndCallbackVecs(t *testing.T) {
+	r := NewRegistry()
+
+	c := r.Counter("tasks_total", "completed tasks")
+	c.Add(7)
+	if c.Value() != 7 {
+		t.Fatalf("counter value = %d, want 7", c.Value())
+	}
+	r.CounterFunc("pulled_total", "callback counter", func() float64 { return 11 })
+
+	g := r.Gauge("depth", "queue depth")
+	g.Set(9)
+	g.Add(-4)
+	if g.Value() != 5 {
+		t.Fatalf("gauge value = %d, want 5", g.Value())
+	}
+
+	gv := r.GaugeFuncVec("pool_size", "per-pool size", "pool")
+	gv.With(func() float64 { return 3 }, "compile")
+	cv := r.CounterFuncVec("pool_hits", "per-pool hits", "pool")
+	cv.With(func() float64 { return 12 }, "compile")
+
+	var b strings.Builder
+	r.Render(&b)
+	out := b.String()
+	for _, want := range []string{
+		"tasks_total 7",
+		"pulled_total 11",
+		"depth 5",
+		`pool_size{pool="compile"} 3`,
+		`pool_hits{pool="compile"} 12`,
+		"# TYPE pool_hits counter",
+		"# TYPE pool_size gauge",
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Fatalf("rendered output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHelpEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("weird", "line one\nline two with back\\slash")
+	var b strings.Builder
+	r.Render(&b)
+	out := b.String()
+	want := `# HELP weird line one\nline two with back\\slash`
+	if !strings.Contains(out, want+"\n") {
+		t.Fatalf("help not escaped, got:\n%s", out)
+	}
+}
+
+func TestParseLevelVariants(t *testing.T) {
+	for in, want := range map[string]string{
+		"debug": "DEBUG", "": "INFO", "info": "INFO",
+		"warning": "WARN", "error": "ERROR",
+	} {
+		lv, err := ParseLevel(in)
+		if err != nil || lv.String() != want {
+			t.Fatalf("ParseLevel(%q) = %v, %v; want %s", in, lv, err, want)
+		}
+	}
+	var b strings.Builder
+	if lg, err := NewLogger(&b, 0, "text"); err != nil {
+		t.Fatal(err)
+	} else {
+		lg.Info("hello", "k", "v")
+	}
+	if !strings.Contains(b.String(), "msg=hello") {
+		t.Fatalf("text handler output: %s", b.String())
+	}
+	NopLogger().Error("discarded")
+}

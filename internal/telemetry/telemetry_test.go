@@ -1,0 +1,211 @@
+package telemetry
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSpanTree(t *testing.T) {
+	tr := NewTrace("t1")
+	ctx := WithTrace(context.Background(), tr)
+
+	ctx, root := StartSpan(ctx, "root")
+	root.SetAttr("route", "POST /v1/sweep")
+	cctx, compile := StartSpan(ctx, "compile")
+	compile.End()
+	_ = cctx
+	ctx2, run := StartSpan(ctx, "run")
+	_, p1 := StartSpan(ctx2, "point")
+	p1.End()
+	_, p2 := StartSpan(ctx2, "point")
+	p2.End()
+	run.End()
+	root.End()
+
+	snap := tr.Snapshot()
+	if snap.ID != "t1" || snap.Spans != 5 {
+		t.Fatalf("snapshot = %q %d spans, want t1 5", snap.ID, snap.Spans)
+	}
+	if len(snap.Roots) != 1 || snap.Roots[0].Name != "root" {
+		t.Fatalf("roots = %+v, want single root", snap.Roots)
+	}
+	r := snap.Roots[0]
+	if r.Attrs[0].Key != "route" || r.Attrs[0].Value != "POST /v1/sweep" {
+		t.Fatalf("root attrs = %+v", r.Attrs)
+	}
+	if len(r.Children) != 2 {
+		t.Fatalf("root children = %d, want 2 (compile, run)", len(r.Children))
+	}
+	var runNode *SpanNode
+	for _, c := range r.Children {
+		if c.Name == "run" {
+			runNode = c
+		}
+	}
+	if runNode == nil || len(runNode.Children) != 2 {
+		t.Fatalf("run node children = %+v, want 2 points", runNode)
+	}
+	for _, p := range runNode.Children {
+		if p.Parent != runNode.ID {
+			t.Fatalf("point parent = %d, want %d", p.Parent, runNode.ID)
+		}
+	}
+}
+
+func TestSpanConcurrentEnd(t *testing.T) {
+	tr := NewTrace("")
+	ctx := WithTrace(context.Background(), tr)
+	ctx, root := StartSpan(ctx, "root")
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, sp := StartSpan(ctx, "worker")
+			sp.End()
+		}()
+	}
+	wg.Wait()
+	root.End()
+	if got := tr.Len(); got != 33 {
+		t.Fatalf("trace holds %d spans, want 33", got)
+	}
+	if len(tr.Snapshot().Roots[0].Children) != 32 {
+		t.Fatalf("root children = %d, want 32", len(tr.Snapshot().Roots[0].Children))
+	}
+}
+
+func TestTraceSpanBound(t *testing.T) {
+	tr := NewTrace("", WithMaxSpans(4))
+	ctx := WithTrace(context.Background(), tr)
+	seen := 0
+	tr.observer = func(*Span) { seen++ }
+	for i := 0; i < 10; i++ {
+		_, sp := StartSpan(ctx, "s")
+		sp.End()
+	}
+	if tr.Len() != 4 {
+		t.Fatalf("retained %d spans, want 4", tr.Len())
+	}
+	if snap := tr.Snapshot(); snap.Dropped != 6 {
+		t.Fatalf("dropped = %d, want 6", snap.Dropped)
+	}
+	if seen != 10 {
+		t.Fatalf("observer saw %d spans, want all 10 (drops must still observe)", seen)
+	}
+}
+
+// TestNoopSpanZeroAlloc pins the disabled-path contract the benchmark
+// gate relies on: without a trace in the context, StartSpan + SetAttr +
+// End allocate nothing.
+func TestNoopSpanZeroAlloc(t *testing.T) {
+	ctx := context.Background()
+	allocs := testing.AllocsPerRun(1000, func() {
+		ctx2, sp := StartSpan(ctx, "pass:schedule")
+		sp.SetAttr("k", "v")
+		sp.End()
+		_ = ctx2
+	})
+	if allocs != 0 {
+		t.Fatalf("no-op span path allocates %.1f per span, want 0", allocs)
+	}
+}
+
+func TestRing(t *testing.T) {
+	r := NewRing(2)
+	a, b, c := NewTrace("a"), NewTrace("b"), NewTrace("c")
+	r.Add(a)
+	r.Add(b)
+	r.Add(c) // evicts a
+	if r.Len() != 2 {
+		t.Fatalf("ring len = %d, want 2", r.Len())
+	}
+	if _, ok := r.Get("a"); ok {
+		t.Fatal("evicted trace still resolvable")
+	}
+	if tr, ok := r.Get("c"); !ok || tr.ID() != "c" {
+		t.Fatal("newest trace not resolvable")
+	}
+	recent := r.Recent(0)
+	if len(recent) != 2 || recent[0].ID() != "c" || recent[1].ID() != "b" {
+		t.Fatalf("Recent = %v, want [c b]", []string{recent[0].ID(), recent[1].ID()})
+	}
+}
+
+func TestObserverFeedsMetrics(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("pass_seconds", "per-pass durations", nil)
+	tr := NewTrace("", WithObserver(func(sp *Span) {
+		if strings.HasPrefix(sp.Name(), "pass:") {
+			h.Observe(sp.Duration().Seconds())
+		}
+	}))
+	ctx := WithTrace(context.Background(), tr)
+	_, sp := StartSpan(ctx, "pass:schedule")
+	time.Sleep(time.Millisecond)
+	sp.End()
+	var b strings.Builder
+	reg.Render(&b)
+	if !strings.Contains(b.String(), "pass_seconds_count 1") {
+		t.Fatalf("histogram missed the observed span:\n%s", b.String())
+	}
+}
+
+func TestSpanAttrAndContextPlumbing(t *testing.T) {
+	tr := NewTrace("")
+	ctx := WithTrace(context.Background(), tr)
+	if tr.Start().IsZero() {
+		t.Fatal("trace start time is zero")
+	}
+
+	ctx, sp := StartSpan(ctx, "root")
+	sp.SetAttr("budget", "5")
+	if got := sp.Attr("budget"); got != "5" {
+		t.Fatalf("Attr(budget) = %q, want 5", got)
+	}
+	if got := sp.Attr("missing"); got != "" {
+		t.Fatalf("Attr(missing) = %q, want empty", got)
+	}
+
+	// WithSpan re-parents: a fresh context dressed with the trace and the
+	// root span produces children of that root.
+	jobCtx := WithSpan(WithTrace(context.Background(), tr), sp)
+	if SpanFrom(jobCtx) != sp {
+		t.Fatal("WithSpan did not bind the span")
+	}
+	_, child := StartSpan(jobCtx, "child")
+	child.End()
+	sp.End()
+	if child.parent != sp.id {
+		t.Fatalf("child parent = %d, want %d", child.parent, sp.id)
+	}
+
+	// Nil span/trace leave the context untouched.
+	base := context.Background()
+	if WithSpan(base, nil) != base {
+		t.Fatal("WithSpan(nil) should return ctx unchanged")
+	}
+	if WithTrace(base, nil) != base {
+		t.Fatal("WithTrace(nil) should return ctx unchanged")
+	}
+	if SpanFrom(nil) != nil || TraceFrom(nil) != nil {
+		t.Fatal("nil context lookups should return nil")
+	}
+	var nilTrace *Trace
+	if nilTrace.ID() != "" || !nilTrace.Start().IsZero() || nilTrace.Len() != 0 {
+		t.Fatal("nil trace accessors should return zero values")
+	}
+	_ = ctx
+}
+
+func TestNilSpanAccessors(t *testing.T) {
+	var sp *Span
+	if sp.Name() != "" || sp.Duration() != 0 || sp.Attr("x") != "" {
+		t.Fatal("nil span accessors should return zero values")
+	}
+	sp.SetAttr("k", "v") // must not panic
+	sp.End()
+}

@@ -1,0 +1,380 @@
+package telemetry
+
+// Tracing: spans recorded into a per-request (or per-job) Trace carried
+// via context.Context. Span ownership is single-goroutine — the goroutine
+// that starts a span sets its attributes and ends it — while many spans
+// of one trace may end concurrently (sweep workers); the trace's mutex
+// serializes only the final append.
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultMaxSpans bounds the spans retained per trace. A wide sweep can
+// produce hundreds of thousands of pass spans; beyond the bound spans
+// are counted (Dropped) but not retained, so one trace can never pin
+// unbounded memory. Metrics observers still see every span.
+const DefaultMaxSpans = 4096
+
+// Attr is one key/value annotation on a span.
+type Attr struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// Span is one timed operation inside a trace. It is created by StartSpan
+// and immutable once End returns. All methods are nil-safe: a nil *Span
+// (tracing disabled) is a no-op.
+type Span struct {
+	tr       *Trace
+	id       int64
+	parent   int64
+	name     string
+	start    time.Time
+	duration time.Duration
+	attrs    []Attr
+}
+
+// Name returns the span's name ("" on nil).
+func (sp *Span) Name() string {
+	if sp == nil {
+		return ""
+	}
+	return sp.name
+}
+
+// Duration returns the span's duration; valid after End.
+func (sp *Span) Duration() time.Duration {
+	if sp == nil {
+		return 0
+	}
+	return sp.duration
+}
+
+// SetAttr annotates the span. Call before End, from the owning goroutine.
+func (sp *Span) SetAttr(key, value string) {
+	if sp == nil {
+		return
+	}
+	sp.attrs = append(sp.attrs, Attr{Key: key, Value: value})
+}
+
+// Attr returns the value of the named attribute ("" when absent).
+func (sp *Span) Attr(key string) string {
+	if sp == nil {
+		return ""
+	}
+	for _, a := range sp.attrs {
+		if a.Key == key {
+			return a.Value
+		}
+	}
+	return ""
+}
+
+// End stamps the span's duration and records it into its trace. Calling
+// End twice records the span twice; don't.
+func (sp *Span) End() {
+	if sp == nil {
+		return
+	}
+	sp.duration = time.Since(sp.start)
+	sp.tr.record(sp)
+}
+
+// Trace accumulates the finished spans of one request or job. Create
+// with NewTrace, carry with WithTrace, open spans with StartSpan.
+type Trace struct {
+	id    string
+	start time.Time
+	// observer, when non-nil, is invoked synchronously for every ended
+	// span — including spans beyond the retention bound — so metrics
+	// derived from spans (latency histograms) stay complete even when
+	// the trace itself is truncated. It must be safe for concurrent use.
+	observer func(*Span)
+	maxSpans int
+
+	nextID atomic.Int64
+
+	mu      sync.Mutex
+	spans   []*Span
+	dropped int64
+}
+
+// TraceOption customizes NewTrace.
+type TraceOption func(*Trace)
+
+// WithObserver registers a span-end callback (metrics feeding).
+func WithObserver(fn func(*Span)) TraceOption {
+	return func(t *Trace) { t.observer = fn }
+}
+
+// WithMaxSpans overrides the retained-span bound; <= 0 keeps the default.
+func WithMaxSpans(n int) TraceOption {
+	return func(t *Trace) {
+		if n > 0 {
+			t.maxSpans = n
+		}
+	}
+}
+
+// NewTrace creates an empty trace. An empty id draws a random one.
+func NewTrace(id string, opts ...TraceOption) *Trace {
+	if id == "" {
+		id = NewTraceID()
+	}
+	t := &Trace{id: id, start: time.Now(), maxSpans: DefaultMaxSpans}
+	for _, opt := range opts {
+		opt(t)
+	}
+	return t
+}
+
+// NewTraceID returns a random 16-hex-digit trace identifier.
+func NewTraceID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic("telemetry: no entropy: " + err.Error())
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// ID returns the trace identifier ("" on nil).
+func (t *Trace) ID() string {
+	if t == nil {
+		return ""
+	}
+	return t.id
+}
+
+// Start returns when the trace was created.
+func (t *Trace) Start() time.Time {
+	if t == nil {
+		return time.Time{}
+	}
+	return t.start
+}
+
+// record appends a finished span, observing the retention bound.
+func (t *Trace) record(sp *Span) {
+	if obs := t.observer; obs != nil {
+		obs(sp)
+	}
+	t.mu.Lock()
+	if len(t.spans) < t.maxSpans {
+		t.spans = append(t.spans, sp)
+	} else {
+		t.dropped++
+	}
+	t.mu.Unlock()
+}
+
+// Len reports how many spans the trace retains.
+func (t *Trace) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.spans)
+}
+
+// Context plumbing. Two keys: the trace (set once per request/job) and
+// the current span (rebound by every StartSpan so children nest).
+type traceKey struct{}
+type spanKey struct{}
+
+// WithTrace attaches a trace to the context. A nil trace returns ctx
+// unchanged (tracing stays disabled).
+func WithTrace(ctx context.Context, t *Trace) context.Context {
+	if t == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, traceKey{}, t)
+}
+
+// TraceFrom returns the context's trace, or nil when tracing is off.
+func TraceFrom(ctx context.Context) *Trace {
+	if ctx == nil {
+		return nil
+	}
+	t, _ := ctx.Value(traceKey{}).(*Trace)
+	return t
+}
+
+// WithSpan attaches sp as the context's current span, so spans started
+// from the returned context become its children. It re-parents work that
+// outlives the originating request context — an async job keeps its own
+// cancellation context but records spans under the submitting request's
+// root. A nil span returns ctx unchanged.
+func WithSpan(ctx context.Context, sp *Span) context.Context {
+	if sp == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, spanKey{}, sp)
+}
+
+// SpanFrom returns the context's current span, or nil.
+func SpanFrom(ctx context.Context) *Span {
+	if ctx == nil {
+		return nil
+	}
+	sp, _ := ctx.Value(spanKey{}).(*Span)
+	return sp
+}
+
+// StartSpan opens a span named name under the context's current span.
+// When the context carries no trace it returns (ctx, nil) without
+// allocating — the disabled path is free, and the nil span's methods are
+// all no-ops. The returned context carries the new span, so spans opened
+// from it become children.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	tr := TraceFrom(ctx)
+	if tr == nil {
+		return ctx, nil
+	}
+	sp := &Span{tr: tr, id: tr.nextID.Add(1), name: name, start: time.Now()}
+	if parent := SpanFrom(ctx); parent != nil {
+		sp.parent = parent.id
+	}
+	return context.WithValue(ctx, spanKey{}, sp), sp
+}
+
+// SpanNode is one span in a trace snapshot, with its children nested.
+type SpanNode struct {
+	ID         int64       `json:"id"`
+	Parent     int64       `json:"parent,omitempty"`
+	Name       string      `json:"name"`
+	Start      time.Time   `json:"start"`
+	DurationNs int64       `json:"durationNs"`
+	Attrs      []Attr      `json:"attrs,omitempty"`
+	Children   []*SpanNode `json:"children,omitempty"`
+}
+
+// Snapshot is a point-in-time JSON-ready view of a trace: the finished
+// spans assembled into trees by parent links. Spans whose parent has not
+// finished yet (or was dropped) surface as roots, so a snapshot taken
+// mid-flight is still a forest, never lost.
+type Snapshot struct {
+	ID      string      `json:"id"`
+	Start   time.Time   `json:"start"`
+	Spans   int         `json:"spans"`
+	Dropped int64       `json:"dropped,omitempty"`
+	Roots   []*SpanNode `json:"roots"`
+}
+
+// Snapshot assembles the current span forest. Safe to call at any time,
+// including while spans are still being recorded.
+func (t *Trace) Snapshot() Snapshot {
+	if t == nil {
+		return Snapshot{}
+	}
+	t.mu.Lock()
+	spans := make([]*Span, len(t.spans))
+	copy(spans, t.spans)
+	dropped := t.dropped
+	t.mu.Unlock()
+
+	nodes := make(map[int64]*SpanNode, len(spans))
+	order := make([]*SpanNode, 0, len(spans))
+	for _, sp := range spans {
+		n := &SpanNode{
+			ID: sp.id, Parent: sp.parent, Name: sp.name,
+			Start: sp.start, DurationNs: int64(sp.duration),
+			Attrs: sp.attrs,
+		}
+		nodes[n.ID] = n
+		order = append(order, n)
+	}
+	snap := Snapshot{ID: t.id, Start: t.start, Spans: len(order), Dropped: dropped}
+	for _, n := range order {
+		if parent, ok := nodes[n.Parent]; ok && n.Parent != n.ID {
+			parent.Children = append(parent.Children, n)
+		} else {
+			snap.Roots = append(snap.Roots, n)
+		}
+	}
+	// Children arrive in end order (concurrent workers); present them in
+	// start order so the tree reads chronologically.
+	var sortKids func(ns []*SpanNode)
+	sortKids = func(ns []*SpanNode) {
+		for i := 1; i < len(ns); i++ {
+			for k := i; k > 0 && ns[k].Start.Before(ns[k-1].Start); k-- {
+				ns[k], ns[k-1] = ns[k-1], ns[k]
+			}
+		}
+		for _, n := range ns {
+			sortKids(n.Children)
+		}
+	}
+	sortKids(snap.Roots)
+	return snap
+}
+
+// Ring retains the most recent traces, capacity-bounded, indexed by id.
+// Traces are added at creation time, so a still-running job's trace is
+// queryable mid-flight; eviction is strictly by insertion order.
+type Ring struct {
+	mu    sync.Mutex
+	cap   int
+	order []*Trace
+	byID  map[string]*Trace
+}
+
+// NewRing returns a ring retaining up to capacity traces; <= 0 means 256.
+func NewRing(capacity int) *Ring {
+	if capacity <= 0 {
+		capacity = 256
+	}
+	return &Ring{cap: capacity, byID: make(map[string]*Trace, capacity)}
+}
+
+// Add inserts a trace, evicting the oldest beyond capacity.
+func (r *Ring) Add(t *Trace) {
+	if t == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.order) >= r.cap {
+		old := r.order[0]
+		r.order = r.order[1:]
+		delete(r.byID, old.id)
+	}
+	r.order = append(r.order, t)
+	r.byID[t.id] = t
+}
+
+// Get returns the retained trace with the given id.
+func (r *Ring) Get(id string) (*Trace, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	t, ok := r.byID[id]
+	return t, ok
+}
+
+// Recent returns up to n retained traces, newest first. n <= 0 means all.
+func (r *Ring) Recent(n int) []*Trace {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if n <= 0 || n > len(r.order) {
+		n = len(r.order)
+	}
+	out := make([]*Trace, 0, n)
+	for i := len(r.order) - 1; i >= len(r.order)-n; i-- {
+		out = append(out, r.order[i])
+	}
+	return out
+}
+
+// Len reports how many traces are retained.
+func (r *Ring) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.order)
+}
