@@ -10,6 +10,7 @@
 //	pmsched -src design.sil -steps 6 -order greedy     # §IV.A reordering
 //	pmsched -src design.sil -steps 6 -gates -samples 200
 //	pmsched -builtin gcd -steps 7                      # run a paper benchmark
+//	pmsched -builtin dealer -steps 5 -optimal          # heuristic vs exact minimum
 //	pmsched -builtin gcd -sweep 5:10                   # concurrent budget sweep
 //	pmsched -builtin gcd -sweep 5:10 -pareto           # Pareto-optimal points only
 //	pmsched -builtin cordic -dump-source               # print a builtin's Silage text
@@ -25,6 +26,8 @@ import (
 	"repro"
 	"repro/internal/bench"
 	"repro/internal/cdfg"
+	"repro/internal/optimal"
+	"repro/internal/power"
 )
 
 func fail(format string, args ...interface{}) {
@@ -61,6 +64,8 @@ func main() {
 	verilogPath := flag.String("verilog", "", "write power managed Verilog to this file")
 	dotPath := flag.String("dot", "", "write the scheduled CDFG in Graphviz format")
 	explain := flag.Bool("explain", false, "report per-mux power management verdicts")
+	optimalCmp := flag.Bool("optimal", false, "compare against the exact minimum-power schedule (branch and bound)")
+	optExp := flag.Int("optexp", 0, "expansion cap for -optimal (0 = solver default)")
 	gates := flag.Bool("gates", false, "measure gate-level power (PM vs traditional)")
 	vcdPath := flag.String("vcd", "", "dump gate-level waveforms (VCD) to this file")
 	samples := flag.Int("samples", 100, "random vectors for -gates")
@@ -143,7 +148,7 @@ func main() {
 		incompatible := map[string]bool{
 			"steps": true, "gates": true, "samples": true, "vcd": true,
 			"vhdl": true, "verilog": true, "dot": true, "explain": true,
-			"verify": true,
+			"verify": true, "optimal": true, "optexp": true,
 		}
 		flag.Visit(func(f *flag.Flag) {
 			if incompatible[f.Name] {
@@ -213,6 +218,35 @@ func main() {
 	fmt.Printf("%5d %2d  %.2f  %6.2f %6.2f %6.2f %6.2f %6.2f  %6.2f%%\n",
 		row.Steps, row.PMMuxes, row.AreaIncrease, row.Mux, row.Comp, row.Add, row.Sub, row.Mul,
 		row.PowerReductionPct)
+
+	if *optimalCmp {
+		opt, err := optimal.Schedule(design.Graph, optimal.Config{
+			Budget:        *steps,
+			II:            *ii,
+			Weights:       power.Weights,
+			MaxExpansions: *optExp,
+			Seed:          syn.PM.Schedule.Time,
+		})
+		if err != nil {
+			fail("optimal: %v", err)
+		}
+		hp := syn.Activity.WeightedPower(syn.PM.Graph, power.Weights)
+		fmt.Printf("exact minimum (branch and bound): power %.4g vs heuristic %.4g", opt.Power, hp)
+		if hp > 0 {
+			fmt.Printf(" (gap %.2f%%)", 100*(hp-opt.Power)/hp)
+		}
+		fmt.Println()
+		if opt.Cert.Optimal {
+			fmt.Printf("  certified optimal after %d expansions\n", opt.Cert.Expansions)
+		} else {
+			fmt.Printf("  search truncated at %d expansions; certified lower bound %.4g\n",
+				opt.Cert.Expansions, opt.Cert.LowerBound)
+		}
+		if opt.Power < hp {
+			fmt.Print(opt.Schedule.String())
+			fmt.Printf("  gated operations under the exact schedule: %d\n", opt.Gated)
+		}
+	}
 
 	if *explain {
 		text, err := pmsynth.Explain(design, pmsynth.Options{Budget: *steps, II: *ii, Order: order})

@@ -1,0 +1,19 @@
+package main
+
+import "testing"
+
+func TestParseRange(t *testing.T) {
+	lo, hi, err := parseRange("5:10")
+	if err != nil || lo != 5 || hi != 10 {
+		t.Fatalf("parseRange(5:10) = %d, %d, %v", lo, hi, err)
+	}
+	lo, hi, err = parseRange("7")
+	if err != nil || lo != 7 || hi != 7 {
+		t.Fatalf("parseRange(7) = %d, %d, %v", lo, hi, err)
+	}
+	for _, bad := range []string{"x", "5:x", "0:3", "5:2", ""} {
+		if _, _, err := parseRange(bad); err == nil {
+			t.Errorf("parseRange(%q) accepted", bad)
+		}
+	}
+}

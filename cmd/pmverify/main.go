@@ -8,6 +8,11 @@
 //	pmverify -seeds 500
 //	pmverify -seeds 200 -profile deep -json report.json
 //	pmverify -seeds 50 -gate 0 -v        # skip gate-level sims, narrate
+//	pmverify -seeds 100 -stages optimality-gap,schedule-valid
+//
+// The summary line is followed by an optimality-gap digest (points
+// measured, certified solves, mean/max heuristic-vs-exact gap) and a
+// per-stage wall-clock breakdown aggregated over the whole campaign.
 package main
 
 import (
@@ -16,6 +21,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sort"
 	"strings"
 	"sync"
 	"time"
@@ -47,6 +53,20 @@ type seedFailure struct {
 	Minimized   string              `json:"minimized,omitempty"`
 }
 
+// gapSummary aggregates the optimality-gap measurements of a campaign.
+type gapSummary struct {
+	// Points counts the matrix points where heuristic and exact solver
+	// were compared on the same objective.
+	Points int `json:"points"`
+	// Certified counts the points whose exact solve completed (proven
+	// minima rather than lower bounds).
+	Certified int `json:"certified"`
+	// MeanPct and MaxPct summarize the relative power gap
+	// 100*(heuristic-optimal)/heuristic over all measured points.
+	MeanPct float64 `json:"mean_pct"`
+	MaxPct  float64 `json:"max_pct"`
+}
+
 type cliReport struct {
 	Seeds     int           `json:"seeds"`
 	StartSeed int64         `json:"start_seed"`
@@ -56,7 +76,14 @@ type cliReport struct {
 	Checks    int           `json:"checks"`
 	Failing   int           `json:"failing"`
 	Elapsed   string        `json:"elapsed"`
-	Failures  []seedFailure `json:"failures,omitempty"`
+	// StageMillis is the campaign-wide wall-clock per oracle stage,
+	// summed across seeds (concurrent seeds overlap, so stage times can
+	// exceed Elapsed).
+	StageMillis map[string]int64 `json:"stage_millis,omitempty"`
+	// Gaps digests the optimality-gap stage; nil when the stage was
+	// filtered out or never produced a comparable point.
+	Gaps     *gapSummary   `json:"gaps,omitempty"`
+	Failures []seedFailure `json:"failures,omitempty"`
 }
 
 func main() {
@@ -70,6 +97,8 @@ func main() {
 		vectors  = flag.Int("vectors", 16, "behavioral probe vectors per point")
 		gate     = flag.Int("gate", 6, "gate-level samples per point (0 disables netlist sims)")
 		pipeline = flag.Bool("pipeline", true, "add a pipelined (2*cp, II=cp) point")
+		stages   = flag.String("stages", "", "comma-separated stage filter (empty = every stage)")
+		optExp   = flag.Int("optexp", 0, "branch-and-bound expansion cap for the optimality-gap stage (0 = oracle default)")
 		par      = flag.Int("par", runtime.GOMAXPROCS(0), "concurrently checked seeds")
 		jsonOut  = flag.String("json", "", "write the JSON report to this file (\"-\" for stdout)")
 		shrink   = flag.Bool("shrink", true, "minimize failing seeds to minimal reproducers")
@@ -78,12 +107,16 @@ func main() {
 	flag.Parse()
 
 	m := verify.Matrix{
-		BudgetSlack: *slack,
-		Vectors:     *vectors,
-		GateSamples: *gate,
-		Pipeline:    *pipeline,
+		BudgetSlack:       *slack,
+		Vectors:           *vectors,
+		GateSamples:       *gate,
+		Pipeline:          *pipeline,
+		OptimalExpansions: *optExp,
 	}
 	var err error
+	if m.Stages, err = parseStages(*stages); err != nil {
+		fatal("bad -stages: %v", err)
+	}
 	if m.Orders, err = parseOrders(*orders); err != nil {
 		fatal("bad -orders: %v", err)
 	}
@@ -113,6 +146,22 @@ func main() {
 
 	fmt.Printf("pmverify: %d seeds, %d points, %d checks, %d failing (%s)\n",
 		rep.Seeds, rep.Points, rep.Checks, rep.Failing, rep.Elapsed)
+	if rep.Gaps != nil {
+		fmt.Printf("  optimality: %d points compared, %d certified, mean gap %.2f%%, max %.2f%%\n",
+			rep.Gaps.Points, rep.Gaps.Certified, rep.Gaps.MeanPct, rep.Gaps.MaxPct)
+	}
+	if len(rep.StageMillis) > 0 {
+		stages := make([]string, 0, len(rep.StageMillis))
+		for s := range rep.StageMillis {
+			stages = append(stages, s)
+		}
+		sort.Strings(stages)
+		var parts []string
+		for _, s := range stages {
+			parts = append(parts, fmt.Sprintf("%s %dms", s, rep.StageMillis[s]))
+		}
+		fmt.Printf("  stage time: %s\n", strings.Join(parts, ", "))
+	}
 	for _, f := range rep.Failures {
 		fmt.Printf("  seed %d (%s): stages %v\n", f.Seed, f.Profile, f.Stages)
 		if f.Minimized != "" {
@@ -182,9 +231,28 @@ func run(seeds int, start int64, profile string, m verify.Matrix, par int, shrin
 	wg.Wait()
 
 	rep := &cliReport{Seeds: seeds, StartSeed: start, Profile: profile, Matrix: m}
+	stageNanos := map[string]int64{}
+	var gs gapSummary
+	var gapPctSum float64
 	for i, r := range reports {
 		rep.Points += r.Points
 		rep.Checks += r.Checks
+		for stage, ns := range r.StageNanos {
+			stageNanos[stage] += ns
+		}
+		for _, gp := range r.Gaps {
+			gs.Points++
+			if gp.Certified {
+				gs.Certified++
+			}
+			if gp.Heuristic > 0 {
+				pct := 100 * (gp.Heuristic - gp.Optimal) / gp.Heuristic
+				gapPctSum += pct
+				if pct > gs.MaxPct {
+					gs.MaxPct = pct
+				}
+			}
+		}
 		if r.OK() {
 			continue
 		}
@@ -203,8 +271,43 @@ func run(seeds int, start int64, profile string, m verify.Matrix, par int, shrin
 		}
 		rep.Failures = append(rep.Failures, f)
 	}
+	if len(stageNanos) > 0 {
+		rep.StageMillis = make(map[string]int64, len(stageNanos))
+		for stage, ns := range stageNanos {
+			rep.StageMillis[stage] = ns / int64(time.Millisecond)
+		}
+	}
+	if gs.Points > 0 {
+		gs.MeanPct = gapPctSum / float64(gs.Points)
+		rep.Gaps = &gs
+	}
 	rep.Elapsed = time.Since(begin).Round(time.Millisecond).String()
 	return rep
+}
+
+// parseStages validates a comma-separated stage filter against the
+// oracle's stage vocabulary, so a typo fails fast instead of silently
+// skipping every stage.
+func parseStages(s string) ([]string, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	known := map[string]bool{}
+	for _, st := range verify.KnownStages() {
+		known[st] = true
+	}
+	var out []string
+	for _, name := range strings.Split(s, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		if !known[name] {
+			return nil, fmt.Errorf("unknown stage %q (known: %s)", name, strings.Join(verify.KnownStages(), ", "))
+		}
+		out = append(out, name)
+	}
+	return out, nil
 }
 
 // parseOrders resolves order names. The map is built from Order.String(),

@@ -1,0 +1,144 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	pmsynth "repro"
+	"repro/internal/verify"
+)
+
+func TestParseStages(t *testing.T) {
+	got, err := parseStages(" schedule-valid , optimality-gap ,")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != verify.StageSchedule || got[1] != verify.StageOptimality {
+		t.Fatalf("parseStages = %v", got)
+	}
+	if got, err := parseStages("  "); err != nil || got != nil {
+		t.Fatalf("empty filter = %v, %v; want nil, nil", got, err)
+	}
+	if _, err := parseStages("no-such-stage"); err == nil {
+		t.Fatal("unknown stage accepted")
+	} else if !strings.Contains(err.Error(), verify.StageOptimality) {
+		t.Errorf("error should list the known stages, got %v", err)
+	}
+}
+
+func TestParseOrders(t *testing.T) {
+	got, err := parseOrders("outputs-first, greedy-weight")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != pmsynth.OrderOutputsFirst || got[1] != pmsynth.OrderGreedyWeight {
+		t.Fatalf("parseOrders = %v", got)
+	}
+	if _, err := parseOrders("sideways-first"); err == nil {
+		t.Fatal("unknown order accepted")
+	}
+	if _, err := parseOrders(" , "); err == nil {
+		t.Fatal("empty order list accepted")
+	}
+}
+
+func TestParseInts(t *testing.T) {
+	got, err := parseInts("1, 4 ,")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != 1 || got[1] != 4 {
+		t.Fatalf("parseInts = %v", got)
+	}
+	if _, err := parseInts("0"); err == nil {
+		t.Fatal("non-positive count accepted")
+	}
+	if _, err := parseInts("x"); err == nil {
+		t.Fatal("non-numeric count accepted")
+	}
+	if _, err := parseInts(""); err == nil {
+		t.Fatal("empty count list accepted")
+	}
+}
+
+func TestTruncateIndent(t *testing.T) {
+	if got := truncate("abcdef", 4); got != "abcd..." {
+		t.Errorf("truncate = %q", got)
+	}
+	if got := truncate("ab", 4); got != "ab" {
+		t.Errorf("truncate short = %q", got)
+	}
+	if got := indent("a\nb\n"); got != "    a\n    b" {
+		t.Errorf("indent = %q", got)
+	}
+}
+
+func TestProfileOf(t *testing.T) {
+	if name, _ := profileOf("deep", 99); name != "deep" {
+		t.Errorf("named profile = %q", name)
+	}
+	// "mixed" cycles deterministically and must survive negative seeds
+	// (euclidean modulo).
+	if name, _ := profileOf("mixed", 0); name != profileCycle[0] {
+		t.Errorf("mixed seed 0 = %q", name)
+	}
+	n := int64(len(profileCycle))
+	if name, _ := profileOf("mixed", -1); name != profileCycle[n-1] {
+		t.Errorf("mixed seed -1 = %q, want %q", name, profileCycle[n-1])
+	}
+	for _, p := range profileCycle {
+		if _, ok := profiles[p]; !ok {
+			t.Errorf("profile cycle names unknown profile %q", p)
+		}
+	}
+}
+
+// TestRunSmallCampaign drives the aggregation path end to end: a few
+// small seeds through a narrow stage filter, checking the report's
+// totals, the per-stage wall-clock map and the optimality digest.
+func TestRunSmallCampaign(t *testing.T) {
+	m := verify.Matrix{
+		BudgetSlack:       1,
+		Orders:            []pmsynth.Order{pmsynth.OrderOutputsFirst},
+		Workers:           []int{1},
+		Vectors:           4,
+		Stages:            []string{verify.StageSchedule, verify.StageOptimality},
+		OptimalExpansions: 300,
+	}
+	rep := run(3, 0, "small", m, 2, true, true)
+	if rep.Seeds != 3 || rep.StartSeed != 0 || rep.Profile != "small" {
+		t.Fatalf("report header = %+v", rep)
+	}
+	if rep.Failing != 0 || len(rep.Failures) != 0 {
+		t.Fatalf("campaign failed: %+v", rep.Failures)
+	}
+	if rep.Points == 0 || rep.Checks == 0 {
+		t.Fatalf("no work recorded: %+v", rep)
+	}
+	if rep.StageMillis == nil {
+		t.Fatal("StageMillis not aggregated")
+	}
+	if _, ok := rep.StageMillis[verify.StageSchedule]; !ok {
+		t.Errorf("StageMillis missing %s: %v", verify.StageSchedule, rep.StageMillis)
+	}
+	if rep.Gaps == nil || rep.Gaps.Points == 0 {
+		t.Fatalf("optimality digest missing: %+v", rep.Gaps)
+	}
+	if rep.Gaps.Certified > rep.Gaps.Points || rep.Gaps.MaxPct < rep.Gaps.MeanPct {
+		t.Errorf("inconsistent digest: %+v", rep.Gaps)
+	}
+	if rep.Elapsed == "" {
+		t.Error("Elapsed not stamped")
+	}
+
+	// Filtering the optimality stage out must drop the digest, and a
+	// non-positive worker count is clamped rather than deadlocking.
+	m.Stages = []string{verify.StageSchedule}
+	rep = run(1, 5, "small", m, 0, false, false)
+	if rep.Gaps != nil {
+		t.Fatalf("digest survived the stage filter: %+v", rep.Gaps)
+	}
+	if rep.Failing != 0 {
+		t.Fatalf("campaign failed: %+v", rep.Failures)
+	}
+}

@@ -8,6 +8,7 @@
 //	tables            # everything
 //	tables -t1 -t2    # just Tables I and II
 //	tables -t3 -samples 200 -seed 7
+//	tables -opt       # heuristic vs exact minimum (optimality gap)
 package main
 
 import (
@@ -22,14 +23,16 @@ func main() {
 	t1 := flag.Bool("t1", false, "print Table I (circuit statistics)")
 	t2 := flag.Bool("t2", false, "print Table II (power management sweep)")
 	t3 := flag.Bool("t3", false, "print Table III (gate-level comparison)")
+	opt := flag.Bool("opt", false, "print the heuristic-vs-exact optimality gap table")
 	figs := flag.Bool("figures", false, "print Figures 1-2 (the |a-b| schedules)")
 	abl := flag.Bool("ablations", false, "print the §IV ablations")
 	resources := flag.Bool("resources", false, "print the §II.B fixed-resource sweep")
 	samples := flag.Int("samples", 100, "random vectors per gate-level measurement")
 	seed := flag.Int64("seed", 11, "random seed for gate-level vectors")
+	optExp := flag.Int("optexp", 20000, "branch-and-bound expansion cap for -opt (0 = solver default)")
 	flag.Parse()
 
-	all := !*t1 && !*t2 && !*t3 && !*figs && !*abl && !*resources
+	all := !*t1 && !*t2 && !*t3 && !*opt && !*figs && !*abl && !*resources
 
 	emit := func(name string, f func() (string, error)) {
 		s, err := f()
@@ -51,6 +54,9 @@ func main() {
 	}
 	if all || *t3 {
 		emit("table III", func() (string, error) { return tables.TableIII(*samples, *seed) })
+	}
+	if all || *opt {
+		emit("optimality gap", func() (string, error) { return tables.TableOptimal(*optExp) })
 	}
 	if all || *resources {
 		emit("resource sweep", tables.ResourceSweep)

@@ -2,6 +2,7 @@ package cache
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -9,6 +10,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"repro/internal/telemetry"
 )
 
 // entryPath locates the on-disk file for a key through the same mapping
@@ -356,5 +359,46 @@ func TestStoreDirAndExplicitGC(t *testing.T) {
 	}
 	if s.Len() != 0 {
 		t.Fatalf("Len = %d after GC", s.Len())
+	}
+}
+
+// TestStoreCtxVariants: GetCtx/PutCtx are Get/Put with an optional trace
+// span — identical behavior with tracing off, span attrs recorded with
+// tracing on.
+func TestStoreCtxVariants(t *testing.T) {
+	s, err := OpenStore(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tracing off: plain round trip.
+	if err := s.PutCtx(context.Background(), "k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := s.GetCtx(context.Background(), "k"); !ok || string(got) != "v" {
+		t.Fatalf("GetCtx = %q, %v", got, ok)
+	}
+
+	// Tracing on: one span per call, hit attr reflecting the outcome.
+	tr := telemetry.NewTrace("t1")
+	ctx := telemetry.WithTrace(context.Background(), tr)
+	if err := s.PutCtx(ctx, "k2", []byte("w")); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.GetCtx(ctx, "k2"); !ok {
+		t.Fatal("GetCtx(k2) miss")
+	}
+	if _, ok := s.GetCtx(ctx, "absent"); ok {
+		t.Fatal("GetCtx(absent) hit")
+	}
+	snap := tr.Snapshot()
+	if snap.Spans != 3 {
+		t.Fatalf("spans = %d, want 3", snap.Spans)
+	}
+	names := map[string]int{}
+	for _, n := range snap.Roots {
+		names[n.Name]++
+	}
+	if names["store.put"] != 1 || names["store.get"] != 2 {
+		t.Fatalf("span names = %v", names)
 	}
 }

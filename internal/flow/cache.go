@@ -81,13 +81,17 @@ func PointCacheStats() cache.Stats {
 	return c.Stats()
 }
 
-// pointKey canonically encodes one sweep point. The graph contributes its
-// memoized content hash; width and every Config field follow in a fixed
-// order, with map fields (resources, weights) emitted in sorted key order
-// and float weights encoded bit-exactly.
-func pointKey(g *cdfg.Graph, width int, cfg core.Config) string {
+// pointKey canonically encodes one sweep point. The pipeline signature
+// (comma-joined pass names) leads so sweeps over different pipelines never
+// share entries; the graph contributes its memoized content hash; width
+// and every Config field follow in a fixed order, with map fields
+// (resources, weights) emitted in sorted key order and float weights
+// encoded bit-exactly.
+func pointKey(sig string, g *cdfg.Graph, width int, cfg core.Config) string {
 	var b strings.Builder
-	b.Grow(96)
+	b.Grow(96 + len(sig))
+	b.WriteString(sig)
+	b.WriteByte('|')
 	b.WriteString(g.ContentHash())
 	sep := func() { b.WriteByte('|') }
 	num := func(v int64) {

@@ -72,32 +72,33 @@ func TestPointCacheKeyDiscriminates(t *testing.T) {
 		}
 		keys[key] = name
 	}
-	add("base", pointKey(g, d.Width, base))
-	add("width", pointKey(g, d.Width+1, base))
+	add("base", pointKey("std", g, d.Width, base))
+	add("pipeline", pointKey("std,optimal-schedule", g, d.Width, base))
+	add("width", pointKey("std", g, d.Width+1, base))
 
 	budget := base
 	budget.Budget = 4
-	add("budget", pointKey(g, d.Width, budget))
+	add("budget", pointKey("std", g, d.Width, budget))
 
 	ii := base
 	ii.II = 2
-	add("ii", pointKey(g, d.Width, ii))
+	add("ii", pointKey("std", g, d.Width, ii))
 
 	order := base
 	order.Order = core.Order(1)
-	add("order", pointKey(g, d.Width, order))
+	add("order", pointKey("std", g, d.Width, order))
 
 	fd := base
 	fd.ForceDirected = true
-	add("forcedirected", pointKey(g, d.Width, fd))
+	add("forcedirected", pointKey("std", g, d.Width, fd))
 
 	res := base
 	res.Resources = sched.Resources{cdfg.ClassAdd: 1}
-	add("resources", pointKey(g, d.Width, res))
+	add("resources", pointKey("std", g, d.Width, res))
 
 	noWeights := base
 	noWeights.Weights = nil
-	add("noweights", pointKey(g, d.Width, noWeights))
+	add("noweights", pointKey("std", g, d.Width, noWeights))
 
 	// A structurally different graph must change the key even with an
 	// identical config.
@@ -105,7 +106,7 @@ func TestPointCacheKeyDiscriminates(t *testing.T) {
 	if err := g2.AddControlEdge(g2.Muxes()[0], g2.Outputs()[0]); err != nil {
 		t.Fatal(err)
 	}
-	add("graph", pointKey(g2, d.Width, base))
+	add("graph", pointKey("std", g2, d.Width, base))
 }
 
 func TestPointCacheDisabledRunsDirectly(t *testing.T) {

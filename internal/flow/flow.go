@@ -10,6 +10,7 @@ import (
 	"repro/internal/cdfg"
 	"repro/internal/core"
 	"repro/internal/ctrl"
+	"repro/internal/optimal"
 	"repro/internal/power"
 	"repro/internal/sched"
 	"repro/internal/telemetry"
@@ -49,6 +50,9 @@ type Context struct {
 	// whether it was computed exactly.
 	Activity      power.Activity
 	ActivityExact bool
+	// Optimal is the certified minimum-power schedule for the same
+	// budget, II and resources (optimal-schedule pass).
+	Optimal *optimal.Result
 
 	// Err records the pipeline failure when the Context was produced by
 	// the sweep engine (RunAll); a directly-run Pipeline returns the
@@ -152,4 +156,12 @@ func (p *Pipeline) Run(c *Context) error {
 // and analyze switching activity.
 func Standard() *Pipeline {
 	return New(SchedulePass{}, BindPass{}, ControllerPass{}, BaselinePass{}, ActivityPass{})
+}
+
+// WithOptimal returns the standard pipeline extended with the exact
+// minimum-power scheduling baseline (optimal-schedule pass), seeded by the
+// heuristic's schedule. Use it when the sweep should report the optimality
+// gap alongside every point.
+func WithOptimal() *Pipeline {
+	return New(SchedulePass{}, BindPass{}, ControllerPass{}, BaselinePass{}, ActivityPass{}, OptimalPass{})
 }

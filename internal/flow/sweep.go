@@ -4,6 +4,7 @@ import (
 	"context"
 	"runtime"
 	"strconv"
+	"strings"
 	"sync"
 
 	"repro/internal/cdfg"
@@ -28,7 +29,15 @@ import (
 // canceled, in which case the contexts evaluated so far are still
 // returned (unevaluated slots are nil).
 func RunAll(ctx context.Context, g *cdfg.Graph, width int, cfgs []core.Config, workers int) ([]*Context, error) {
-	return RunAllObserved(ctx, g, width, cfgs, workers, nil)
+	return RunAllPipelineObserved(ctx, nil, g, width, cfgs, workers, nil)
+}
+
+// RunAllPipeline is RunAll with an explicit pipeline: every configuration
+// runs p instead of the standard pass sequence (nil p means Standard()).
+// Cached sweep points are keyed by the pipeline's pass names as well, so
+// sweeps over different pipelines never alias.
+func RunAllPipeline(ctx context.Context, p *Pipeline, g *cdfg.Graph, width int, cfgs []core.Config, workers int) ([]*Context, error) {
+	return RunAllPipelineObserved(ctx, p, g, width, cfgs, workers, nil)
 }
 
 // RunAllObserved is RunAll with a completion observer: observe(i, fc) is
@@ -42,9 +51,19 @@ func RunAll(ctx context.Context, g *cdfg.Graph, width int, cfgs []core.Config, w
 // Observation never influences the artifacts: results remain identical to
 // an unobserved run.
 func RunAllObserved(ctx context.Context, g *cdfg.Graph, width int, cfgs []core.Config, workers int, observe func(i int, fc *Context)) ([]*Context, error) {
+	return RunAllPipelineObserved(ctx, nil, g, width, cfgs, workers, observe)
+}
+
+// RunAllPipelineObserved combines RunAllPipeline and RunAllObserved: an
+// explicit pipeline (nil means Standard()) with a completion observer.
+func RunAllPipelineObserved(ctx context.Context, p *Pipeline, g *cdfg.Graph, width int, cfgs []core.Config, workers int, observe func(i int, fc *Context)) ([]*Context, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	if p == nil {
+		p = Standard()
+	}
+	sig := strings.Join(p.Names(), ",")
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -65,7 +84,7 @@ func RunAllObserved(ctx context.Context, g *cdfg.Graph, width int, cfgs []core.C
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				fc := runPoint(ctx, g, width, cfgs[i])
+				fc := runPoint(ctx, p, sig, g, width, cfgs[i])
 				out[i] = fc
 				if observe != nil {
 					observe(i, fc)
@@ -97,7 +116,7 @@ feed:
 // (budget/II config attrs) whose children are the per-pass spans; a
 // point answered from the cache records the span with cached=true and no
 // pass children (the passes ran under whichever trace computed it).
-func runPoint(ctx context.Context, g *cdfg.Graph, width int, cfg core.Config) *Context {
+func runPoint(ctx context.Context, p *Pipeline, sig string, g *cdfg.Graph, width int, cfg core.Config) *Context {
 	pointCache.mu.RLock()
 	c := pointCache.c
 	pointCache.mu.RUnlock()
@@ -115,7 +134,7 @@ func runPoint(ctx context.Context, g *cdfg.Graph, width int, cfg core.Config) *C
 	run := func() *Context {
 		ran = true
 		fc := &Context{Ctx: ctx, Graph: g, Width: width, Config: cfg}
-		fc.Err = Standard().Run(fc)
+		fc.Err = p.Run(fc)
 		return fc
 	}
 	defer func() {
@@ -127,7 +146,7 @@ func runPoint(ctx context.Context, g *cdfg.Graph, width int, cfg core.Config) *C
 		return run()
 	}
 	var failed *Context
-	fc, err := c.GetOrCompute(pointKey(g, width, cfg), func() (*Context, error) {
+	fc, err := c.GetOrCompute(pointKey(sig, g, width, cfg), func() (*Context, error) {
 		fc := run()
 		if fc.Err != nil {
 			// Keep the Context (the caller reports its Err) but make the

@@ -27,6 +27,13 @@ var Weights = map[cdfg.Class]float64{
 // the bound fall back to the independence approximation.
 const maxExactSelects = 26
 
+// MaxExactSelects is the largest distinct-select count AnalyzeExact (and
+// its scalar reference) enumerates exactly; beyond it both fall back to
+// the independence approximation. Exported so callers that must keep a
+// whole family of guard-set evaluations on one consistent evaluator (the
+// exact-scheduling branch-and-bound) can decide the mode up front.
+const MaxExactSelects = maxExactSelects
+
 // Activity holds per-node execution probabilities under the equiprobable
 // select model. Interface nodes and wiring have probability 1 but carry no
 // weight.

@@ -427,3 +427,16 @@ func TestPropertyMoreStepsNeverMoreUnits(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestTimesClone(t *testing.T) {
+	var nilT Times
+	if nilT.Clone() != nil {
+		t.Fatal("nil clone should stay nil")
+	}
+	orig := Times{1, 2, 3}
+	c := orig.Clone()
+	c[0] = 9
+	if orig[0] != 1 || len(c) != 3 || c[1] != 2 {
+		t.Fatalf("clone aliases: orig=%v clone=%v", orig, c)
+	}
+}

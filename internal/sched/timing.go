@@ -10,6 +10,14 @@ import (
 // For an operation node the time is also the control step it executes in.
 type Times []int
 
+// Clone returns a copy of the time vector; a nil receiver stays nil.
+func (t Times) Clone() Times {
+	if t == nil {
+		return nil
+	}
+	return append(Times(nil), t...)
+}
+
 // ASAP computes, for every node, the earliest availability time under
 // dataflow and control edges. The returned slice is indexed by NodeID.
 func ASAP(g *cdfg.Graph) (Times, error) {

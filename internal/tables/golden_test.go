@@ -58,6 +58,19 @@ func TestGoldenTableII(t *testing.T) {
 	golden(t, "table2", out)
 }
 
+// TestGoldenTableOptimal pins the heuristic-vs-exact gap table. The
+// expansion cap is part of the pinned configuration: the two slack-budget
+// cordic points exceed it and must keep reporting bound certificates, the
+// rest certify. Like Table II, the rows render through the concurrent
+// sweep engine, so the snapshot also guards solver determinism.
+func TestGoldenTableOptimal(t *testing.T) {
+	out, err := TableOptimal(20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden(t, "table_optimal", out)
+}
+
 // TestGoldenFigures pins the |a-b| walkthrough of Figures 1 and 2.
 func TestGoldenFigures(t *testing.T) {
 	out, err := Figures()

@@ -11,13 +11,65 @@ import (
 // while still exercising every stage.
 func fuzzMatrix() Matrix {
 	return Matrix{
-		BudgetSlack: 1,
-		Orders:      []pmsynth.Order{pmsynth.OrderOutputsFirst, pmsynth.OrderInputsFirst},
-		Workers:     []int{1, 2},
-		Vectors:     4,
-		GateSamples: 2,
-		Pipeline:    false,
+		BudgetSlack:       1,
+		Orders:            []pmsynth.Order{pmsynth.OrderOutputsFirst, pmsynth.OrderInputsFirst},
+		Workers:           []int{1, 2},
+		Vectors:           4,
+		GateSamples:       2,
+		Pipeline:          false,
+		OptimalExpansions: 500,
 	}
+}
+
+// optimalFuzzMatrix restricts the oracle to schedule validity plus the
+// optimality-gap differential: the stages that exercise the exact solver
+// against the heuristic. The tight expansion budget keeps adversarial
+// inputs cheap — a truncated solve still asserts the sound lower bound.
+func optimalFuzzMatrix() Matrix {
+	return Matrix{
+		BudgetSlack:       1,
+		Orders:            []pmsynth.Order{pmsynth.OrderOutputsFirst, pmsynth.OrderInputsFirst},
+		Vectors:           4,
+		Pipeline:          true,
+		Stages:            []string{StageSchedule, StageOptimality},
+		OptimalExpansions: 500,
+	}
+}
+
+// FuzzOptimalVsHeuristic drives the heuristic scheduler and the exact
+// branch-and-bound baseline against each other on arbitrary accepted
+// Silage text: at every matrix point the heuristic's power must not beat
+// the solver's certified lower bound, the exact schedule must validate and
+// stay behaviorally equivalent to the reference interpreter, and the
+// solver must be deterministic. A divergence is shrunk to a minimal
+// reproducer before reporting, ready to commit under testdata/regress.
+func FuzzOptimalVsHeuristic(f *testing.F) {
+	// The partial-gating shape: gating the whole branch cone exceeds the
+	// budget (the heuristic reverts) while gating the tail alone fits.
+	f.Add("func gapdemo(a: num<8>, b: num<8>, c: num<8>, d: num<8>) out: num<8> = begin s = a > d; x = a + b; y = x + c; out = if s -> y || d fi; end")
+	f.Add("func f(a: num<4>, b: num<4>) o: num<4> = begin g = a > b; o = (if g -> a - b || b - a fi); end")
+	// A select gated by another select (nested shut-down) with a high-cost
+	// multiplier in the inner cone.
+	f.Add("func f(a: num<6>, b: num<6>) o: num<6> = begin p = a < b; q = a != 0; m = (if q -> a * b || b fi); o = (if p -> m + 1 || a fi); end")
+	f.Fuzz(func(t *testing.T, src string) {
+		design, err := pmsynth.Compile(src)
+		if err != nil {
+			return // frontend rejection is FuzzCompile's domain
+		}
+		if design.Graph.NumNodes() > 60 || design.Width > 10 {
+			return
+		}
+		cp, err := design.Graph.CriticalPath()
+		if err != nil || cp > 12 {
+			return
+		}
+		rep := CheckSource(src, optimalFuzzMatrix(), rand.New(rand.NewSource(1)))
+		if !rep.OK() {
+			min := Minimize(rep, optimalFuzzMatrix())
+			t.Fatalf("optimality divergence in stages %v on accepted source:\n%s\nminimized reproducer:\n%s\nfirst: %+v",
+				rep.Stages(), src, min, rep.Divergences[0])
+		}
+	})
 }
 
 // FuzzOracle feeds arbitrary Silage text to the full differential oracle:

@@ -2,11 +2,14 @@ package verify
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"sort"
+	"time"
 
 	pmsynth "repro"
 	"repro/internal/chip"
+	"repro/internal/optimal"
 	"repro/internal/power"
 	"repro/internal/sim"
 )
@@ -43,6 +46,43 @@ type Matrix struct {
 	// Pipeline adds a (budget=2*cp, II=cp) point when the critical path
 	// cp is at least 2, exercising paper §IV.B modulo scheduling.
 	Pipeline bool
+	// Stages optionally restricts the oracle to the named stages (see
+	// KnownStages); compile and synthesize always run as prerequisites.
+	// Empty means every stage.
+	Stages []string
+	// OptimalExpansions bounds the exact solver's branch-and-bound search
+	// in the optimality-gap stage; 0 uses defaultOptimalExpansions. A
+	// truncated search downgrades the stage's equality assertion to a
+	// sound lower-bound check.
+	OptimalExpansions int
+}
+
+// runStage reports whether the named stage is enabled by the filter.
+func (m Matrix) runStage(stage string) bool {
+	if len(m.Stages) == 0 {
+		return true
+	}
+	for _, s := range m.Stages {
+		if s == stage {
+			return true
+		}
+	}
+	return false
+}
+
+// defaultOptimalExpansions bounds the exact solver per sweep point when the
+// matrix does not say otherwise: small enough that adversarial fuzz inputs
+// finish promptly, large enough that typical oracle designs certify
+// (measured on the pmverify profiles, raising the cap to 50k certifies
+// under 5% more points at ~10x the cost — the warm-started seed already
+// matches the heuristic, so truncation only loosens the bound).
+const defaultOptimalExpansions = 10_000
+
+func (m Matrix) optimalExpansions() int {
+	if m.OptimalExpansions > 0 {
+		return m.OptimalExpansions
+	}
+	return defaultOptimalExpansions
 }
 
 // DefaultMatrix covers all three mux orders, two budgets of slack, serial
@@ -70,10 +110,21 @@ const (
 	StageBehavioral  = "behavioral"
 	StageActivity    = "activity-differential"
 	StageGateLevel   = "gate-level"
+	StageOptimality  = "optimality-gap"
 	StageDeterminism = "determinism"
 	StageSweep       = "sweep-determinism"
 	StageFingerprint = "fingerprint"
 )
+
+// KnownStages lists the stages a Matrix.Stages filter can select, in
+// execution order. Compile and synthesize are prerequisites of everything
+// and are not filterable.
+func KnownStages() []string {
+	return []string{
+		StageSchedule, StageBehavioral, StageActivity, StageGateLevel,
+		StageOptimality, StageDeterminism, StageSweep, StageFingerprint,
+	}
+}
 
 // Divergence is one oracle finding: an invariant that did not hold.
 type Divergence struct {
@@ -101,6 +152,34 @@ type Report struct {
 	Checks int `json:"checks"`
 	// Divergences lists every violated invariant (empty means PASS).
 	Divergences []Divergence `json:"divergences,omitempty"`
+	// Gaps records the heuristic-vs-exact power comparison of every
+	// matrix point the optimality-gap stage measured.
+	Gaps []Gap `json:"gaps,omitempty"`
+	// StageNanos accumulates wall-clock time per stage. Timings are
+	// inherently nondeterministic, so they are excluded from the JSON
+	// report (which determinism tests compare byte for byte).
+	StageNanos map[string]int64 `json:"-"`
+}
+
+// Gap is one point's heuristic-vs-exact power measurement.
+type Gap struct {
+	// Point identifies the matrix point.
+	Point string `json:"point"`
+	// Heuristic is the heuristic schedule's weighted power.
+	Heuristic float64 `json:"heuristic"`
+	// Optimal is the exact solver's weighted power (the certified
+	// minimum when Certified, otherwise the best schedule found).
+	Optimal float64 `json:"optimal"`
+	// Certified reports whether the solver completed its search.
+	Certified bool `json:"certified"`
+}
+
+// observe accrues wall time spent in one stage.
+func (r *Report) observe(stage string, start time.Time) {
+	if r.StageNanos == nil {
+		r.StageNanos = make(map[string]int64)
+	}
+	r.StageNanos[stage] += time.Since(start).Nanoseconds()
 }
 
 // OK reports whether every invariant held.
@@ -144,8 +223,10 @@ func CheckSource(src string, m Matrix, rnd *rand.Rand) *Report {
 	}
 	rep := &Report{Source: src}
 
+	cstart := time.Now()
 	design, err := pmsynth.Compile(src)
 	rep.Checks++
+	rep.observe(StageCompile, cstart)
 	if err != nil {
 		rep.addf(StageCompile, "", "compile: %v", err)
 		return rep
@@ -172,10 +253,15 @@ func CheckSource(src string, m Matrix, rnd *rand.Rand) *Report {
 	gateSeed := rnd.Int63()
 
 	fps := make(map[string]string, len(points)) // fingerprint -> point
+	optCache := make(map[string]*optPoint)      // "budget|ii" -> solve
 	for _, p := range points {
-		checkPoint(rep, design, src, p, vectors, m.GateSamples, gateSeed, fps)
+		checkPoint(rep, design, src, p, m, vectors, gateSeed, fps, optCache)
 	}
-	checkSweep(rep, design, src, m, base)
+	if m.runStage(StageSweep) {
+		start := time.Now()
+		checkSweep(rep, design, src, m, base)
+		rep.observe(StageSweep, start)
+	}
 	return rep
 }
 
@@ -228,13 +314,15 @@ func probeVectors(d *pmsynth.Design, n int, rnd *rand.Rand) []map[string]int64 {
 }
 
 // checkPoint runs every per-configuration stage at one matrix point.
-func checkPoint(rep *Report, design *pmsynth.Design, src string, p point,
-	vectors []map[string]int64, gateSamples int, gateSeed int64, fps map[string]string) {
+func checkPoint(rep *Report, design *pmsynth.Design, src string, p point, m Matrix,
+	vectors []map[string]int64, gateSeed int64, fps map[string]string, optCache map[string]*optPoint) {
 
 	pt := p.String()
 
+	start := time.Now()
 	syn, err := pmsynth.Synthesize(design, p.opt)
 	rep.Checks++
+	rep.observe(StageSynthesize, start)
 	if err != nil {
 		rep.addf(StageSynthesize, pt, "synthesize: %v", err)
 		return
@@ -242,15 +330,19 @@ func checkPoint(rep *Report, design *pmsynth.Design, src string, p point,
 
 	// Schedule validity: PM schedule under its own resource bag, and the
 	// baseline schedule under the baseline bag.
-	rep.Checks++
-	if err := syn.PM.Schedule.Validate(syn.PM.Resources); err != nil {
-		rep.addf(StageSchedule, pt, "PM schedule invalid: %v", err)
-	}
-	rep.Checks++
-	if syn.Flow != nil && syn.BaselineSchedule != nil {
-		if err := syn.BaselineSchedule.Validate(syn.Flow.BaselineResources); err != nil {
-			rep.addf(StageSchedule, pt, "baseline schedule invalid: %v", err)
+	if m.runStage(StageSchedule) {
+		start := time.Now()
+		rep.Checks++
+		if err := syn.PM.Schedule.Validate(syn.PM.Resources); err != nil {
+			rep.addf(StageSchedule, pt, "PM schedule invalid: %v", err)
 		}
+		rep.Checks++
+		if syn.Flow != nil && syn.BaselineSchedule != nil {
+			if err := syn.BaselineSchedule.Validate(syn.Flow.BaselineResources); err != nil {
+				rep.addf(StageSchedule, pt, "baseline schedule invalid: %v", err)
+			}
+		}
+		rep.observe(StageSchedule, start)
 	}
 
 	// Behavioral equivalence on every probe vector: the gated PM schedule
@@ -260,62 +352,67 @@ func checkPoint(rep *Report, design *pmsynth.Design, src string, p point,
 	// The three simulators are compiled once per point and reused across
 	// the whole probe set; each program's output map is read before its
 	// next run, so the reuse variants are safe here.
-	g := design.Graph
-	opt := sim.Options{Width: design.Width}
-	ref, refErr := sim.Compile(g, opt)
-	pmProg, pmErr := sim.CompileScheduled(syn.PM.Schedule, syn.PM.Guards, opt)
-	var baseProg *sim.ScheduledProgram
-	var baseErr error
-	if syn.BaselineSchedule != nil {
-		baseProg, baseErr = sim.CompileScheduled(syn.BaselineSchedule, nil, opt)
-	}
-	if refErr != nil || pmErr != nil || baseErr != nil {
-		rep.Checks++
-		rep.addf(StageBehavioral, pt, "simulator compile failed: ref %v, gated %v, baseline %v",
-			refErr, pmErr, baseErr)
-	} else {
-		for i, in := range vectors {
+	if m.runStage(StageBehavioral) {
+		start := time.Now()
+		g := design.Graph
+		opt := sim.Options{Width: design.Width}
+		ref, refErr := sim.Compile(g, opt)
+		pmProg, pmErr := sim.CompileScheduled(syn.PM.Schedule, syn.PM.Guards, opt)
+		var baseProg *sim.ScheduledProgram
+		var baseErr error
+		if syn.BaselineSchedule != nil {
+			baseProg, baseErr = sim.CompileScheduled(syn.BaselineSchedule, nil, opt)
+		}
+		if refErr != nil || pmErr != nil || baseErr != nil {
 			rep.Checks++
-			want, err := ref.EvalReuse(in)
-			if err != nil {
-				rep.addf(StageBehavioral, pt, "reference eval failed on vector %d %v: %v", i, in, err)
-				continue
-			}
-			got, err := pmProg.RunReuse(in)
-			if err != nil {
-				rep.addf(StageBehavioral, pt, "gated execution failed on vector %d %v: %v", i, in, err)
-				continue
-			}
-			for k, v := range want {
-				if got.Outputs[k] != v {
-					rep.addf(StageBehavioral, pt,
-						"output %s mismatch on vector %d %v: gated %d, reference %d",
-						k, i, in, got.Outputs[k], v)
+			rep.addf(StageBehavioral, pt, "simulator compile failed: ref %v, gated %v, baseline %v",
+				refErr, pmErr, baseErr)
+		} else {
+			for i, in := range vectors {
+				rep.Checks++
+				want, err := ref.EvalReuse(in)
+				if err != nil {
+					rep.addf(StageBehavioral, pt, "reference eval failed on vector %d %v: %v", i, in, err)
+					continue
 				}
-			}
-			if baseProg == nil {
-				continue
-			}
-			base, err := baseProg.RunReuse(in)
-			if err != nil {
-				rep.addf(StageBehavioral, pt, "baseline execution failed on vector %d %v: %v", i, in, err)
-				continue
-			}
-			for k, v := range want {
-				if base.Outputs[k] != v {
-					rep.addf(StageBehavioral, pt,
-						"output %s mismatch on vector %d %v: baseline %d, reference %d",
-						k, i, in, base.Outputs[k], v)
+				got, err := pmProg.RunReuse(in)
+				if err != nil {
+					rep.addf(StageBehavioral, pt, "gated execution failed on vector %d %v: %v", i, in, err)
+					continue
+				}
+				for k, v := range want {
+					if got.Outputs[k] != v {
+						rep.addf(StageBehavioral, pt,
+							"output %s mismatch on vector %d %v: gated %d, reference %d",
+							k, i, in, got.Outputs[k], v)
+					}
+				}
+				if baseProg == nil {
+					continue
+				}
+				base, err := baseProg.RunReuse(in)
+				if err != nil {
+					rep.addf(StageBehavioral, pt, "baseline execution failed on vector %d %v: %v", i, in, err)
+					continue
+				}
+				for k, v := range want {
+					if base.Outputs[k] != v {
+						rep.addf(StageBehavioral, pt,
+							"output %s mismatch on vector %d %v: baseline %d, reference %d",
+							k, i, in, base.Outputs[k], v)
+					}
 				}
 			}
 		}
+		rep.observe(StageBehavioral, start)
 	}
 
 	// Activity differential: the word-parallel exact activity analysis
 	// must be bit-identical to the scalar reference enumeration. Both are
 	// exponential in the distinct select count, so the stage caps the
 	// scalar side at 2^16 joint outcomes.
-	if n := distinctSelectCount(syn.PM.Guards); n <= 16 {
+	if n := distinctSelectCount(syn.PM.Guards); n <= 16 && m.runStage(StageActivity) {
+		start := time.Now()
 		rep.Checks++
 		fast, fastOK := power.AnalyzeExact(syn.PM.Graph, syn.PM.Guards)
 		ref, refOK := power.AnalyzeExactReference(syn.PM.Graph, syn.PM.Guards)
@@ -330,19 +427,35 @@ func checkPoint(rep *Report, design *pmsynth.Design, src string, p point,
 				}
 			}
 		}
+		rep.observe(StageActivity, start)
 	}
 
 	// Gate-level equivalence: CompareContext verifies both chips' outputs
 	// against the reference interpreter on every sample. Designs wider
 	// than the netlist builder supports stay behavioral-only.
-	if gateSamples > 0 && design.Width <= chip.MaxWidth {
+	if m.GateSamples > 0 && design.Width <= chip.MaxWidth && m.runStage(StageGateLevel) {
+		start := time.Now()
 		rep.Checks++
 		grnd := rand.New(rand.NewSource(gateSeed ^ int64(p.opt.Budget)<<16 ^ int64(p.opt.Order)))
-		if _, err := syn.GateLevelReportRand(gateSamples, grnd); err != nil {
+		if _, err := syn.GateLevelReportRand(m.GateSamples, grnd); err != nil {
 			rep.addf(StageGateLevel, pt, "gate-level compare: %v", err)
 		}
+		rep.observe(StageGateLevel, start)
 	}
 
+	// Optimality gap: the exact minimum-power baseline must be consistent
+	// with the heuristic at every point — in both directions.
+	if m.runStage(StageOptimality) {
+		start := time.Now()
+		checkOptimality(rep, design, syn, p, m, vectors, optCache)
+		rep.observe(StageOptimality, start)
+	}
+
+	if !m.runStage(StageDeterminism) {
+		checkFingerprint(rep, src, p, m, fps)
+		return
+	}
+	dstart := time.Now()
 	// Determinism: a second synthesis must reproduce every artifact byte
 	// for byte.
 	rep.Checks++
@@ -371,9 +484,20 @@ func checkPoint(rep *Report, design *pmsynth.Design, src string, p point,
 			rep.addf(StageDeterminism, pt, "Verilog differs across runs")
 		}
 	}
+	rep.observe(StageDeterminism, dstart)
 
-	// Fingerprint integrity: stable under recomputation, distinct across
-	// distinct configurations of the same source.
+	checkFingerprint(rep, src, p, m, fps)
+}
+
+// checkFingerprint asserts fingerprint integrity: stable under
+// recomputation, distinct across distinct configurations of the same
+// source.
+func checkFingerprint(rep *Report, src string, p point, m Matrix, fps map[string]string) {
+	if !m.runStage(StageFingerprint) {
+		return
+	}
+	start := time.Now()
+	pt := p.String()
 	rep.Checks++
 	fp := pmsynth.Fingerprint(src, p.opt)
 	if fp2 := pmsynth.Fingerprint(src, p.opt); fp != fp2 {
@@ -383,6 +507,140 @@ func checkPoint(rep *Report, design *pmsynth.Design, src string, p point,
 		rep.addf(StageFingerprint, pt, "fingerprint collides with point %q: %s", prev, fp)
 	}
 	fps[fp] = pt
+	rep.observe(StageFingerprint, start)
+}
+
+// optPoint caches one exact solve: the search depends only on (budget, II),
+// not on the mux processing order, so the orders of one budget share it.
+type optPoint struct {
+	res *optimal.Result
+	err error
+}
+
+// checkOptimality runs the optimality-gap differential at one point:
+//
+//   - the exact solver must succeed, deterministically (a fresh re-solve
+//     reproduces power bits, schedule text and certificate),
+//   - its schedule must validate under its resource bag and be
+//     behaviorally equivalent to the reference interpreter,
+//   - its certificate must be internally consistent (LowerBound <= Power,
+//     with equality when Optimal), and
+//   - the heuristic's power must not beat the certified lower bound — a
+//     heuristic strictly below a certified optimum means one of the two
+//     engines is wrong.
+//
+// The comparison is recorded in Report.Gaps whenever both engines evaluated
+// the same objective (both exact, or both on the independence
+// approximation).
+func checkOptimality(rep *Report, design *pmsynth.Design, syn *pmsynth.Synthesis, p point, m Matrix,
+	vectors []map[string]int64, optCache map[string]*optPoint) {
+
+	pt := p.String()
+	key := fmt.Sprintf("%d|%d", p.opt.Budget, p.opt.II)
+	entry, ok := optCache[key]
+	if !ok {
+		// The first order at this (budget, II) seeds the warm start; the
+		// point iteration order is fixed, so the cache stays
+		// deterministic.
+		cfg := optimal.Config{
+			Budget:        p.opt.Budget,
+			II:            p.opt.II,
+			Weights:       power.Weights,
+			MaxExpansions: m.optimalExpansions(),
+			Seed:          syn.PM.Schedule.Time,
+		}
+		r1, err := optimal.Schedule(design.Graph, cfg)
+		entry = &optPoint{res: r1, err: err}
+		optCache[key] = entry
+		rep.Checks++
+		if err == nil {
+			r2, err2 := optimal.Schedule(design.Graph, cfg)
+			switch {
+			case err2 != nil:
+				rep.addf(StageOptimality, pt, "re-solve failed: %v", err2)
+			case math.Float64bits(r1.Power) != math.Float64bits(r2.Power),
+				r1.Cert != r2.Cert,
+				r1.Schedule.String() != r2.Schedule.String():
+				rep.addf(StageOptimality, pt,
+					"solver nondeterministic: power %v vs %v, cert %+v vs %+v",
+					r1.Power, r2.Power, r1.Cert, r2.Cert)
+			}
+		}
+	}
+	if entry.err != nil {
+		rep.Checks++
+		rep.addf(StageOptimality, pt, "exact solve failed: %v", entry.err)
+		return
+	}
+	opt := entry.res
+
+	rep.Checks++
+	if err := opt.Schedule.Validate(opt.Resources); err != nil {
+		rep.addf(StageOptimality, pt, "optimal schedule invalid: %v", err)
+	}
+
+	rep.Checks++
+	if opt.Cert.LowerBound > opt.Power {
+		rep.addf(StageOptimality, pt, "certificate bound %v above power %v", opt.Cert.LowerBound, opt.Power)
+	}
+	if opt.Cert.Optimal && opt.Cert.LowerBound != opt.Power {
+		rep.addf(StageOptimality, pt, "optimal certificate with loose bound: %v vs %v", opt.Cert.LowerBound, opt.Power)
+	}
+
+	// The exact schedule must still compute the behavior.
+	o := sim.Options{Width: design.Width}
+	ref, refErr := sim.Compile(design.Graph, o)
+	prog, progErr := sim.CompileScheduled(opt.Schedule, opt.Guards, o)
+	if refErr != nil || progErr != nil {
+		rep.Checks++
+		rep.addf(StageOptimality, pt, "simulator compile failed: ref %v, optimal %v", refErr, progErr)
+	} else {
+		for i, in := range vectors {
+			rep.Checks++
+			want, err := ref.EvalReuse(in)
+			if err != nil {
+				rep.addf(StageOptimality, pt, "reference eval failed on vector %d %v: %v", i, in, err)
+				continue
+			}
+			got, err := prog.RunReuse(in)
+			if err != nil {
+				rep.addf(StageOptimality, pt, "optimal execution failed on vector %d %v: %v", i, in, err)
+				continue
+			}
+			for k, v := range want {
+				if got.Outputs[k] != v {
+					rep.addf(StageOptimality, pt,
+						"output %s mismatch on vector %d %v: optimal %d, reference %d",
+						k, i, in, got.Outputs[k], v)
+				}
+			}
+		}
+	}
+
+	// Gap assertion: only meaningful when both engines evaluated the same
+	// objective. The cached solve may have been seeded by a different
+	// order's heuristic, so a truncated result can exceed this order's
+	// power; the certified lower bound is the invariant that always
+	// holds.
+	if syn.ActivityExact == opt.Exact {
+		hp := syn.Activity.WeightedPower(syn.PM.Graph, power.Weights)
+		rep.Checks++
+		if hp < opt.Cert.LowerBound {
+			kind := "lower bound"
+			if opt.Cert.Optimal {
+				kind = "certified optimum"
+			}
+			rep.addf(StageOptimality, pt,
+				"gap inversion: heuristic power %v beats the solver's %s %v",
+				hp, kind, opt.Cert.LowerBound)
+		}
+		rep.Gaps = append(rep.Gaps, Gap{
+			Point:     pt,
+			Heuristic: hp,
+			Optimal:   opt.Power,
+			Certified: opt.Cert.Optimal,
+		})
+	}
 }
 
 // checkSweep verifies that the sweep engine is worker-count invariant: the

@@ -22,10 +22,11 @@ func testMatrix() Matrix {
 			pmsynth.OrderInputsFirst,
 			pmsynth.OrderGreedyWeight,
 		},
-		Workers:     []int{1, 3},
-		Vectors:     8,
-		GateSamples: 4,
-		Pipeline:    true,
+		Workers:           []int{1, 3},
+		Vectors:           8,
+		GateSamples:       4,
+		Pipeline:          true,
+		OptimalExpansions: 2000,
 	}
 }
 
@@ -234,5 +235,95 @@ func TestReportStages(t *testing.T) {
 	}
 	if !strings.Contains(r.Divergences[0].Detail, "x") {
 		t.Error("detail lost")
+	}
+}
+
+// TestKnownStages pins the filterable stage list and its execution order.
+func TestKnownStages(t *testing.T) {
+	want := []string{
+		StageSchedule, StageBehavioral, StageActivity, StageGateLevel,
+		StageOptimality, StageDeterminism, StageSweep, StageFingerprint,
+	}
+	got := KnownStages()
+	if len(got) != len(want) {
+		t.Fatalf("KnownStages() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("KnownStages()[%d] = %s, want %s", i, got[i], want[i])
+		}
+	}
+}
+
+// TestStageFilter: a restricted matrix runs exactly the selected stages.
+// Timing accrual doubles as the ran/skipped witness — a stage that never
+// ran has no StageNanos entry.
+func TestStageFilter(t *testing.T) {
+	src := bench.AbsDiff().Source
+	m := testMatrix()
+	m.Stages = []string{StageSchedule, StageOptimality}
+	rep := CheckSource(src, m, rand.New(rand.NewSource(7)))
+	if !rep.OK() {
+		t.Fatalf("filtered oracle diverges: %+v", rep.Divergences)
+	}
+	for _, stage := range []string{StageCompile, StageSynthesize, StageSchedule, StageOptimality} {
+		if _, ok := rep.StageNanos[stage]; !ok {
+			t.Errorf("selected stage %s never ran", stage)
+		}
+	}
+	for _, stage := range []string{StageBehavioral, StageGateLevel, StageDeterminism, StageSweep, StageFingerprint} {
+		if _, ok := rep.StageNanos[stage]; ok {
+			t.Errorf("filtered-out stage %s ran anyway", stage)
+		}
+	}
+	if len(rep.Gaps) == 0 {
+		t.Error("optimality stage selected but no gaps recorded")
+	}
+
+	// Excluding the optimality stage must record no gaps.
+	m.Stages = []string{StageSchedule}
+	rep = CheckSource(src, m, rand.New(rand.NewSource(7)))
+	if len(rep.Gaps) != 0 {
+		t.Errorf("optimality stage filtered out but %d gaps recorded", len(rep.Gaps))
+	}
+}
+
+// TestOptimalityGaps: on the paper's own circuits the exact baseline must
+// never lose to the heuristic, and the small fixtures certify outright.
+func TestOptimalityGaps(t *testing.T) {
+	for _, c := range []*bench.Circuit{bench.AbsDiff(), bench.GCD()} {
+		rep := CheckSource(c.Source, testMatrix(), rand.New(rand.NewSource(7)))
+		if !rep.OK() {
+			t.Fatalf("%s diverges: %+v", c.Name, rep.Divergences)
+		}
+		if len(rep.Gaps) == 0 {
+			t.Fatalf("%s: no gaps recorded", c.Name)
+		}
+		for _, gp := range rep.Gaps {
+			if gp.Optimal > gp.Heuristic {
+				t.Errorf("%s %s: optimal %v above heuristic %v", c.Name, gp.Point, gp.Optimal, gp.Heuristic)
+			}
+			if !gp.Certified {
+				t.Errorf("%s %s: small fixture did not certify", c.Name, gp.Point)
+			}
+		}
+	}
+}
+
+func TestDefaultMatrix(t *testing.T) {
+	m := DefaultMatrix()
+	if len(m.Orders) != 3 || len(m.Workers) != 2 || !m.Pipeline {
+		t.Fatalf("DefaultMatrix = %+v", m)
+	}
+	if len(m.Stages) != 0 {
+		t.Fatalf("default matrix must run every stage, got filter %v", m.Stages)
+	}
+	for _, s := range KnownStages() {
+		if !m.runStage(s) {
+			t.Errorf("stage %s filtered by the default matrix", s)
+		}
+	}
+	if m.optimalExpansions() != defaultOptimalExpansions {
+		t.Errorf("optimalExpansions = %d, want default %d", m.optimalExpansions(), defaultOptimalExpansions)
 	}
 }
