@@ -1,0 +1,208 @@
+// Command pmlint runs the repository's project-specific static analysis
+// (internal/lint) over the module: the determinism, lockscope, spanpair
+// and directives checks described in DESIGN.md. It exits 0 with no
+// findings, 1 when findings survive the //pmlint:allow filter, and 2 on
+// usage or load errors (including config rot: a configured
+// deterministic-path package that no longer exists).
+//
+//	pmlint ./...
+//	pmlint -checks determinism,lockscope ./...
+//	pmlint -json ./... > findings.json
+//	pmlint ./internal/server ./internal/jobs
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		checks  = flag.String("checks", "", "comma-separated check filter (empty = every check)")
+		jsonOut = flag.Bool("json", false, "emit findings as a JSON array instead of text")
+		list    = flag.Bool("list", false, "list the known checks and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, c := range lint.AllChecks() {
+			fmt.Println(c)
+		}
+		return 0
+	}
+
+	selected, err := parseChecks(*checks)
+	if err != nil {
+		fatal("bad -checks: %v", err)
+		return 2
+	}
+
+	root, err := moduleRoot()
+	if err != nil {
+		fatal("%v", err)
+		return 2
+	}
+
+	loader := lint.NewLoader()
+	modPath, all, err := loader.AddModule(root)
+	if err != nil {
+		fatal("%v", err)
+		return 2
+	}
+
+	cfg := lint.DefaultConfig(modPath)
+	cfg.Checks = selected
+
+	runner := &lint.Runner{Loader: loader, Config: cfg, Root: root}
+	if err := runner.SelfCheck(all); err != nil {
+		fatal("%v", err)
+		return 2
+	}
+
+	targets, err := resolveTargets(flag.Args(), root, modPath, all)
+	if err != nil {
+		fatal("%v", err)
+		return 2
+	}
+
+	findings, err := runner.Lint(targets...)
+	if err != nil {
+		fatal("%v", err)
+		return 2
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if findings == nil {
+			findings = []lint.Finding{}
+		}
+		if err := enc.Encode(findings); err != nil {
+			fatal("encoding findings: %v", err)
+			return 2
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Println(f)
+		}
+		fmt.Fprintf(os.Stderr, "pmlint: %d packages, %d findings\n", len(targets), len(findings))
+	}
+	if len(findings) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// parseChecks validates a comma-separated check filter against the known
+// checks, mirroring pmverify's -stages.
+func parseChecks(s string) ([]string, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []string
+	for _, name := range strings.Split(s, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		if !lint.KnownCheck(name) {
+			return nil, fmt.Errorf("unknown check %q (known: %s)", name, strings.Join(lint.AllChecks(), ", "))
+		}
+		out = append(out, name)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty check filter")
+	}
+	return out, nil
+}
+
+// moduleRoot finds the enclosing module by walking up from the working
+// directory to the nearest go.mod.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above the working directory")
+		}
+		dir = parent
+	}
+}
+
+// resolveTargets maps the command-line package patterns onto discovered
+// import paths. "./..." (the default) selects the whole module; a
+// directory pattern like ./internal/server (or internal/server) selects
+// that one package; a trailing /... selects the subtree.
+func resolveTargets(args []string, root, modPath string, all []string) ([]string, error) {
+	if len(args) == 0 {
+		return all, nil
+	}
+	known := make(map[string]bool, len(all))
+	for _, p := range all {
+		known[p] = true
+	}
+	var out []string
+	seen := make(map[string]bool)
+	add := func(p string) {
+		if !seen[p] {
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	for _, arg := range args {
+		pattern := filepath.ToSlash(strings.TrimPrefix(arg, "./"))
+		if pattern == "..." {
+			for _, p := range all {
+				add(p)
+			}
+			continue
+		}
+		if sub, ok := strings.CutSuffix(pattern, "/..."); ok {
+			prefix := modPath
+			if sub != "" && sub != "." {
+				prefix = modPath + "/" + sub
+			}
+			matched := false
+			for _, p := range all {
+				if p == prefix || strings.HasPrefix(p, prefix+"/") {
+					add(p)
+					matched = true
+				}
+			}
+			if !matched {
+				return nil, fmt.Errorf("pattern %q matches no packages", arg)
+			}
+			continue
+		}
+		ip := modPath
+		if pattern != "" && pattern != "." {
+			ip = modPath + "/" + pattern
+		}
+		if !known[ip] {
+			return nil, fmt.Errorf("no package %q in module %s (from %q)", ip, modPath, arg)
+		}
+		add(ip)
+	}
+	return out, nil
+}
+
+// fatal prints a pmlint-prefixed error.
+func fatal(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "pmlint: "+format+"\n", args...)
+}

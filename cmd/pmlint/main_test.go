@@ -1,0 +1,151 @@
+package main
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// runWith invokes run() with a fresh flag set and the given argv.
+func runWith(t *testing.T, args ...string) int {
+	t.Helper()
+	origArgs, origFlags := os.Args, flag.CommandLine
+	defer func() { os.Args, flag.CommandLine = origArgs, origFlags }()
+	flag.CommandLine = flag.NewFlagSet("pmlint", flag.ExitOnError)
+	os.Args = append([]string{"pmlint"}, args...)
+	return run()
+}
+
+func TestRun(t *testing.T) {
+	if got := runWith(t, "-list"); got != 0 {
+		t.Errorf("run -list = %d, want 0", got)
+	}
+	if got := runWith(t, "-checks", "bogus", "./..."); got != 2 {
+		t.Errorf("run with unknown check = %d, want 2", got)
+	}
+	// Target resolution runs before any type-checking, so a bad pattern
+	// is a fast usage error.
+	if got := runWith(t, "./nope/..."); got != 2 {
+		t.Errorf("run with empty pattern = %d, want 2", got)
+	}
+	// A real single-package lint: the telemetry package is directive-free
+	// and must come back clean.
+	if got := runWith(t, "-checks", "directives", "./internal/telemetry"); got != 0 {
+		t.Errorf("run over internal/telemetry = %d, want 0", got)
+	}
+	if got := runWith(t, "-json", "-checks", "directives", "./internal/telemetry"); got != 0 {
+		t.Errorf("run -json over internal/telemetry = %d, want 0", got)
+	}
+}
+
+func TestParseChecks(t *testing.T) {
+	if got, err := parseChecks(""); got != nil || err != nil {
+		t.Fatalf("empty filter: got %v, %v", got, err)
+	}
+	got, err := parseChecks(" determinism , spanpair ")
+	if err != nil {
+		t.Fatalf("valid filter: %v", err)
+	}
+	if !reflect.DeepEqual(got, []string{"determinism", "spanpair"}) {
+		t.Fatalf("valid filter: got %v", got)
+	}
+	if _, err := parseChecks("bogus"); err == nil ||
+		!strings.Contains(err.Error(), "unknown check") ||
+		!strings.Contains(err.Error(), "determinism") {
+		t.Fatalf("unknown check: err = %v (must name the known checks)", err)
+	}
+	if _, err := parseChecks(",,"); err == nil {
+		t.Fatal("blank filter accepted")
+	}
+}
+
+func TestResolveTargets(t *testing.T) {
+	all := []string{"repro", "repro/cmd/x", "repro/internal/a", "repro/internal/a/b"}
+	const mod = "repro"
+
+	cases := []struct {
+		args []string
+		want []string
+	}{
+		{nil, all},
+		{[]string{"./..."}, all},
+		{[]string{"internal/a"}, []string{"repro/internal/a"}},
+		{[]string{"./internal/a"}, []string{"repro/internal/a"}},
+		{[]string{"."}, []string{"repro"}},
+		{[]string{"./internal/a/..."}, []string{"repro/internal/a", "repro/internal/a/b"}},
+		{[]string{"internal/a", "internal/a"}, []string{"repro/internal/a"}},
+	}
+	for _, c := range cases {
+		got, err := resolveTargets(c.args, "/r", mod, all)
+		if err != nil {
+			t.Errorf("resolveTargets(%v): %v", c.args, err)
+			continue
+		}
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("resolveTargets(%v) = %v, want %v", c.args, got, c.want)
+		}
+	}
+
+	if _, err := resolveTargets([]string{"internal/nope"}, "/r", mod, all); err == nil {
+		t.Error("unknown package accepted")
+	}
+	if _, err := resolveTargets([]string{"./nope/..."}, "/r", mod, all); err == nil {
+		t.Error("empty subtree accepted")
+	}
+}
+
+func TestModuleRoot(t *testing.T) {
+	orig, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := os.Chdir(orig); err != nil {
+			t.Fatal(err)
+		}
+	}()
+
+	// From inside the repository the nearest go.mod wins.
+	root, err := moduleRoot()
+	if err != nil {
+		t.Fatalf("moduleRoot in repo: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(root, "go.mod")); err != nil {
+		t.Fatalf("moduleRoot returned %q without a go.mod: %v", root, err)
+	}
+
+	// From a bare temporary tree there is nothing to find.
+	tmp := t.TempDir()
+	if err := os.Chdir(tmp); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := moduleRoot(); err == nil {
+		t.Fatal("moduleRoot outside a module: expected error")
+	}
+
+	// Dropping a go.mod in makes the walk stop there.
+	if err := os.WriteFile(filepath.Join(tmp, "go.mod"), []byte("module tmp\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	sub := filepath.Join(tmp, "a", "b")
+	if err := os.MkdirAll(sub, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(sub); err != nil {
+		t.Fatal(err)
+	}
+	root, err = moduleRoot()
+	if err != nil {
+		t.Fatalf("moduleRoot under tmp module: %v", err)
+	}
+	// Resolve symlinks: on some systems TempDir is behind /private or
+	// similar, and Getwd reports the resolved form.
+	wantRoot, _ := filepath.EvalSymlinks(tmp)
+	gotRoot, _ := filepath.EvalSymlinks(root)
+	if gotRoot != wantRoot {
+		t.Fatalf("moduleRoot = %q, want %q", root, tmp)
+	}
+}

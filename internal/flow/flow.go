@@ -23,6 +23,7 @@ import (
 // input as read-only and work on private clones).
 type Context struct {
 	// Ctx carries cancellation for long runs; nil means never canceled.
+	//pmlint:allow spanpair the pipeline Context is the per-run carrier passes thread cancellation through; it lives exactly one Run and is cleared before caching
 	Ctx context.Context
 
 	// Graph is the input CDFG. Passes must not mutate it.
@@ -138,6 +139,7 @@ func (p *Pipeline) Run(c *Context) error {
 			return fmt.Errorf("flow: canceled before pass %q: %w", pass.Name(), err)
 		}
 		_, sp := telemetry.StartSpan(c.Ctx, "pass:"+pass.Name())
+		//pmlint:allow determinism pass wall-clock timing is telemetry only; Timings never feed schedules, tables or fingerprints
 		start := time.Now()
 		err := pass.Run(c)
 		c.Timings = append(c.Timings, PassTiming{Pass: pass.Name(), Elapsed: time.Since(start)})

@@ -106,8 +106,9 @@ type Job struct {
 	nextSeq   int64
 	notify    chan struct{} // closed and replaced on every append
 	cancel    context.CancelFunc
-	ctx       context.Context
-	fn        Func // cleared on finish so the closure's captures free early
+	//pmlint:allow spanpair the job's cancellation context outlives the submitting request by design; it is derived from the manager's base and released on finish
+	ctx context.Context
+	fn  Func // cleared on finish so the closure's captures free early
 }
 
 // ID returns the job's identifier.
@@ -228,11 +229,12 @@ func (j *Job) progress(done, total int) {
 // Manager owns the job table, the bounded pending queue and the worker
 // pool.
 type Manager struct {
-	mu          sync.Mutex
-	jobs        map[string]*Job
-	ttl         time.Duration
-	eventTail   int
-	log         *slog.Logger // nil disables lifecycle logging
+	mu        sync.Mutex
+	jobs      map[string]*Job
+	ttl       time.Duration
+	eventTail int
+	log       *slog.Logger // nil disables lifecycle logging
+	//pmlint:allow spanpair the manager's base context is the worker pool's shutdown root, canceled exactly once by Close
 	base        context.Context
 	stop        context.CancelFunc
 	wg          sync.WaitGroup // worker goroutines

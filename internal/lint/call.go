@@ -1,0 +1,117 @@
+package lint
+
+// Shared call-site resolution used by the checks.
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// callee classifies a call expression's target.
+type callee struct {
+	fn         *types.Func // static function or method, nil otherwise
+	builtin    bool        // len, append, close, ...
+	conversion bool        // T(x)
+	dynamic    bool        // call through a function value
+}
+
+// resolveCall classifies what call invokes, using the package's type
+// information.
+func resolveCall(pkg *Package, call *ast.CallExpr) callee {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		switch obj := pkg.Info.Uses[fun].(type) {
+		case *types.Builtin:
+			return callee{builtin: true}
+		case *types.TypeName:
+			return callee{conversion: true}
+		case *types.Func:
+			return callee{fn: obj}
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := pkg.Info.Selections[fun]; ok {
+			if fn, ok := sel.Obj().(*types.Func); ok {
+				return callee{fn: fn} // method call (value, pointer or interface)
+			}
+			return callee{dynamic: true} // func-typed struct field
+		}
+		// Qualified identifier: pkg.Func or pkg.Type(x).
+		switch obj := pkg.Info.Uses[fun.Sel].(type) {
+		case *types.TypeName:
+			return callee{conversion: true}
+		case *types.Func:
+			return callee{fn: obj}
+		case *types.Var:
+			return callee{dynamic: true} // package-level func variable
+		}
+	}
+	if tv, ok := pkg.Info.Types[call.Fun]; ok && tv.IsType() {
+		return callee{conversion: true}
+	}
+	return callee{dynamic: true}
+}
+
+// funcKey names a static function for the forbidden-call patterns:
+// "pkgpath.Func" for package functions, "pkgpath.Type.Method" for
+// methods (pointer receivers dereferenced). Functions without a package
+// (error.Error, universe builtins) return "".
+func funcKey(fn *types.Func) string {
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	key := fn.Pkg().Path()
+	if recv := fn.Type().(*types.Signature).Recv(); recv != nil {
+		t := recv.Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			key += "." + named.Obj().Name()
+		} else {
+			key += ".(recv)"
+		}
+	}
+	return key + "." + fn.Name()
+}
+
+// rootIdentObj resolves the root identifier of an expression chain
+// (x, x.f, x[i], *x, &x) to its object, or nil.
+func rootIdentObj(pkg *Package, e ast.Expr) types.Object {
+	for {
+		switch v := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			if obj := pkg.Info.Uses[v]; obj != nil {
+				return obj
+			}
+			return pkg.Info.Defs[v]
+		case *ast.SelectorExpr:
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		case *ast.UnaryExpr:
+			e = v.X
+		case *ast.CallExpr:
+			if len(v.Args) == 1 {
+				e = v.Args[0] // conversions like Interface(obj)
+				continue
+			}
+			return nil
+		default:
+			return nil
+		}
+	}
+}
+
+// walkSkippingFuncLits visits the expressions of n without descending
+// into nested function literals, whose bodies are analyzed as their own
+// functions.
+func walkSkippingFuncLits(n ast.Node, visit func(ast.Node) bool) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		if _, ok := m.(*ast.FuncLit); ok && m != n {
+			return false
+		}
+		return visit(m)
+	})
+}

@@ -1,0 +1,251 @@
+package lint
+
+// The determinism check. The deterministic-path packages promise
+// byte-identical artifacts for identical inputs — the sweep tables, the
+// fingerprints and the differential oracle all stand on it. Two things
+// break that promise silently:
+//
+//   - map iteration whose order escapes: a `for k := range m` that
+//     appends into a slice living beyond the loop, writes into an
+//     io.Writer (strings.Builder, bytes.Buffer, a hash — anything with a
+//     Write method), or sends on a channel, without the result being
+//     sorted afterwards;
+//   - ambient nondeterminism: time.Now and the global math/rand
+//     functions. The injectable form — methods on a *rand.Rand threaded
+//     through the call — is the allowed convention.
+//
+// The sort recognition is lexical: an append-escape is forgiven when a
+// sort.* or slices.Sort* call over the same variable appears after the
+// loop in the same function. Writer and channel escapes cannot be
+// re-sorted after the fact, so they are always reported (annotate the
+// legitimate ones).
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ioWriter is a structural io.Writer, built rather than imported so the
+// check does not pull the io package into every lint run.
+var ioWriter = func() *types.Interface {
+	sig := types.NewSignatureType(nil, nil, nil,
+		types.NewTuple(types.NewVar(token.NoPos, nil, "p", types.NewSlice(types.Typ[types.Byte]))),
+		types.NewTuple(
+			types.NewVar(token.NoPos, nil, "n", types.Typ[types.Int]),
+			types.NewVar(token.NoPos, nil, "err", types.Universe.Lookup("error").Type()),
+		), false)
+	iface := types.NewInterfaceType([]*types.Func{types.NewFunc(token.NoPos, nil, "Write", sig)}, nil)
+	iface.Complete()
+	return iface
+}()
+
+// randAllowed are the math/rand package functions that construct
+// injectable generators rather than touching the global source.
+var randAllowed = map[string]bool{"New": true, "NewSource": true, "NewZipf": true}
+
+func checkDeterminism(pkg *Package, report func(check string, pos token.Pos, format string, args ...interface{})) {
+	for _, file := range pkg.Files {
+		for _, fn := range functionsOf(file) {
+			checkMapRanges(pkg, fn, report)
+		}
+		checkAmbient(pkg, file, report)
+	}
+}
+
+// checkAmbient flags time.Now and global math/rand uses anywhere in the
+// file.
+func checkAmbient(pkg *Package, file *ast.File, report func(check string, pos token.Pos, format string, args ...interface{})) {
+	ast.Inspect(file, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		fn, ok := pkg.Info.Uses[id].(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			return true
+		}
+		switch fn.Pkg().Path() {
+		case "time":
+			if fn.Name() == "Now" {
+				report(CheckDeterminism, id.Pos(),
+					"time.Now in deterministic-path package %s: inject the clock or annotate telemetry-only use", pkg.Types.Name())
+			}
+		case "math/rand", "math/rand/v2":
+			sig := fn.Type().(*types.Signature)
+			if sig.Recv() == nil && !randAllowed[fn.Name()] {
+				report(CheckDeterminism, id.Pos(),
+					"global %s.%s in deterministic-path package %s: thread a seeded *rand.Rand instead", fn.Pkg().Name(), fn.Name(), pkg.Types.Name())
+			}
+		}
+		return true
+	})
+}
+
+// checkMapRanges flags map-range loops in one function whose iteration
+// order escapes.
+func checkMapRanges(pkg *Package, fn funcBody, report func(check string, pos token.Pos, format string, args ...interface{})) {
+	walkSkippingFuncLits(fn.body, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		tv, ok := pkg.Info.Types[rng.X]
+		if !ok {
+			return true
+		}
+		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		for _, esc := range mapRangeEscapes(pkg, rng) {
+			if esc.sortable != nil && sortedAfter(pkg, fn.body, rng, esc.sortable) {
+				continue
+			}
+			report(CheckDeterminism, esc.pos,
+				"map iteration order escapes (%s); sort before emitting or annotate", esc.what)
+		}
+		return true
+	})
+}
+
+// escape is one way a map-range body lets iteration order out.
+type escape struct {
+	pos  token.Pos
+	what string
+	// sortable, when non-nil, is the slice variable an append targeted —
+	// a later sort over it forgives the escape.
+	sortable types.Object
+}
+
+// mapRangeEscapes scans a map-range body for order-escaping operations.
+func mapRangeEscapes(pkg *Package, rng *ast.RangeStmt) []escape {
+	var out []escape
+	walkSkippingFuncLits(rng.Body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.SendStmt:
+			out = append(out, escape{pos: v.Pos(), what: "send on a channel"})
+		case *ast.CallExpr:
+			out = append(out, callEscapes(pkg, rng, v)...)
+		}
+		return true
+	})
+	return out
+}
+
+// callEscapes classifies one call inside a map-range body.
+func callEscapes(pkg *Package, rng *ast.RangeStmt, call *ast.CallExpr) []escape {
+	c := resolveCall(pkg, call)
+	switch {
+	case c.builtin:
+		id, _ := ast.Unparen(call.Fun).(*ast.Ident)
+		if id == nil || id.Name != "append" || len(call.Args) == 0 {
+			return nil
+		}
+		obj := rootIdentObj(pkg, call.Args[0])
+		if obj == nil || withinRange(obj.Pos(), rng) {
+			return nil // appending to a loop-local accumulator stays inside
+		}
+		if keyedByRange(pkg, rng, call.Args[0]) {
+			// m[k] = append(m[k], ...) with k the range key: each slot is
+			// filled independently of iteration order.
+			return nil
+		}
+		return []escape{{pos: call.Pos(), what: "append into " + obj.Name(), sortable: obj}}
+	case c.fn != nil:
+		// fmt.Fprint* carry order out through their writer argument.
+		if p := c.fn.Pkg(); p != nil && p.Path() == "fmt" &&
+			(c.fn.Name() == "Fprint" || c.fn.Name() == "Fprintf" || c.fn.Name() == "Fprintln") {
+			return []escape{{pos: call.Pos(), what: "fmt." + c.fn.Name()}}
+		}
+		// A Write-family method on anything satisfying io.Writer —
+		// builders, buffers, hashes, files.
+		sig := c.fn.Type().(*types.Signature)
+		if recv := sig.Recv(); recv != nil && writeMethod(c.fn.Name()) {
+			t := recv.Type()
+			if types.Implements(t, ioWriter) || types.Implements(types.NewPointer(t), ioWriter) {
+				return []escape{{pos: call.Pos(), what: c.fn.Name() + " into an io.Writer"}}
+			}
+		}
+	}
+	return nil
+}
+
+// writeMethod reports whether name is one of the io.Writer-family
+// emission methods.
+func writeMethod(name string) bool {
+	switch name {
+	case "Write", "WriteString", "WriteByte", "WriteRune":
+		return true
+	}
+	return false
+}
+
+// keyedByRange reports whether target is an index expression over a map
+// whose index mentions the range statement's key variable — a write
+// whose destination is keyed by the iteration element, making its
+// placement order-independent.
+func keyedByRange(pkg *Package, rng *ast.RangeStmt, target ast.Expr) bool {
+	idx, ok := ast.Unparen(target).(*ast.IndexExpr)
+	if !ok {
+		return false
+	}
+	if tv, ok := pkg.Info.Types[idx.X]; !ok {
+		return false
+	} else if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return false
+	}
+	keyID, ok := rng.Key.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	keyObj := pkg.Info.Defs[keyID]
+	if keyObj == nil {
+		keyObj = pkg.Info.Uses[keyID]
+	}
+	if keyObj == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(idx.Index, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if pkg.Info.Uses[id] == keyObj {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// withinRange reports whether pos falls inside the range statement.
+func withinRange(pos token.Pos, rng *ast.RangeStmt) bool {
+	return pos >= rng.Pos() && pos <= rng.End()
+}
+
+// sortedAfter reports whether a sort.* or slices.Sort* call mentioning
+// obj appears after the range loop inside the same function body.
+func sortedAfter(pkg *Package, body *ast.BlockStmt, rng *ast.RangeStmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() <= rng.End() || found {
+			return !found
+		}
+		c := resolveCall(pkg, call)
+		if c.fn == nil || c.fn.Pkg() == nil {
+			return true
+		}
+		if p := c.fn.Pkg().Path(); p != "sort" && p != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			argObj := rootIdentObj(pkg, arg)
+			if argObj == obj {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

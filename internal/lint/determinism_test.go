@@ -1,0 +1,54 @@
+package lint
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func determConfig(pkgs ...string) Config {
+	return Config{
+		Checks:                []string{CheckDeterminism},
+		DeterministicPackages: pkgs,
+	}
+}
+
+func TestDeterminismFixture(t *testing.T) {
+	findings := lintFixture(t, determConfig("determfix"), "determfix")
+	matchWants(t, findings, filepath.Join("testdata", "src", "determfix", "determfix.go"))
+}
+
+// TestDeterminismSortDeletionFires is the seeded mutation of the
+// acceptance criteria: deleting the sort after an append-accumulating
+// map range must turn the previously clean function into a finding.
+func TestDeterminismSortDeletionFires(t *testing.T) {
+	src := fixtureSource(t, "determfix")
+	base := lintFixture(t, determConfig("determfix"), "determfix")
+
+	mutated := mutate(t, src, "\tsort.Strings(out)\n", "")
+	got := lintInMemory(t, determConfig("determmut"), "determmut", mutated)
+
+	if len(got) != len(base)+1 {
+		t.Fatalf("sort deletion: got %d findings, want %d (base) + 1", len(got), len(base))
+	}
+	extra := 0
+	for _, f := range got {
+		if strings.Contains(f.Message, "append into out") {
+			extra++
+		}
+	}
+	// The fixture's Names function already appends unsorted; the mutated
+	// SortedNames adds the second occurrence.
+	if extra != 2 {
+		t.Fatalf("sort deletion: %d 'append into out' findings, want 2:\n%v", extra, got)
+	}
+}
+
+// TestDeterminismUnsortedPackageIgnored checks the scoping: the same
+// source outside the deterministic-path list produces nothing.
+func TestDeterminismUnsortedPackageIgnored(t *testing.T) {
+	findings := lintFixture(t, determConfig("someotherpkg"), "determfix")
+	if len(findings) != 0 {
+		t.Fatalf("determfix outside the deterministic list: got %d findings, want 0", len(findings))
+	}
+}

@@ -1,0 +1,110 @@
+package lint
+
+// The escape hatch. A comment of the form
+//
+//	//pmlint:allow <check> <reason>
+//
+// suppresses findings of the named check on the directive's own line and
+// on the line directly below it — so it works both as a trailing comment
+// and as a standalone comment above the flagged construct. The reason is
+// mandatory: an allow without a justification is an error. So is an
+// allow that no longer suppresses anything — a stale suppression is how
+// invariants quietly stop being enforced, so it fails the build until it
+// is deleted.
+
+import (
+	"go/token"
+	"strings"
+)
+
+// directivePrefix is matched after the "//" of a line comment.
+const directivePrefix = "pmlint:allow"
+
+// directive is one parsed //pmlint:allow comment.
+type directive struct {
+	check  string
+	reason string
+	pos    token.Pos
+	file   string
+	line   int
+	bad    string // non-empty: malformed, with the error message
+	used   bool
+}
+
+// parseDirectives extracts every pmlint directive from the package.
+func parseDirectives(pkg *Package) []*directive {
+	var out []*directive
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//")
+				if !ok {
+					continue // /* */ comments cannot carry directives
+				}
+				rest, ok := strings.CutPrefix(strings.TrimPrefix(text, " "), directivePrefix)
+				if !ok {
+					continue
+				}
+				p := pkg.Fset.Position(c.Pos())
+				d := &directive{pos: c.Pos(), file: p.Filename, line: p.Line}
+				fields := strings.Fields(rest)
+				switch {
+				case len(fields) == 0:
+					d.bad = "pmlint:allow needs a check name and a reason"
+				case !KnownCheck(fields[0]):
+					d.bad = "pmlint:allow names unknown check " + strings.Trim(fields[0], `"`)
+				case len(fields) < 2:
+					d.bad = "pmlint:allow " + fields[0] + " needs a reason"
+				default:
+					d.check = fields[0]
+					d.reason = strings.Join(fields[1:], " ")
+				}
+				out = append(out, d)
+			}
+		}
+	}
+	return out
+}
+
+// applyDirectives filters raw findings through the package's directives.
+// A well-formed directive suppresses matching-check findings on its own
+// line or the next. When validate is set (the directives check is
+// selected), malformed and unused directives become findings themselves,
+// built with mkFinding; directive findings are never suppressible.
+func applyDirectives(pkg *Package, raw []Finding, mkFinding func(check string, pos token.Pos, msg string) Finding, validate bool) []Finding {
+	dirs := parseDirectives(pkg)
+	var kept []Finding
+	for _, f := range raw {
+		suppressed := false
+		for _, d := range dirs {
+			if d.bad != "" || d.check != f.Check {
+				continue
+			}
+			if sameFile(d.file, f.File) && (d.line == f.Line || d.line+1 == f.Line) {
+				d.used = true
+				suppressed = true
+			}
+		}
+		if !suppressed {
+			kept = append(kept, f)
+		}
+	}
+	if validate {
+		for _, d := range dirs {
+			switch {
+			case d.bad != "":
+				kept = append(kept, mkFinding(CheckDirectives, d.pos, d.bad))
+			case !d.used:
+				kept = append(kept, mkFinding(CheckDirectives, d.pos,
+					"pmlint:allow "+d.check+" suppresses nothing; delete the stale directive"))
+			}
+		}
+	}
+	return kept
+}
+
+// sameFile compares a directive's absolute file name against a finding's
+// (possibly root-relativized) file name.
+func sameFile(abs, found string) bool {
+	return abs == found || strings.HasSuffix(abs, "/"+found)
+}

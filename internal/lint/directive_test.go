@@ -1,0 +1,134 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+func dirConfig() Config {
+	return Config{
+		Checks:                []string{CheckDeterminism, CheckSpanPair, CheckDirectives},
+		DeterministicPackages: []string{"dirfix", "dirmut"},
+		TelemetryPackage:      "faketel",
+	}
+}
+
+// fixtureLine finds the 1-based line of the first source line containing
+// needle.
+func fixtureLine(t *testing.T, src, needle string) int {
+	t.Helper()
+	for i, line := range strings.Split(src, "\n") {
+		if strings.Contains(line, needle) {
+			return i + 1
+		}
+	}
+	t.Fatalf("fixture line containing %q not found", needle)
+	return 0
+}
+
+// TestDirectivesFixture pins the dirfix behavior: the two live allows
+// (plus the sanctioned context carrier) suppress their findings, while
+// the stale, reason-less and unknown-check directives each produce a
+// directives finding of their own.
+func TestDirectivesFixture(t *testing.T) {
+	src := fixtureSource(t, "dirfix")
+	findings := lintFixture(t, dirConfig(), "dirfix")
+
+	for _, f := range findings {
+		if f.Check != CheckDirectives {
+			t.Errorf("non-directive finding leaked through an allow: %s", f)
+		}
+	}
+	expect := map[int]string{
+		fixtureLine(t, src, "nothing near this line uses the clock"): "pmlint:allow determinism suppresses nothing; delete the stale directive",
+		reasonlessLine(t, src):                        "pmlint:allow determinism needs a reason",
+		fixtureLine(t, src, "bogus some reason text"): "pmlint:allow names unknown check bogus",
+	}
+	if len(findings) != len(expect) {
+		t.Fatalf("dirfix: got %d findings, want %d:\n%v", len(findings), len(expect), findings)
+	}
+	for _, f := range findings {
+		msg, ok := expect[f.Line]
+		if !ok {
+			t.Errorf("finding on unexpected line %d: %s", f.Line, f)
+			continue
+		}
+		if f.Message != msg {
+			t.Errorf("line %d: got message %q, want %q", f.Line, f.Message, msg)
+		}
+	}
+}
+
+// reasonlessLine locates the exact `//pmlint:allow determinism` line
+// (no trailing reason), which fixtureLine's substring match cannot
+// distinguish from the well-formed directives.
+func reasonlessLine(t *testing.T, src string) int {
+	t.Helper()
+	for i, line := range strings.Split(src, "\n") {
+		if strings.TrimSpace(line) == "//pmlint:allow determinism" {
+			return i + 1
+		}
+	}
+	t.Fatal("reason-less directive not found in fixture")
+	return 0
+}
+
+// TestUnusedAllowFails is the contract from the issue: an allow that
+// suppresses a live finding passes, and the same allow over fixed code
+// fails the lint until it is deleted.
+func TestUnusedAllowFails(t *testing.T) {
+	const annotated = `// Package dirmut is an in-memory pmlint fixture.
+package dirmut
+
+import "time"
+
+//pmlint:allow determinism clock is telemetry-only
+var Epoch = time.Now().Unix()
+
+// Day keeps the time import alive when Epoch stops using the clock.
+var Day = 24 * time.Hour
+`
+	if got := lintInMemory(t, dirConfig(), "dirmut", annotated); len(got) != 0 {
+		t.Fatalf("live allow: got %d findings, want 0:\n%v", len(got), got)
+	}
+
+	fixed := strings.Replace(annotated, "time.Now().Unix()", "int64(0)", 1)
+	got := lintInMemory(t, dirConfig(), "dirmut2", fixed)
+	if len(got) != 1 {
+		t.Fatalf("stale allow: got %d findings, want 1:\n%v", len(got), got)
+	}
+	if got[0].Check != CheckDirectives || !strings.Contains(got[0].Message, "suppresses nothing") {
+		t.Fatalf("stale allow: unexpected finding %s", got[0])
+	}
+}
+
+// TestDirectiveDoesNotSuppressOtherChecks: an allow only silences its
+// named check; a different check's finding on the same line survives.
+func TestDirectiveDoesNotSuppressOtherChecks(t *testing.T) {
+	const src = `// Package dirmix is an in-memory pmlint fixture.
+package dirmix
+
+import "time"
+
+//pmlint:allow spanpair wrong check for this line
+var Epoch = time.Now().Unix()
+`
+	cfg := dirConfig()
+	cfg.DeterministicPackages = []string{"dirmix"}
+	got := lintInMemory(t, cfg, "dirmix", src)
+	if len(got) != 2 {
+		t.Fatalf("mismatched allow: got %d findings, want 2 (time.Now + stale allow):\n%v", len(got), got)
+	}
+	var haveDet, haveDir bool
+	for _, f := range got {
+		switch f.Check {
+		case CheckDeterminism:
+			haveDet = true
+		case CheckDirectives:
+			haveDir = true
+		}
+	}
+	if !haveDet || !haveDir {
+		t.Fatalf("mismatched allow: want one determinism and one directives finding:\n%v", got)
+	}
+}

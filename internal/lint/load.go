@@ -1,0 +1,265 @@
+package lint
+
+// Package loading. pmlint must stay dependency-free (the CI cache keys on
+// the module having no go.sum), so the loader is built purely on the
+// standard library: go/build discovers the module's package directories,
+// go/parser parses them, and go/types checks them with a two-tier
+// importer — module-local import paths resolve through this loader
+// itself (so the whole module is analyzed from source, test files
+// excluded), everything else falls back to the stdlib "source" importer,
+// which type-checks the standard library from $GOROOT/src. Cgo is
+// disabled on the build context so cgo-optional packages (net, os/user)
+// resolve through their pure-Go fallbacks everywhere CI runs.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Package is one loaded, type-checked package with everything a check
+// needs: the syntax, the type information and the file set for positions.
+type Package struct {
+	// Path is the package's import path ("repro/internal/sched").
+	Path string
+	// Dir is the directory the sources were read from ("" for in-memory
+	// packages registered with AddSource).
+	Dir string
+	// Files holds the parsed non-test sources, sorted by file name.
+	Files []*ast.File
+	// Types is the type-checked package.
+	Types *types.Package
+	// Info carries the type-checker's resolutions for the files.
+	Info *types.Info
+	// Fset positions all of Files.
+	Fset *token.FileSet
+}
+
+// Loader loads and memoizes type-checked packages. Module-local packages
+// (registered by AddModule or AddSource) are parsed and checked by the
+// loader itself; all other import paths — the standard library — resolve
+// through the stdlib source importer. A Loader is not safe for
+// concurrent use.
+type Loader struct {
+	fset     *token.FileSet
+	dirs     map[string]string            // import path -> on-disk directory
+	srcs     map[string]map[string]string // import path -> file name -> source
+	pkgs     map[string]*Package
+	loading  map[string]bool // cycle detection
+	fallback types.ImporterFrom
+}
+
+// disableCgo forces the pure-Go view of the standard library exactly
+// once; the stdlib source importer shares build.Default.
+var disableCgo sync.Once
+
+// NewLoader returns an empty loader.
+func NewLoader() *Loader {
+	disableCgo.Do(func() { build.Default.CgoEnabled = false })
+	fset := token.NewFileSet()
+	return &Loader{
+		fset:     fset,
+		dirs:     make(map[string]string),
+		srcs:     make(map[string]map[string]string),
+		pkgs:     make(map[string]*Package),
+		loading:  make(map[string]bool),
+		fallback: importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
+	}
+}
+
+// Fset returns the loader's file set (shared by every loaded package).
+func (l *Loader) Fset() *token.FileSet { return l.fset }
+
+// AddSource registers an in-memory package under the given import path.
+// Tests use it to lint fixture sources — including mutated variants —
+// without touching disk.
+func (l *Loader) AddSource(path string, files map[string]string) {
+	l.srcs[path] = files
+}
+
+// AddDir registers one on-disk directory under the given import path.
+func (l *Loader) AddDir(path, dir string) {
+	l.dirs[path] = dir
+}
+
+// AddModule walks the module rooted at root (its go.mod names the module
+// path), registering every package directory found. Directories named
+// testdata or vendor, and hidden directories, are skipped — the same
+// pruning the go tool applies. It returns the module path and the sorted
+// import paths discovered.
+func (l *Loader) AddModule(root string) (modPath string, paths []string, err error) {
+	gomod, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return "", nil, fmt.Errorf("lint: reading go.mod: %w", err)
+	}
+	for _, line := range strings.Split(string(gomod), "\n") {
+		if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
+			modPath = strings.TrimSpace(rest)
+			break
+		}
+	}
+	if modPath == "" {
+		return "", nil, fmt.Errorf("lint: no module line in %s/go.mod", root)
+	}
+	err = filepath.WalkDir(root, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if p != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+			name == "testdata" || name == "vendor") {
+			return filepath.SkipDir
+		}
+		if !hasGoSource(p) {
+			return nil
+		}
+		rel, err := filepath.Rel(root, p)
+		if err != nil {
+			return err
+		}
+		ip := modPath
+		if rel != "." {
+			ip = modPath + "/" + filepath.ToSlash(rel)
+		}
+		l.dirs[ip] = p
+		paths = append(paths, ip)
+		return nil
+	})
+	if err != nil {
+		return "", nil, fmt.Errorf("lint: walking module: %w", err)
+	}
+	sort.Strings(paths)
+	return modPath, paths, nil
+}
+
+// hasGoSource reports whether dir directly contains at least one
+// non-test .go file.
+func hasGoSource(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasSuffix(e.Name(), "_test.go") {
+			return true
+		}
+	}
+	return false
+}
+
+// Load returns the type-checked package for a registered import path,
+// loading it (and its module-local dependencies) on first use.
+func (l *Loader) Load(path string) (*Package, error) {
+	if p, ok := l.pkgs[path]; ok {
+		return p, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("lint: import cycle through %q", path)
+	}
+	_, inMem := l.srcs[path]
+	if _, onDisk := l.dirs[path]; !onDisk && !inMem {
+		return nil, fmt.Errorf("lint: package %q is not part of the loaded module", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	files, dir, err := l.parse(path)
+	if err != nil {
+		return nil, err
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	var firstErr error
+	conf := types.Config{
+		Importer: l,
+		Error: func(err error) {
+			if firstErr == nil {
+				firstErr = err
+			}
+		},
+	}
+	tpkg, err := conf.Check(path, l.fset, files, info)
+	if firstErr != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %w", path, firstErr)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %w", path, err)
+	}
+	p := &Package{Path: path, Dir: dir, Files: files, Types: tpkg, Info: info, Fset: l.fset}
+	l.pkgs[path] = p
+	return p, nil
+}
+
+// parse reads and parses the package's non-test sources, in file-name
+// order so positions (and therefore findings) are deterministic.
+func (l *Loader) parse(path string) (files []*ast.File, dir string, err error) {
+	const mode = parser.ParseComments | parser.SkipObjectResolution
+	if srcs, ok := l.srcs[path]; ok {
+		names := make([]string, 0, len(srcs))
+		for name := range srcs {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			f, err := parser.ParseFile(l.fset, name, srcs[name], mode)
+			if err != nil {
+				return nil, "", fmt.Errorf("lint: parsing %s: %w", name, err)
+			}
+			files = append(files, f)
+		}
+		return files, "", nil
+	}
+	dir = l.dirs[path]
+	bp, err := build.Default.ImportDir(dir, 0)
+	if err != nil {
+		return nil, "", fmt.Errorf("lint: scanning %s: %w", dir, err)
+	}
+	names := append([]string(nil), bp.GoFiles...)
+	sort.Strings(names)
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, mode)
+		if err != nil {
+			return nil, "", fmt.Errorf("lint: parsing %s: %w", name, err)
+		}
+		files = append(files, f)
+	}
+	return files, dir, nil
+}
+
+// Import implements types.Importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	return l.ImportFrom(path, "", 0)
+}
+
+// ImportFrom implements types.ImporterFrom: module-local paths load
+// through this loader, everything else through the stdlib source
+// importer.
+func (l *Loader) ImportFrom(path, srcDir string, mode types.ImportMode) (*types.Package, error) {
+	_, inMem := l.srcs[path]
+	if _, onDisk := l.dirs[path]; onDisk || inMem {
+		p, err := l.Load(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.Types, nil
+	}
+	return l.fallback.ImportFrom(path, srcDir, mode)
+}

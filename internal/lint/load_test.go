@@ -1,0 +1,86 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLoadUnregisteredPackage(t *testing.T) {
+	if _, err := NewLoader().Load("no/such/pkg"); err == nil ||
+		!strings.Contains(err.Error(), "not part of the loaded module") {
+		t.Fatalf("unregistered load: err = %v", err)
+	}
+}
+
+func TestLoadParseError(t *testing.T) {
+	l := NewLoader()
+	l.AddSource("broken", map[string]string{"broken.go": "package broken\nfunc {"})
+	if _, err := l.Load("broken"); err == nil {
+		t.Fatal("parse error not reported")
+	}
+}
+
+func TestLoadTypeError(t *testing.T) {
+	l := NewLoader()
+	l.AddSource("illtyped", map[string]string{"illtyped.go": "package illtyped\nvar X int = \"s\"\n"})
+	if _, err := l.Load("illtyped"); err == nil ||
+		!strings.Contains(err.Error(), "type-checking") {
+		t.Fatalf("type error: err = %v", err)
+	}
+}
+
+func TestLoadImportCycle(t *testing.T) {
+	l := NewLoader()
+	l.AddSource("cyca", map[string]string{"cyca.go": "package cyca\nimport \"cycb\"\nvar A = cycb.B\n"})
+	l.AddSource("cycb", map[string]string{"cycb.go": "package cycb\nimport \"cyca\"\nvar B = cyca.A\n"})
+	if _, err := l.Load("cyca"); err == nil ||
+		!strings.Contains(err.Error(), "cycle") {
+		t.Fatalf("import cycle: err = %v", err)
+	}
+}
+
+func TestLoadMemoized(t *testing.T) {
+	l := fixtureLoader()
+	p1, err := l.Load("lockwork")
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	p2, err := l.Load("lockwork")
+	if err != nil || p1 != p2 {
+		t.Fatalf("second load not memoized: %p vs %p (%v)", p1, p2, err)
+	}
+	if p1.Types == nil || p1.Info == nil || len(p1.Files) == 0 {
+		t.Fatal("loaded package is incomplete")
+	}
+}
+
+// TestAddModuleRealRepo walks the actual repository and proves the
+// default config names only packages that exist — the config-rot guard
+// the CLI runs on every invocation, exercised here against the live
+// tree.
+func TestAddModuleRealRepo(t *testing.T) {
+	l := NewLoader()
+	modPath, paths, err := l.AddModule("../..")
+	if err != nil {
+		t.Fatalf("AddModule: %v", err)
+	}
+	if modPath != "repro" {
+		t.Fatalf("module path = %q, want repro", modPath)
+	}
+	known := make(map[string]bool, len(paths))
+	for _, p := range paths {
+		if strings.Contains(p, "/testdata/") {
+			t.Errorf("testdata package leaked into the module walk: %s", p)
+		}
+		known[p] = true
+	}
+	for _, want := range []string{"repro", "repro/internal/lint", "repro/cmd/pmlint"} {
+		if !known[want] {
+			t.Errorf("module walk missing %s", want)
+		}
+	}
+	r := &Runner{Loader: l, Config: DefaultConfig(modPath)}
+	if err := r.SelfCheck(paths); err != nil {
+		t.Fatalf("default config rotted against the real module: %v", err)
+	}
+}

@@ -1,0 +1,212 @@
+package lint
+
+// The spanpair check: telemetry hygiene, enforced everywhere in the
+// module (except inside the telemetry package itself).
+//
+//   - Every span opened with telemetry.StartSpan must be ended: either a
+//     `defer sp.End()` exists, or an `sp.End()` call appears before each
+//     return that follows the StartSpan. The path analysis is lexical —
+//     an End anywhere between the StartSpan and a return satisfies that
+//     return — which accepts the repo's conditional-End idiom
+//     (`if sp != nil { ...; sp.End() }`) and the handed-off-to-closure
+//     idiom, while still firing when an End (or the defer) is deleted.
+//     Ends inside nested closures count: a span legitimately ends on the
+//     goroutine that finishes the work.
+//   - Assigning the span result to the blank identifier is always an
+//     error: a span nobody can End is a span that never ends.
+//   - context.Context parameters must come first (the stdlib contract;
+//     spans ride the context, so a buried ctx is a buried trace).
+//   - No struct field may hold a context.Context. The two sanctioned
+//     exceptions in this repo (flow.Context.Ctx, jobs.Job.ctx) carry
+//     //pmlint:allow annotations explaining why; new ones must too.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+func checkSpanPair(pkg *Package, cfg Config, report func(check string, pos token.Pos, format string, args ...interface{})) {
+	for _, file := range pkg.Files {
+		for _, fn := range functionsOf(file) {
+			checkSpans(pkg, cfg, fn, report)
+			checkCtxFirst(pkg, fn, report)
+		}
+		checkCtxFields(pkg, file, report)
+	}
+}
+
+// isStartSpan reports whether call is telemetry.StartSpan from the
+// configured package.
+func isStartSpan(pkg *Package, cfg Config, call *ast.CallExpr) bool {
+	c := resolveCall(pkg, call)
+	return c.fn != nil && c.fn.Name() == "StartSpan" &&
+		c.fn.Pkg() != nil && c.fn.Pkg().Path() == cfg.TelemetryPackage
+}
+
+// checkSpans enforces the StartSpan/End pairing inside one function.
+func checkSpans(pkg *Package, cfg Config, fn funcBody, report func(check string, pos token.Pos, format string, args ...interface{})) {
+	// Find the StartSpan assignments owned by this function (not by
+	// nested literals, which are their own functions).
+	type span struct {
+		obj  types.Object
+		name string
+		pos  token.Pos
+	}
+	var spans []span
+	walkSkippingFuncLits(fn.body, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok || len(assign.Rhs) != 1 || len(assign.Lhs) != 2 {
+			return true
+		}
+		call, ok := ast.Unparen(assign.Rhs[0]).(*ast.CallExpr)
+		if !ok || !isStartSpan(pkg, cfg, call) {
+			return true
+		}
+		id, ok := assign.Lhs[1].(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if id.Name == "_" {
+			report(CheckSpanPair, call.Pos(), "StartSpan result discarded: a span assigned to _ can never be ended")
+			return true
+		}
+		obj := pkg.Info.Defs[id]
+		if obj == nil {
+			obj = pkg.Info.Uses[id]
+		}
+		if obj != nil {
+			spans = append(spans, span{obj: obj, name: id.Name, pos: call.Pos()})
+		}
+		return true
+	})
+	if len(spans) == 0 {
+		return
+	}
+
+	// Collect, across the whole function including nested literals, the
+	// End calls and deferred End calls per span object; and, outer-level
+	// only, the return statements.
+	endsOf := make(map[types.Object][]token.Pos)
+	deferredEnd := make(map[types.Object]bool)
+	markEnd := func(call *ast.CallExpr, deferred bool) {
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "End" {
+			return
+		}
+		base, ok := ast.Unparen(sel.X).(*ast.Ident)
+		if !ok {
+			return
+		}
+		obj := pkg.Info.Uses[base]
+		if obj == nil {
+			return
+		}
+		if deferred {
+			deferredEnd[obj] = true
+		} else {
+			endsOf[obj] = append(endsOf[obj], call.Pos())
+		}
+	}
+	ast.Inspect(fn.body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.DeferStmt:
+			markEnd(v.Call, true)
+		case *ast.CallExpr:
+			markEnd(v, false)
+		}
+		return true
+	})
+	var returns []token.Pos
+	walkSkippingFuncLits(fn.body, func(n ast.Node) bool {
+		if r, ok := n.(*ast.ReturnStmt); ok {
+			returns = append(returns, r.Pos())
+		}
+		return true
+	})
+
+	for _, sp := range spans {
+		if deferredEnd[sp.obj] {
+			continue
+		}
+		ends := endsOf[sp.obj]
+		if len(ends) == 0 {
+			report(CheckSpanPair, sp.pos, "span %s is never ended: add `defer %s.End()` or an End on every path", sp.name, sp.name)
+			continue
+		}
+		for _, ret := range returns {
+			if ret <= sp.pos {
+				continue
+			}
+			covered := false
+			for _, end := range ends {
+				if end > sp.pos && end <= ret {
+					covered = true
+					break
+				}
+			}
+			if !covered {
+				report(CheckSpanPair, ret, "return may leak span %s (started at %s): no %s.End() between the StartSpan and this return",
+					sp.name, pkg.Fset.Position(sp.pos), sp.name)
+			}
+		}
+	}
+}
+
+// checkCtxFirst enforces context.Context-first parameter order.
+func checkCtxFirst(pkg *Package, fn funcBody, report func(check string, pos token.Pos, format string, args ...interface{})) {
+	var ft *ast.FuncType
+	switch v := fn.node.(type) {
+	case *ast.FuncDecl:
+		ft = v.Type
+	case *ast.FuncLit:
+		ft = v.Type
+	}
+	if ft.Params == nil {
+		return
+	}
+	idx := 0
+	for _, field := range ft.Params.List {
+		n := len(field.Names)
+		if n == 0 {
+			n = 1
+		}
+		if isContextType(pkg, field.Type) && idx > 0 {
+			report(CheckSpanPair, field.Pos(), "context.Context must be the first parameter")
+		}
+		idx += n
+	}
+}
+
+// checkCtxFields flags struct fields of type context.Context. Sanctioned
+// carriers annotate with //pmlint:allow spanpair <reason>.
+func checkCtxFields(pkg *Package, file *ast.File, report func(check string, pos token.Pos, format string, args ...interface{})) {
+	ast.Inspect(file, func(n ast.Node) bool {
+		st, ok := n.(*ast.StructType)
+		if !ok || st.Fields == nil {
+			return true
+		}
+		for _, field := range st.Fields.List {
+			if isContextType(pkg, field.Type) {
+				report(CheckSpanPair, field.Pos(),
+					"struct field holds a context.Context: contexts are call-scoped, not state; annotate the rare sanctioned carrier")
+			}
+		}
+		return true
+	})
+}
+
+// isContextType reports whether the type expression denotes
+// context.Context.
+func isContextType(pkg *Package, e ast.Expr) bool {
+	tv, ok := pkg.Info.Types[e]
+	if !ok {
+		return false
+	}
+	named, ok := tv.Type.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}

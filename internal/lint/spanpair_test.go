@@ -1,0 +1,83 @@
+package lint
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func spanConfig() Config {
+	return Config{
+		Checks:           []string{CheckSpanPair},
+		TelemetryPackage: "faketel",
+	}
+}
+
+func TestSpanPairFixture(t *testing.T) {
+	findings := lintFixture(t, spanConfig(), "spanfix")
+	matchWants(t, findings, filepath.Join("testdata", "src", "spanfix", "spanfix.go"))
+}
+
+// TestSpanPairDeferDeletionFires is the seeded mutation of the
+// acceptance criteria: replacing the `defer sp.End()` of the clean
+// Deferred function with span work that never ends it must fire the
+// never-ended diagnostic.
+func TestSpanPairDeferDeletionFires(t *testing.T) {
+	src := fixtureSource(t, "spanfix")
+	base := lintFixture(t, spanConfig(), "spanfix")
+
+	mutated := mutate(t, src, "\tdefer sp.End()\n", "\tsp.SetAttr(\"k\", \"v\")\n")
+	got := lintInMemory(t, spanConfig(), "spanmut1", mutated)
+
+	if len(got) != len(base)+1 {
+		t.Fatalf("defer deletion: got %d findings, want %d (base) + 1", len(got), len(base))
+	}
+	extra := 0
+	for _, f := range got {
+		if f.File == "spanmut1.go" && strings.Contains(f.Message, "span sp is never ended") {
+			extra++
+		}
+	}
+	// Leaky already never ends; the mutated Deferred is the second.
+	if extra != 2 {
+		t.Fatalf("defer deletion: %d never-ended findings, want 2:\n%v", extra, got)
+	}
+}
+
+// TestSpanPairPathEndDeletionFires: deleting the End on one return path
+// of the clean Explicit function must flag that return as a leak.
+func TestSpanPairPathEndDeletionFires(t *testing.T) {
+	src := fixtureSource(t, "spanfix")
+	base := lintFixture(t, spanConfig(), "spanfix")
+
+	mutated := mutate(t, src,
+		"\t\tsp.End()\n\t\treturn errors.New(\"fail\")\n",
+		"\t\treturn errors.New(\"fail\")\n")
+	got := lintInMemory(t, spanConfig(), "spanmut2", mutated)
+
+	if len(got) != len(base)+1 {
+		t.Fatalf("path End deletion: got %d findings, want %d (base) + 1", len(got), len(base))
+	}
+	extra := 0
+	for _, f := range got {
+		if f.File == "spanmut2.go" && strings.Contains(f.Message, "return may leak span sp") {
+			extra++
+		}
+	}
+	// LeakOnError already leaks one path; the mutated Explicit is the
+	// second.
+	if extra != 2 {
+		t.Fatalf("path End deletion: %d leak findings, want 2:\n%v", extra, got)
+	}
+}
+
+// TestSpanPairSkipsTelemetryPackage: the telemetry package itself is
+// exempt (it implements the API, it does not consume it).
+func TestSpanPairSkipsTelemetryPackage(t *testing.T) {
+	cfg := spanConfig()
+	cfg.TelemetryPackage = "spanfix"
+	findings := lintFixture(t, cfg, "spanfix")
+	if len(findings) != 0 {
+		t.Fatalf("spanfix as the telemetry package: got %d findings, want 0:\n%v", len(findings), findings)
+	}
+}

@@ -1,0 +1,103 @@
+// Package determfix is a pmlint fixture: map-range escapes and ambient
+// nondeterminism for the determinism check. Lines carrying a want
+// comment must produce a matching finding; every other line must stay
+// clean.
+package determfix
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"slices"
+	"sort"
+	"time"
+)
+
+// Names leaks iteration order: append into an escaping slice with no
+// later sort.
+func Names(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want "\[determinism\] map iteration order escapes \(append into out\)"
+	}
+	return out
+}
+
+// SortedNames is the sanctioned form: append, then sort.
+func SortedNames(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SlicesKeys sorts through the slices package, equally sanctioned.
+func SlicesKeys(m map[int]string) []int {
+	var keys []int
+	for k := range m {
+		keys = append(keys, k)
+	}
+	slices.Sort(keys)
+	return keys
+}
+
+// Group fills each map slot independently: the destination is keyed by
+// the range key, so placement does not depend on iteration order.
+func Group(m map[string][]int) map[string][]int {
+	out := make(map[string][]int)
+	for k, vs := range m {
+		out[k] = append(out[k], vs...)
+	}
+	return out
+}
+
+// Render writes map entries straight into a buffer: unsortable escapes.
+func Render(m map[string]int) string {
+	var b bytes.Buffer
+	for k, v := range m {
+		b.WriteString(k)           // want "\[determinism\] map iteration order escapes \(WriteString into an io.Writer\)"
+		fmt.Fprintf(&b, "=%d;", v) // want "\[determinism\] map iteration order escapes \(fmt.Fprintf\)"
+	}
+	return b.String()
+}
+
+// Feed streams keys in iteration order.
+func Feed(m map[string]int, ch chan string) {
+	for k := range m {
+		ch <- k // want "\[determinism\] map iteration order escapes \(send on a channel\)"
+	}
+}
+
+// Sum is order-independent aggregation: nothing to flag.
+func Sum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// Totals copies and sorts a plain slice — it keeps the sort import
+// alive when the mutation test deletes SortedNames' sort call.
+func Totals(xs []int) []int {
+	out := append([]int(nil), xs...)
+	sort.Ints(out)
+	return out
+}
+
+// Stamp reads the wall clock.
+func Stamp() int64 {
+	return time.Now().UnixNano() // want "\[determinism\] time.Now in deterministic-path package determfix"
+}
+
+// Roll draws from the global source.
+func Roll() int {
+	return rand.Intn(6) // want "\[determinism\] global rand.Intn in deterministic-path package determfix"
+}
+
+// SeededRoll threads an injectable generator: the allowed convention.
+func SeededRoll() int {
+	return rand.New(rand.NewSource(1)).Intn(6)
+}

@@ -1,0 +1,43 @@
+// Package dirfix is a pmlint fixture for the directives check: the
+// //pmlint:allow escape hatch in its well-formed, stale and malformed
+// shapes. The directive test asserts the exact findings (want comments
+// cannot share a line with a directive — the reason would swallow them).
+package dirfix
+
+import (
+	"context"
+	"time"
+)
+
+// Stamp is annotated: the allow on the line above suppresses the
+// time.Now finding.
+func Stamp() int64 {
+	//pmlint:allow determinism fixture clock is telemetry-only
+	return time.Now().UnixNano()
+}
+
+// Trailing carries the allow on the flagged line itself.
+func Trailing() int64 {
+	return time.Now().UnixNano() //pmlint:allow determinism fixture trailing-comment form
+}
+
+// The stale case: this allow suppresses nothing and must be reported.
+//
+//pmlint:allow determinism nothing near this line uses the clock
+
+// The missing-reason case: this allow must be reported.
+//
+//pmlint:allow determinism
+
+// The unknown-check case: this allow must be reported.
+//
+//pmlint:allow bogus some reason text
+
+// Carrier is sanctioned by the annotated field.
+type Carrier struct {
+	//pmlint:allow spanpair fixture carrier is sanctioned
+	ctx context.Context
+}
+
+// Use keeps the carrier's field referenced.
+func (c Carrier) Use() context.Context { return c.ctx }

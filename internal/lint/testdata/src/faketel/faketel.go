@@ -1,0 +1,19 @@
+// Package faketel is a pmlint fixture standing in for the telemetry
+// package: the StartSpan/End surface the spanpair check pairs up.
+package faketel
+
+import "context"
+
+// Span is the fixture span.
+type Span struct{ name string }
+
+// End closes the span.
+func (s *Span) End() {}
+
+// SetAttr records an attribute.
+func (s *Span) SetAttr(k, v string) { s.name = k + "=" + v }
+
+// StartSpan opens a span riding ctx.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	return ctx, &Span{name: name}
+}

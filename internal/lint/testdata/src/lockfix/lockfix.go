@@ -1,0 +1,134 @@
+// Package lockfix is a pmlint fixture for the lockscope check: compile
+// entry points, disk writes and dynamic calls under held mutexes, next
+// to the sanctioned copy-then-release shapes that must stay clean.
+package lockfix
+
+import (
+	"sync"
+
+	"lockstore"
+	"lockwork"
+)
+
+// Server is the fixture serving type.
+type Server struct {
+	mu    sync.Mutex
+	rmu   sync.RWMutex
+	store lockstore.Store
+	hook  func()
+	last  int
+}
+
+// Direct compiles while holding the lock.
+func (s *Server) Direct(src string) {
+	s.mu.Lock()
+	s.last = lockwork.Compile(src) // want "\[lockscope\] lockwork.Compile called while holding s.mu"
+	s.mu.Unlock()
+}
+
+// Release copies under the lock and compiles outside it: the sanctioned
+// admission shape.
+func (s *Server) Release(src string) int {
+	s.mu.Lock()
+	n := s.last
+	s.mu.Unlock()
+	return n + lockwork.Compile(src)
+}
+
+// helper reaches the compiler without locking anything itself.
+func helper(src string) int {
+	return lockwork.Compile(src)
+}
+
+// Transitive reaches Compile through helper while locked.
+func (s *Server) Transitive(src string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.last = helper(src) // want "\[lockscope\] helper can reach lockwork.Compile while holding s.mu"
+}
+
+// DeferredHold holds to the end of the function through the defer.
+func (s *Server) DeferredHold() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	lockwork.Enumerate() // want "\[lockscope\] lockwork.Enumerate called while holding s.mu"
+}
+
+// ReadEnumerate enumerates under a read lock: still forbidden.
+func (s *Server) ReadEnumerate() {
+	s.rmu.RLock()
+	lockwork.Enumerate() // want "\[lockscope\] lockwork.Enumerate called while holding s.rmu"
+	s.rmu.RUnlock()
+}
+
+// refreshLocked follows the repo convention: the caller holds the lock.
+func (s *Server) refreshLocked(src string) {
+	s.last = lockwork.Compile(src) // want "\[lockscope\] lockwork.Compile called while holding \(caller's lock\)"
+}
+
+// Refresh pairs with refreshLocked, keeping it referenced.
+func (s *Server) Refresh(src string) {
+	s.refreshLocked(src)
+}
+
+// Dynamic runs a client-controlled hook under the lock.
+func (s *Server) Dynamic() {
+	s.mu.Lock()
+	s.hook() // want "\[lockscope\] dynamic call through s.hook while holding s.mu"
+	s.mu.Unlock()
+}
+
+// DynamicAfter runs the hook after releasing: fine.
+func (s *Server) DynamicAfter() {
+	s.mu.Lock()
+	s.last++
+	s.mu.Unlock()
+	s.hook()
+}
+
+// PutUnderLock writes to the store while locked; the Stats read on the
+// next line stays legal.
+func (s *Server) PutUnderLock(v []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.store.Put("k", v) // want "\[lockscope\] lockstore.Store.Put called while holding s.mu"
+	s.last = s.store.Stats()
+}
+
+// MaybeHeld joins a locked and an unlocked path: possibly-held counts
+// as held.
+func (s *Server) MaybeHeld(lock bool, src string) {
+	if lock {
+		s.mu.Lock()
+	}
+	lockwork.Compile(src) // want "\[lockscope\] lockwork.Compile called while holding s.mu"
+	if lock {
+		s.mu.Unlock()
+	}
+}
+
+// DefineUnderLock defines (but does not run) a closure under the lock
+// and runs it after release: both halves are legal.
+func (s *Server) DefineUnderLock(src string) {
+	s.mu.Lock()
+	run := func() { lockwork.Compile(src) }
+	s.mu.Unlock()
+	run()
+}
+
+// Inline invokes a literal immediately: its body runs under the lock.
+func (s *Server) Inline() {
+	s.mu.Lock()
+	func() {
+		lockwork.Enumerate() // want "\[lockscope\] lockwork.Enumerate called while holding s.mu"
+	}()
+	s.mu.Unlock()
+}
+
+// Spawn hands the compile to a goroutine, which does not inherit the
+// caller's lock; the critical section itself stays cheap.
+func (s *Server) Spawn(src string) {
+	s.mu.Lock()
+	go func() { s.last = lockwork.Compile(src) }()
+	s.mu.Unlock()
+}

@@ -1,0 +1,14 @@
+// Package lockstore is a pmlint fixture: a store whose Put stands in
+// for disk I/O (forbidden under a lock via the exact
+// "lockstore.Store.Put" pattern) while Stats is a cheap in-memory read
+// that stays legal.
+package lockstore
+
+// Store is the fixture store.
+type Store struct{ n int }
+
+// Put stands in for the disk write.
+func (s *Store) Put(key string, v []byte) { s.n += len(key) + len(v) }
+
+// Stats is safe under a lock.
+func (s *Store) Stats() int { return s.n }

@@ -1,0 +1,10 @@
+// Package lockwork is a pmlint fixture: stand-ins for the compile and
+// enumerate entry points that the lockscope check must keep out of
+// critical sections (matched by the "lockwork.*" pattern).
+package lockwork
+
+// Compile stands in for the synthesis entry point.
+func Compile(src string) int { return len(src) }
+
+// Enumerate stands in for the sweep enumerator.
+func Enumerate() []int { return []int{1} }

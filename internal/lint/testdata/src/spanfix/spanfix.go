@@ -1,0 +1,75 @@
+// Package spanfix is a pmlint fixture for the spanpair check: span
+// pairing on every path, context-first parameters and context struct
+// fields, next to the sanctioned defer / explicit-End / hand-off idioms.
+package spanfix
+
+import (
+	"context"
+	"errors"
+
+	"faketel"
+)
+
+// Deferred is the canonical pairing.
+func Deferred(ctx context.Context) {
+	ctx, sp := faketel.StartSpan(ctx, "ok")
+	defer sp.End()
+	_ = ctx
+}
+
+// Explicit ends on every return path without a defer.
+func Explicit(ctx context.Context, fail bool) error {
+	_, sp := faketel.StartSpan(ctx, "explicit")
+	if fail {
+		sp.End()
+		return errors.New("fail")
+	}
+	sp.End()
+	return nil
+}
+
+// Leaky never ends its span.
+func Leaky(ctx context.Context) {
+	_, sp := faketel.StartSpan(ctx, "leaky") // want "\[spanpair\] span sp is never ended"
+	sp.SetAttr("k", "v")
+}
+
+// LeakOnError misses the error path.
+func LeakOnError(ctx context.Context, fail bool) error {
+	_, sp := faketel.StartSpan(ctx, "half")
+	if fail {
+		return errors.New("fail") // want "\[spanpair\] return may leak span sp"
+	}
+	sp.End()
+	return nil
+}
+
+// Discarded throws the span away.
+func Discarded(ctx context.Context) {
+	ctx, _ = faketel.StartSpan(ctx, "gone") // want "\[spanpair\] StartSpan result discarded"
+	_ = ctx
+}
+
+// Handoff ends the span on the worker that finishes the job: the
+// closure's End counts.
+func Handoff(ctx context.Context, done chan struct{}) {
+	_, sp := faketel.StartSpan(ctx, "handoff")
+	go func() {
+		<-done
+		sp.End()
+	}()
+}
+
+// BuriedCtx takes the context late.
+func BuriedCtx(name string, ctx context.Context) string { // want "\[spanpair\] context.Context must be the first parameter"
+	_ = ctx
+	return name
+}
+
+// Carrier stashes a context in state.
+type Carrier struct {
+	ctx context.Context // want "\[spanpair\] struct field holds a context.Context"
+}
+
+// Use keeps the carrier's field referenced.
+func (c Carrier) Use() context.Context { return c.ctx }
