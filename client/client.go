@@ -13,13 +13,23 @@ import (
 	"net/url"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 )
 
-// Client talks to one pmsynthd. It is safe for concurrent use; create it
-// with New.
+// Client talks to a pmsynthd deployment — one daemon (New) or every
+// replica of a cluster (NewMulti). It is safe for concurrent use.
+//
+// With multiple base URLs the client fails over: a transport error or a
+// 5xx answer rotates to the next replica, and the next attempt goes
+// there immediately (no backoff sleep) until every replica has been
+// tried once in the round. Every endpoint this applies to is idempotent
+// by construction — submissions are content-addressed (a resubmission
+// dedupes onto the live job or the stored table) and reads are reads —
+// so failing over can duplicate at most work, never results.
 type Client struct {
-	base       string
+	bases      []string
+	cur        atomic.Int64 // rotation cursor; index = cur % len(bases)
 	hc         *http.Client
 	maxRetries int
 	maxWait    time.Duration
@@ -54,17 +64,48 @@ func WithUserAgent(ua string) Option {
 // New returns a client for the pmsynthd at baseURL, e.g.
 // "http://127.0.0.1:8357".
 func New(baseURL string, opts ...Option) *Client {
+	return NewMulti([]string{baseURL}, opts...)
+}
+
+// NewMulti returns a client that spreads over every listed replica of a
+// pmsynthd cluster, failing over between them on connection failures and
+// 5xx answers. Order is the preference order: requests go to the first
+// URL until it misbehaves.
+func NewMulti(baseURLs []string, opts ...Option) *Client {
 	c := &Client{
-		base:       strings.TrimRight(baseURL, "/"),
 		hc:         &http.Client{},
 		maxRetries: 4,
 		maxWait:    15 * time.Second,
 		userAgent:  "pmsynth-client/1",
 	}
+	for _, u := range baseURLs {
+		if u = strings.TrimRight(strings.TrimSpace(u), "/"); u != "" {
+			c.bases = append(c.bases, u)
+		}
+	}
+	if len(c.bases) == 0 {
+		c.bases = []string{""} // degenerate, like New("")
+	}
 	for _, opt := range opts {
 		opt(c)
 	}
 	return c
+}
+
+// pick returns the current base URL and the cursor it was read at — the
+// token rotate needs so concurrent failures advance the cursor once, not
+// once per in-flight request.
+func (c *Client) pick() (string, int64) {
+	i := c.cur.Load()
+	return c.bases[int(i%int64(len(c.bases)))], i
+}
+
+// rotate advances to the next replica if no concurrent caller already
+// has.
+func (c *Client) rotate(from int64) {
+	if len(c.bases) > 1 {
+		c.cur.CompareAndSwap(from, from+1)
+	}
 }
 
 // APIError is a non-2xx response from the server.
@@ -111,14 +152,23 @@ func (c *Client) doTrace(ctx context.Context, method, path string, in, out inter
 			return "", fmt.Errorf("client: encode request: %w", err)
 		}
 	}
+	hops := 0
 	for attempt := 0; ; attempt++ {
 		trace, apiErr, err := c.once(ctx, method, path, body, out)
 		if err == nil && apiErr == nil {
 			return trace, nil
 		}
-		// Transport errors and retryable statuses consume the budget;
-		// definitive refusals (4xx other than 429) return immediately.
-		retryable := err != nil || apiErr.Temporary()
+		// A replica that cannot be reached or answers 5xx triggers
+		// failover: once rotated away from it, the retry goes to the next
+		// replica immediately — sleeping helps a backpressured server,
+		// not a dead one — until the whole ring has been tried this
+		// round. (once already rotated the cursor.)
+		failover := err != nil || apiErr.Status >= 500
+		// Transport errors, failovers and retryable statuses consume the
+		// budget; definitive refusals (4xx other than 429) return
+		// immediately. A 5xx is only worth retrying with somewhere else
+		// to go (or a 503's explicit shed hint).
+		retryable := err != nil || apiErr.Temporary() || (failover && len(c.bases) > 1)
 		if !retryable {
 			return trace, apiErr
 		}
@@ -132,6 +182,12 @@ func (c *Client) doTrace(ctx context.Context, method, path string, in, out inter
 		if apiErr != nil && apiErr.RetryAfter > 0 {
 			wait = apiErr.RetryAfter
 		}
+		if failover && hops < len(c.bases)-1 {
+			hops++
+			wait = 0
+		} else {
+			hops = 0
+		}
 		if wait > c.maxWait {
 			wait = c.maxWait
 		}
@@ -141,15 +197,19 @@ func (c *Client) doTrace(ctx context.Context, method, path string, in, out inter
 	}
 }
 
-// once runs a single HTTP attempt, returning the response's trace id
-// header alongside the outcome. A non-2xx response returns (trace,
-// apiErr, nil); a transport failure returns ("", nil, err).
+// once runs a single HTTP attempt against the current replica, returning
+// the response's trace id header alongside the outcome. A non-2xx
+// response returns (trace, apiErr, nil); a transport failure returns
+// ("", nil, err). Failures that indict the replica rather than the
+// request — unreachable, or any 5xx — rotate the cursor so the next
+// attempt (by this or any concurrent caller) lands elsewhere.
 func (c *Client) once(ctx context.Context, method, path string, body []byte, out interface{}) (string, *APIError, error) {
 	var rd io.Reader
 	if body != nil {
 		rd = bytes.NewReader(body)
 	}
-	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	base, cursor := c.pick()
+	req, err := http.NewRequestWithContext(ctx, method, base+path, rd)
 	if err != nil {
 		return "", nil, fmt.Errorf("client: %w", err)
 	}
@@ -159,9 +219,13 @@ func (c *Client) once(ctx context.Context, method, path string, body []byte, out
 	req.Header.Set("User-Agent", c.userAgent)
 	resp, err := c.hc.Do(req)
 	if err != nil {
+		c.rotate(cursor)
 		return "", nil, fmt.Errorf("client: %s %s: %w", method, path, err)
 	}
 	defer resp.Body.Close()
+	if resp.StatusCode >= 500 {
+		c.rotate(cursor)
+	}
 	trace := resp.Header.Get("X-Pmsynthd-Trace")
 	data, err := io.ReadAll(resp.Body)
 	if err != nil {
@@ -236,8 +300,12 @@ func (c *Client) Health(ctx context.Context) (*Health, error) {
 }
 
 // Metrics fetches GET /metrics and parses the counter lines into a map.
+// It reads the current replica only — metrics are per-node, so a
+// cluster-wide view means one Metrics call per base URL with separate
+// single-node clients.
 func (c *Client) Metrics(ctx context.Context) (map[string]int64, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/metrics", nil)
+	base, _ := c.pick()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/metrics", nil)
 	if err != nil {
 		return nil, fmt.Errorf("client: %w", err)
 	}

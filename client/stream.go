@@ -27,17 +27,25 @@ var StopStreaming = errors.New("client: stop streaming")
 // automatic resume, use WaitJob.
 func (c *Client) StreamEvents(ctx context.Context, id string, from int64, fn func(Event) error) error {
 	path := fmt.Sprintf("/v1/jobs/%s/events?from=%d", url.PathEscape(id), from)
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	base, cursor := c.pick()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+path, nil)
 	if err != nil {
 		return fmt.Errorf("client: %w", err)
 	}
 	req.Header.Set("User-Agent", c.userAgent)
 	resp, err := c.hc.Do(req)
 	if err != nil {
+		// Rotate so the resume (WaitJob re-invokes with the last seen
+		// sequence number) lands on another replica, which either owns
+		// the job or proxies the stream to the node that does.
+		c.rotate(cursor)
 		return fmt.Errorf("client: stream events: %w", err)
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
+		if resp.StatusCode >= 500 {
+			c.rotate(cursor)
+		}
 		data, _ := bufio.NewReader(resp.Body).ReadBytes(0)
 		return newAPIError(resp, data)
 	}
@@ -65,6 +73,9 @@ func (c *Client) StreamEvents(ctx context.Context, id string, from int64, fn fun
 		if ctx.Err() != nil {
 			return ctx.Err()
 		}
+		// The stream died mid-flight — the serving node likely went
+		// down. Rotate so the resume picks another replica.
+		c.rotate(cursor)
 		return fmt.Errorf("client: stream events: %w", err)
 	}
 	return nil
@@ -125,21 +136,47 @@ func (c *Client) WaitJob(ctx context.Context, id string, onEvent func(Event)) (*
 // join the live job's stream; cached (store-restored) submissions return
 // immediately. The error is non-nil only for submission or transport
 // failures — a failed sweep returns its terminal snapshot.
+//
+// Against a cluster, SweepAndWait is the end-to-end failover primitive:
+// when the job is lost mid-wait — its node died, so every surviving
+// replica answers 404 (the job is gone) or 502 (its node is
+// unreachable) — the sweep is resubmitted. Submissions are
+// content-addressed, so a resubmission is idempotent: a survivor either
+// restores the finished table from the shared store or starts the one
+// replacement execution, and the wait resumes on the new job.
 func (c *Client) SweepAndWait(ctx context.Context, req SweepRequest, onEvent func(Event)) (*SweepJob, *JobInfo, error) {
-	job, err := c.Sweep(ctx, req)
-	if err != nil {
-		return nil, nil, err
-	}
-	if job.State.Terminal() {
-		info, ierr := c.Job(ctx, job.ID)
-		if ierr != nil {
-			return job, nil, ierr
+	for attempt := 0; ; attempt++ {
+		job, err := c.Sweep(ctx, req)
+		if err != nil {
+			return nil, nil, err
+		}
+		var info *JobInfo
+		if job.State.Terminal() {
+			info, err = c.Job(ctx, job.ID)
+		} else {
+			info, err = c.WaitJob(ctx, job.ID, onEvent)
+		}
+		if err != nil {
+			if jobLost(err) && attempt < c.maxRetries {
+				if serr := sleepCtx(ctx, c.backoff(0)); serr != nil {
+					return job, nil, serr
+				}
+				continue
+			}
+			return job, nil, err
 		}
 		return job, info, nil
 	}
-	info, err := c.WaitJob(ctx, job.ID, onEvent)
-	if err != nil {
-		return job, nil, err
+}
+
+// jobLost reports whether err means the awaited job cannot be reached on
+// any replica — 404 after its node's state died with it, or 502 from
+// survivors proxying toward an unreachable node — the two terminal
+// shapes of a mid-execution node failure.
+func jobLost(err error) bool {
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) {
+		return false
 	}
-	return job, info, nil
+	return apiErr.Status == http.StatusNotFound || apiErr.Status == http.StatusBadGateway
 }

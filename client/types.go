@@ -134,9 +134,13 @@ func (s JobState) Terminal() bool {
 
 // JobInfo is a point-in-time snapshot of a job.
 type JobInfo struct {
-	ID       string    `json:"id"`
-	Name     string    `json:"name"`
-	Group    string    `json:"group,omitempty"`
+	ID   string `json:"id"`
+	Name string `json:"name"`
+	// Group is the batch label the job was submitted under, if any.
+	Group string `json:"group,omitempty"`
+	// Node is the cluster node the job lives on (the same id that
+	// prefixes ID); empty against a single-node server.
+	Node     string    `json:"node,omitempty"`
 	State    JobState  `json:"state"`
 	Created  time.Time `json:"created"`
 	Started  time.Time `json:"started"`

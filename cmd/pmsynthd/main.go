@@ -15,12 +15,20 @@
 //	         [-max-sweep-workers 0] [-job-ttl 1h] [-event-tail 256]
 //	         [-retry-after 1s] [-store-dir DIR] [-store-max-bytes N]
 //	         [-max-batch-sweeps 64] [-sweep-point-cache-entries 512]
+//	         [-self-url URL] [-peers URL,URL,...] [-claim-ttl 2m]
 //	         [-log-level info] [-log-format json] [-trace-capacity 256]
 //	         [-debug-addr ADDR]
 //
 // With -store-dir set, synthesize results and completed sweep tables
 // persist across restarts in a content-addressed disk store: a restarted
 // daemon answers repeated requests from disk without recompiling.
+//
+// With -self-url and -peers set, the daemon joins a static cluster:
+// sweep submissions are routed to their fingerprint's owner node by
+// consistent hashing, job ids become cluster-routable ("<node>~<id>",
+// resolvable at any node), and nodes sharing one -store-dir dedupe
+// executions through claim files leased for -claim-ttl. See DESIGN.md
+// ("Cluster").
 //
 // Logging is structured (log/slog) on stderr: one access-log line per
 // request and one lifecycle line per job transition, each carrying the
@@ -42,6 +50,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -49,6 +58,18 @@ import (
 	"repro/internal/server"
 	"repro/internal/telemetry"
 )
+
+// splitPeers parses the comma-separated -peers value, dropping empty
+// segments so trailing commas are harmless.
+func splitPeers(list string) []string {
+	var out []string
+	for _, p := range strings.Split(list, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:8357", "listen address")
@@ -65,6 +86,9 @@ func main() {
 	storeMaxBytes := flag.Int64("store-max-bytes", 1<<30, "disk budget of the persistent store; LRU entries are GCed beyond it")
 	maxBatchSweeps := flag.Int("max-batch-sweeps", 64, "max sweep specs per POST /v1/batch request")
 	maxWarmJobs := flag.Int("max-warm-jobs", 256, "max live store-restored sweep jobs; warm submissions beyond it get 429")
+	selfURL := flag.String("self-url", "", "this node's advertised base URL (e.g. http://10.0.0.3:8357); enables cluster mode")
+	peers := flag.String("peers", "", "comma-separated base URLs of every cluster node (self may be listed); requires -self-url")
+	claimTTL := flag.Duration("claim-ttl", 0, "cross-node execution lease TTL over the shared store (0 = default 2m)")
 	sweepPointCacheEntries := flag.Int("sweep-point-cache-entries", flow.DefaultPointCacheEntries,
 		"sweep-point (pipeline context) cache capacity in entries (0 disables)")
 	logLevel := flag.String("log-level", "info", "log level: debug, info, warn or error")
@@ -109,6 +133,9 @@ func main() {
 		StoreMaxBytes:      *storeMaxBytes,
 		MaxBatchSweeps:     *maxBatchSweeps,
 		MaxWarmJobs:        *maxWarmJobs,
+		SelfURL:            *selfURL,
+		Peers:              splitPeers(*peers),
+		ClaimTTL:           *claimTTL,
 		Logger:             logger,
 		TraceCapacity:      *traceCapacity,
 	})

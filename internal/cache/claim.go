@@ -1,0 +1,259 @@
+package cache
+
+// Claim files: the cross-process (cross-node) execution locks of the
+// cluster's dedup protocol. When several pmsynthd nodes share one store
+// directory, a node about to execute a sweep first claims its
+// fingerprint here; a node that finds a live foreign claim forwards the
+// submission to the holder instead of executing a duplicate. A claim is
+// a tiny file created atomically (O_CREATE|O_EXCL), so exactly one node
+// wins any race; it records the holder's node id and, once known, the
+// holder's job id, so losers can answer their clients with a routable
+// handle onto the one execution.
+//
+// Claims are leases, not locks: a holder that crashes leaves its file
+// behind, so every read applies a TTL — a claim whose file is older
+// than the TTL is stale and may be stolen. Stealing is itself
+// race-free: the stale file is first renamed aside (exactly one
+// concurrent renamer of the same path succeeds; the others see ENOENT
+// and retry the normal acquire), then the winner creates its own claim.
+// Holders refresh the lease mtime while executing and release (unlink)
+// it when the result has been persisted or the execution failed.
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// claimSuffix names claim files inside the claims directory.
+const claimSuffix = ".claim"
+
+// Claim describes the holder of a fingerprint's execution lease.
+type Claim struct {
+	// Node is the holder's cluster node id.
+	Node string
+	// JobID is the holder's local job id, once the holder has admitted
+	// the job; empty in the window between acquisition and admission.
+	JobID string
+	// Age is how long ago the lease was last refreshed.
+	Age time.Duration
+}
+
+// ClaimStats counts claim-protocol outcomes.
+type ClaimStats struct {
+	// Acquired counts leases this store won.
+	Acquired int64
+	// Lost counts acquire attempts that found a live foreign claim.
+	Lost int64
+	// Stolen counts stale leases this store took over.
+	Stolen int64
+	// Released counts leases explicitly released.
+	Released int64
+}
+
+// ClaimStore manages the claim files of one shared directory. Safe for
+// concurrent use by any number of goroutines and processes.
+type ClaimStore struct {
+	dir string
+	ttl time.Duration
+
+	acquired atomic.Int64
+	lost     atomic.Int64
+	stolen   atomic.Int64
+	released atomic.Int64
+}
+
+// DefaultClaimTTL is the lease duration when none is configured: long
+// enough that a healthy holder never expires mid-execution (holders
+// refresh on progress), short enough that a crashed node's fingerprints
+// become executable again without operator action.
+const DefaultClaimTTL = 2 * time.Minute
+
+// OpenClaimStore opens (creating if needed) the claim directory. ttl <= 0
+// means DefaultClaimTTL.
+func OpenClaimStore(dir string, ttl time.Duration) (*ClaimStore, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("cache: claim dir is empty")
+	}
+	if ttl <= 0 {
+		ttl = DefaultClaimTTL
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("cache: claim dir: %w", err)
+	}
+	return &ClaimStore{dir: dir, ttl: ttl}, nil
+}
+
+// TTL returns the configured lease duration.
+func (c *ClaimStore) TTL() time.Duration { return c.ttl }
+
+// path maps a claim key to its file. Keys are fingerprints (hex plus a
+// short version prefix); reuse the store's hashing so arbitrary keys
+// stay path-safe.
+func (c *ClaimStore) path(key string) string {
+	return filepath.Join(c.dir, strings.TrimSuffix(fileName(key), storeSuffix)+claimSuffix)
+}
+
+// encodeClaim renders the claim file body: node id and job id, one per
+// line (the job line may be empty).
+func encodeClaim(node, jobID string) []byte {
+	return []byte(node + "\n" + jobID + "\n")
+}
+
+// readClaim parses a claim file, returning the holder and the file's
+// age. Unreadable or malformed files read as absent — like the result
+// store, the claim layer degrades rather than fails; a vanished claim
+// simply lets the caller race for a fresh one.
+func (c *ClaimStore) readClaim(path string) (Claim, bool) {
+	info, err := os.Lstat(path)
+	if err != nil {
+		return Claim{}, false
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Claim{}, false
+	}
+	lines := strings.Split(string(data), "\n")
+	if len(lines) < 2 || lines[0] == "" {
+		return Claim{}, false
+	}
+	return Claim{Node: lines[0], JobID: lines[1], Age: time.Since(info.ModTime())}, true
+}
+
+// Acquire tries to take the execution lease for key on behalf of node.
+// Outcomes:
+//
+//   - acquired=true: this node holds the lease and must Release it when
+//     the execution has been persisted or abandoned.
+//   - acquired=false with holder.Node != "": a live claim exists (the
+//     holder may be this node itself on a re-entrant submission); the
+//     caller should dedup onto the holder.
+//
+// A stale claim (older than the TTL) is stolen: renamed aside and
+// replaced by this node's fresh claim. Exactly one concurrent stealer
+// wins the rename; losers observe the winner's fresh claim.
+func (c *ClaimStore) Acquire(key, node string) (acquired bool, holder Claim) {
+	path := c.path(key)
+	for attempt := 0; attempt < 3; attempt++ {
+		if c.tryCreate(path, node) {
+			c.acquired.Add(1)
+			return true, Claim{Node: node}
+		}
+		cl, ok := c.readClaim(path)
+		if !ok {
+			// The file vanished (released or stolen) between the failed
+			// create and the read: retry the create.
+			continue
+		}
+		if cl.Age <= c.ttl {
+			c.lost.Add(1)
+			return false, cl
+		}
+		// Stale: the holder crashed or hung past its lease. Steal by
+		// renaming the corpse aside; only one concurrent renamer of the
+		// same inode succeeds, everyone else loops and sees the winner's
+		// fresh claim on the next read.
+		stale := path + fmt.Sprintf(".stale-%d-%d", os.Getpid(), time.Now().UnixNano())
+		if err := os.Rename(path, stale); err == nil {
+			os.Remove(stale)
+			c.stolen.Add(1)
+		}
+	}
+	// Pathological churn: report whatever claim is visible now.
+	if cl, ok := c.readClaim(path); ok {
+		c.lost.Add(1)
+		return false, cl
+	}
+	return false, Claim{}
+}
+
+// tryCreate atomically creates the claim file; false when it exists.
+func (c *ClaimStore) tryCreate(path, node string) bool {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return false
+	}
+	_, werr := f.Write(encodeClaim(node, ""))
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		// A half-written claim would read as malformed (absent) forever;
+		// remove it so the next acquire can win cleanly.
+		os.Remove(path)
+		return false
+	}
+	return true
+}
+
+// SetJob records the holder's job id on an already-acquired claim, so
+// nodes that lose the race can hand their clients a routable job handle.
+// It rewrites the file atomically (temp + rename) and refreshes the
+// lease. Only the current holder should call it; a claim already
+// released or stolen is left alone, so a fast execution that finishes
+// before its admission thread gets here cannot resurrect the lease.
+// (The verify-then-rename window is benign: a resurrected claim only
+// redirects peers to this node, whose dedup index still answers.)
+func (c *ClaimStore) SetJob(key, node, jobID string) {
+	path := c.path(key)
+	if cl, ok := c.readClaim(path); !ok || cl.Node != node {
+		return
+	}
+	tmp, err := os.CreateTemp(c.dir, "tmp-claim-*")
+	if err != nil {
+		return
+	}
+	name := tmp.Name()
+	_, werr := tmp.Write(encodeClaim(node, jobID))
+	if cerr := tmp.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		os.Remove(name)
+		return
+	}
+	if err := os.Rename(name, path); err != nil {
+		os.Remove(name)
+	}
+}
+
+// Refresh extends the lease by bumping the claim file's mtime. Holders
+// call it on execution progress so long sweeps never expire mid-run.
+func (c *ClaimStore) Refresh(key string) {
+	now := time.Now()
+	os.Chtimes(c.path(key), now, now)
+}
+
+// Release drops the lease. Safe to call when the claim is already gone
+// (stolen after this holder stalled past its TTL); the unlink is
+// unconditional because by protocol only the holder releases, and a
+// stolen claim's new holder re-creates the file under the same name —
+// to avoid unlinking a thief's fresh claim, Release verifies the holder
+// first.
+func (c *ClaimStore) Release(key, node string) {
+	path := c.path(key)
+	if cl, ok := c.readClaim(path); ok && cl.Node != node {
+		return // stolen while we stalled: the lease is no longer ours
+	}
+	if err := os.Remove(path); err == nil {
+		c.released.Add(1)
+	}
+}
+
+// Get reports the current claim for key, if any.
+func (c *ClaimStore) Get(key string) (Claim, bool) {
+	return c.readClaim(c.path(key))
+}
+
+// Stats snapshots the claim counters.
+func (c *ClaimStore) Stats() ClaimStats {
+	return ClaimStats{
+		Acquired: c.acquired.Load(),
+		Lost:     c.lost.Load(),
+		Stolen:   c.stolen.Load(),
+		Released: c.released.Load(),
+	}
+}

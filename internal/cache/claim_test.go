@@ -1,0 +1,163 @@
+package cache
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+func newClaims(t *testing.T, ttl time.Duration) *ClaimStore {
+	t.Helper()
+	cs, err := OpenClaimStore(filepath.Join(t.TempDir(), "claims"), ttl)
+	if err != nil {
+		t.Fatalf("OpenClaimStore: %v", err)
+	}
+	return cs
+}
+
+func TestClaimAcquireReleaseCycle(t *testing.T) {
+	cs := newClaims(t, time.Minute)
+	ok, _ := cs.Acquire("fp1", "nodeA")
+	if !ok {
+		t.Fatal("first acquire should win")
+	}
+	// A second acquire by anyone — including the holder — sees the claim.
+	ok, holder := cs.Acquire("fp1", "nodeB")
+	if ok {
+		t.Fatal("second acquire must lose")
+	}
+	if holder.Node != "nodeA" {
+		t.Fatalf("holder = %q, want nodeA", holder.Node)
+	}
+	if holder.JobID != "" {
+		t.Fatalf("holder job id = %q before SetJob, want empty", holder.JobID)
+	}
+	cs.SetJob("fp1", "nodeA", "job123")
+	if _, holder = cs.Acquire("fp1", "nodeB"); holder.JobID != "job123" {
+		t.Fatalf("holder job id = %q, want job123", holder.JobID)
+	}
+	cs.Release("fp1", "nodeA")
+	if _, ok := cs.Get("fp1"); ok {
+		t.Fatal("claim should be gone after release")
+	}
+	if ok, _ := cs.Acquire("fp1", "nodeB"); !ok {
+		t.Fatal("acquire after release should win")
+	}
+	st := cs.Stats()
+	if st.Acquired != 2 || st.Released != 1 || st.Lost != 2 {
+		t.Fatalf("stats = %+v, want 2 acquired / 1 released / 2 lost", st)
+	}
+}
+
+func TestClaimStaleSteal(t *testing.T) {
+	cs := newClaims(t, 50*time.Millisecond)
+	if ok, _ := cs.Acquire("fp", "dead"); !ok {
+		t.Fatal("acquire failed")
+	}
+	// Simulate a crashed holder: age the file past the TTL.
+	old := time.Now().Add(-time.Second)
+	if err := os.Chtimes(cs.path("fp"), old, old); err != nil {
+		t.Fatal(err)
+	}
+	ok, _ := cs.Acquire("fp", "survivor")
+	if !ok {
+		t.Fatal("stale claim must be stolen")
+	}
+	if cl, _ := cs.Get("fp"); cl.Node != "survivor" {
+		t.Fatalf("holder after steal = %q, want survivor", cl.Node)
+	}
+	if st := cs.Stats(); st.Stolen != 1 {
+		t.Fatalf("stolen = %d, want 1", st.Stolen)
+	}
+}
+
+func TestClaimRefreshKeepsLeaseAlive(t *testing.T) {
+	cs := newClaims(t, 80*time.Millisecond)
+	if ok, _ := cs.Acquire("fp", "holder"); !ok {
+		t.Fatal("acquire failed")
+	}
+	for i := 0; i < 4; i++ {
+		time.Sleep(30 * time.Millisecond)
+		cs.Refresh("fp")
+	}
+	// 120ms elapsed, well past the TTL; refreshes must have kept it live.
+	if ok, holder := cs.Acquire("fp", "other"); ok || holder.Node != "holder" {
+		t.Fatalf("refreshed lease was lost: acquired=%v holder=%+v", ok, holder)
+	}
+}
+
+func TestClaimReleaseDoesNotUnlinkThief(t *testing.T) {
+	cs := newClaims(t, 10*time.Millisecond)
+	if ok, _ := cs.Acquire("fp", "slow"); !ok {
+		t.Fatal("acquire failed")
+	}
+	old := time.Now().Add(-time.Minute)
+	os.Chtimes(cs.path("fp"), old, old)
+	if ok, _ := cs.Acquire("fp", "thief"); !ok {
+		t.Fatal("steal failed")
+	}
+	// The original (stalled) holder wakes up and releases: the thief's
+	// fresh claim must survive.
+	cs.Release("fp", "slow")
+	if cl, ok := cs.Get("fp"); !ok || cl.Node != "thief" {
+		t.Fatalf("thief's claim lost: ok=%v claim=%+v", ok, cl)
+	}
+}
+
+// TestClaimRaceExactlyOneWinner races many goroutines over many claim
+// stores (separate instances over one directory, as cluster nodes are)
+// and asserts exactly one winner per key.
+func TestClaimRaceExactlyOneWinner(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "claims")
+	const nodes, keys = 8, 16
+	stores := make([]*ClaimStore, nodes)
+	for i := range stores {
+		cs, err := OpenClaimStore(dir, time.Minute)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stores[i] = cs
+	}
+	var wg sync.WaitGroup
+	wins := make([][]int, keys) // per key: node ids that acquired
+	var mu sync.Mutex
+	for n := 0; n < nodes; n++ {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			for k := 0; k < keys; k++ {
+				if ok, _ := stores[n].Acquire(fmt.Sprintf("fp%d", k), fmt.Sprintf("node%d", n)); ok {
+					mu.Lock()
+					wins[k] = append(wins[k], n)
+					mu.Unlock()
+				}
+			}
+		}(n)
+	}
+	wg.Wait()
+	for k, w := range wins {
+		if len(w) != 1 {
+			t.Errorf("key %d won by %d nodes (%v), want exactly 1", k, len(w), w)
+		}
+	}
+}
+
+func TestClaimOpenErrors(t *testing.T) {
+	if _, err := OpenClaimStore("", time.Minute); err == nil {
+		t.Fatal("empty dir must error")
+	}
+	file := filepath.Join(t.TempDir(), "not-a-dir")
+	if err := os.WriteFile(file, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenClaimStore(filepath.Join(file, "claims"), time.Minute); err == nil {
+		t.Fatal("dir under a file must error")
+	}
+	cs := newClaims(t, 0)
+	if cs.TTL() != DefaultClaimTTL {
+		t.Fatalf("TTL = %v, want default %v", cs.TTL(), DefaultClaimTTL)
+	}
+}

@@ -28,6 +28,7 @@ import (
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/hex"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -37,6 +38,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"repro/internal/telemetry"
@@ -84,6 +86,17 @@ type Store struct {
 	dir      string
 	maxBytes int64 // <= 0 means unbounded
 
+	// lockFile is the flock handle serializing rename-into-place against
+	// identity-checked removals across *processes*. s.mu gives the same
+	// atomicity within one process; when several daemons share the
+	// directory (the cluster's shared store), only an OS-level lock can
+	// keep one process's corrupt-cleanup or GC unlink from deleting a
+	// file another process just renamed into place. Lock ordering is
+	// always s.mu before the flock, and both are held only around
+	// stat/rename/remove syscalls — never around reads, writes or
+	// client-controlled work.
+	lockFile *os.File
+
 	mu      sync.Mutex
 	entries map[string]*storeEntry // file base name -> accounting
 	bytes   int64
@@ -112,13 +125,24 @@ func OpenStore(dir string, maxBytes int64) (*Store, error) {
 		maxBytes: maxBytes,
 		entries:  make(map[string]*storeEntry),
 	}
-	err := filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+	lockFile, err := os.OpenFile(filepath.Join(dir, ".pmstore.lock"), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("cache: store lock: %w", err)
+	}
+	s.lockFile = lockFile
+	err = filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
 		if err != nil || d.IsDir() {
 			return err
 		}
 		name := d.Name()
 		if strings.HasPrefix(name, "tmp-") {
-			os.Remove(path) // crashed mid-Put; never renamed, never served
+			// A crashed Put's leftover — but only when it is old enough to
+			// be certainly dead. Another *live* process sharing this
+			// directory may be mid-Put right now; deleting its temp file
+			// would fail that write for no reason.
+			if info, ierr := d.Info(); ierr == nil && time.Since(info.ModTime()) > staleTmpAge {
+				os.Remove(path)
+			}
 			return nil
 		}
 		if !strings.HasSuffix(name, storeSuffix) {
@@ -142,8 +166,48 @@ func OpenStore(dir string, maxBytes int64) (*Store, error) {
 	return s, nil
 }
 
+// staleTmpAge is how old a tmp-* leftover must be before Open collects
+// it. Any live writer renames or removes its temp file within seconds;
+// minutes-old temp files can only be crash debris.
+const staleTmpAge = 15 * time.Minute
+
 // Dir returns the store's root directory.
 func (s *Store) Dir() string { return s.dir }
+
+// Close releases the cross-process lock handle. Gets and Puts issued
+// after Close still work but fall back to in-process exclusion only.
+func (s *Store) Close() error {
+	if s.lockFile == nil {
+		return nil
+	}
+	err := s.lockFile.Close()
+	s.lockFile = nil
+	return err
+}
+
+// dirLock takes the cross-process directory lock (blocking). Best
+// effort: if flock fails (exotic filesystem, closed handle) the store
+// degrades to in-process exclusion — exactly the pre-flock behavior —
+// rather than failing the operation.
+func (s *Store) dirLock() {
+	if s.lockFile == nil {
+		return
+	}
+	for {
+		err := syscall.Flock(int(s.lockFile.Fd()), syscall.LOCK_EX)
+		if !errors.Is(err, syscall.EINTR) {
+			return
+		}
+	}
+}
+
+// dirUnlock releases the cross-process directory lock.
+func (s *Store) dirUnlock() {
+	if s.lockFile == nil {
+		return
+	}
+	syscall.Flock(int(s.lockFile.Fd()), syscall.LOCK_UN)
+}
 
 // fileName maps a key to its entry file base name. Keys are rehashed so
 // arbitrary key strings (fingerprints with view qualifiers) become fixed,
@@ -253,12 +317,17 @@ func (s *Store) Put(key string, val []byte) error {
 		s.putErrors.Add(1)
 		return fmt.Errorf("cache: store put: %w", werr)
 	}
-	// The rename happens under s.mu so it is atomic with respect to
-	// removeCorrupt's identity check: a reader that just failed to verify
-	// the *old* file can never delete the fresh one.
+	// The rename happens under s.mu — and under the cross-process flock —
+	// so it is atomic with respect to removeCorrupt's identity check in
+	// this process and in every other process sharing the directory: a
+	// reader that just failed to verify the *old* file can never delete
+	// the fresh one.
 	size := int64(len(blob))
 	s.mu.Lock()
-	if werr = os.Rename(tmpName, filepath.Join(dir, name)); werr != nil {
+	s.dirLock()
+	werr = os.Rename(tmpName, filepath.Join(dir, name))
+	s.dirUnlock()
+	if werr != nil {
 		s.mu.Unlock()
 		os.Remove(tmpName)
 		s.putErrors.Add(1)
@@ -283,10 +352,14 @@ func (s *Store) Put(key string, val []byte) error {
 // accounting record — but only if the on-disk file is still the one the
 // reader observed (os.SameFile): a concurrent Put may have renamed a
 // fresh, valid entry into place after the bad read, and that write must
-// not be lost. Runs under s.mu, which Put's rename also holds.
+// not be lost. Runs under s.mu and the cross-process flock, which Put's
+// rename also holds — in this process and in any other daemon sharing
+// the store directory.
 func (s *Store) removeCorrupt(name, path string, observed os.FileInfo) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.dirLock()
+	defer s.dirUnlock()
 	if observed != nil {
 		cur, err := os.Lstat(path)
 		if err != nil || !os.SameFile(cur, observed) {
@@ -351,19 +424,23 @@ func (s *Store) gcLocked() []evictedFile {
 }
 
 // unlinkEvicted deletes evicted files one short critical section at a
-// time. Each unlink re-takes s.mu and re-checks file identity
-// (os.SameFile against what gcLocked observed), which is atomic with
-// Put's under-lock rename — so a key re-Put after its eviction keeps
-// its fresh file, and concurrent Gets proceed between unlinks.
+// time. Each unlink re-takes s.mu plus the cross-process flock and
+// re-checks file identity (os.SameFile against what gcLocked observed),
+// which is atomic with Put's under-lock rename — in this process and in
+// every other process over the same directory — so a key re-Put after
+// its eviction keeps its fresh file, and concurrent Gets proceed
+// between unlinks.
 func (s *Store) unlinkEvicted(victims []evictedFile) {
 	for _, v := range victims {
 		if v.info == nil {
 			continue // already gone when selected
 		}
 		s.mu.Lock()
+		s.dirLock()
 		if cur, err := os.Lstat(v.path); err == nil && os.SameFile(cur, v.info) {
 			os.Remove(v.path)
 		}
+		s.dirUnlock()
 		s.mu.Unlock()
 	}
 }

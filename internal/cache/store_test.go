@@ -8,6 +8,7 @@ import (
 	"path/filepath"
 	"strings"
 	"sync"
+	"syscall"
 	"testing"
 	"time"
 
@@ -203,6 +204,13 @@ func TestStorePartialWriteCrash(t *testing.T) {
 	}
 	if _, ok := s.Get("crashed"); ok {
 		t.Fatal("partial write visible under the live name")
+	}
+	// Age the leftover past staleTmpAge: Open only collects tmp files old
+	// enough to be certainly dead, so a sibling daemon's in-flight write
+	// over a shared directory is never destroyed.
+	old := time.Now().Add(-2 * staleTmpAge)
+	if err := os.Chtimes(tmpPath, old, old); err != nil {
+		t.Fatal(err)
 	}
 	// Reopen — the janitorial scan removes the leftover.
 	s2, err := OpenStore(dir, 0)
@@ -400,5 +408,148 @@ func TestStoreCtxVariants(t *testing.T) {
 	}
 	if names["store.put"] != 1 || names["store.get"] != 2 {
 		t.Fatalf("span names = %v", names)
+	}
+}
+
+// --- Cross-process sharing -------------------------------------------
+//
+// Several pmsynthd nodes point at one store directory in cluster mode.
+// Each runs its own *Store over the same files, so the in-process mutex
+// no longer serializes rename-into-place against identity-checked
+// removals; the flock taken in dirLock must. These tests run two Store
+// instances over one directory — flock is per open file description, so
+// two instances in one test process contend exactly like two daemons.
+
+func TestStoreCrossProcessLockExcludes(t *testing.T) {
+	dir := t.TempDir()
+	a, err := OpenStore(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := OpenStore(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.dirLock()
+	if err := syscall.Flock(int(b.lockFile.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err == nil {
+		syscall.Flock(int(b.lockFile.Fd()), syscall.LOCK_UN)
+		t.Fatal("second instance acquired the directory lock while the first held it")
+	}
+	a.dirUnlock()
+	if err := syscall.Flock(int(b.lockFile.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		t.Fatalf("lock not released: %v", err)
+	}
+	syscall.Flock(int(b.lockFile.Fd()), syscall.LOCK_UN)
+	if err := a.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	// After Close the store degrades to in-process exclusion; operations
+	// must still work.
+	if err := a.Put("post-close", []byte("v")); err != nil {
+		t.Fatalf("Put after Close: %v", err)
+	}
+	if _, ok := a.Get("post-close"); !ok {
+		t.Fatal("Get after Close missed")
+	}
+	b.Close()
+}
+
+// TestStoreCrossInstanceConcurrency is the cross-process extension of
+// TestStoreConcurrentGCvsRead: two Store instances over one directory,
+// concurrent Put/Get/GC plus injected corruption, under a byte budget
+// tight enough to keep the GC evicting. No reader on either instance
+// may ever observe wrong bytes, and a corrupt-cleanup on one instance
+// must never delete a fresh entry renamed into place by the other.
+func TestStoreCrossInstanceConcurrency(t *testing.T) {
+	dir := t.TempDir()
+	entrySize := int64(len(encodeEntry("key-00", bytes.Repeat([]byte("z"), 64))))
+	a, err := OpenStore(dir, 6*entrySize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := OpenStore(dir, 6*entrySize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stores := []*Store{a, b}
+	const keys = 12
+	payload := func(i int) []byte {
+		return bytes.Repeat([]byte{byte('a' + i)}, 64)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			s := stores[w%2]
+			for iter := 0; iter < 150; iter++ {
+				i := (w + iter) % keys
+				s.Put(fmt.Sprintf("key-%02d", i), payload(i))
+			}
+		}(w)
+	}
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			s := stores[r%2]
+			for iter := 0; iter < 300; iter++ {
+				i := (r + iter) % keys
+				val, ok := s.Get(fmt.Sprintf("key-%02d", i))
+				if ok && !bytes.Equal(val, payload(i)) {
+					t.Errorf("key-%02d served wrong bytes %q", i, val[:1])
+					return
+				}
+			}
+		}(r)
+	}
+	// A corrupter flipping payload bytes on disk: each instance's next
+	// Get of a victim must detect it, remove the file under the flock,
+	// and never take down a fresh entry the other instance just renamed
+	// into place.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for iter := 0; iter < 60; iter++ {
+			i := iter % keys
+			path := entryPath(a, fmt.Sprintf("key-%02d", i))
+			if data, err := os.ReadFile(path); err == nil && len(data) > 0 {
+				data[len(data)-1] ^= 0xff
+				os.WriteFile(path, data, 0o644)
+			}
+		}
+	}()
+	wg.Wait()
+	// Settle: after the storm, a fresh Put through either instance must
+	// be durable and readable through the other.
+	if err := a.Put("settle", []byte("final")); err != nil {
+		t.Fatalf("settle Put: %v", err)
+	}
+	if val, ok := b.Get("settle"); !ok || string(val) != "final" {
+		t.Fatalf("cross-instance read after storm: ok=%v val=%q", ok, val)
+	}
+}
+
+func TestStoreOpenKeepsFreshTmpFiles(t *testing.T) {
+	dir := t.TempDir()
+	fresh := filepath.Join(dir, "tmp-live-writer")
+	stale := filepath.Join(dir, "tmp-crashed-writer")
+	for _, p := range []string{fresh, stale} {
+		if err := os.WriteFile(p, []byte("partial"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	old := time.Now().Add(-time.Hour)
+	if err := os.Chtimes(stale, old, old); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenStore(dir, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Lstat(fresh); err != nil {
+		t.Fatal("Open deleted a fresh tmp file another live process may own")
+	}
+	if _, err := os.Lstat(stale); !os.IsNotExist(err) {
+		t.Fatal("Open kept a stale crashed-write leftover")
 	}
 }

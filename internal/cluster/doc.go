@@ -1,0 +1,24 @@
+// Package cluster makes pmsynthd multi-node: a static peer set with
+// consistent-hash (rendezvous) routing on sweep fingerprints, routable
+// job identifiers, and the HTTP proxy plumbing that lets any node
+// answer for any job.
+//
+// The model is deliberately minimal — no membership protocol, no
+// consensus. The peer set is configuration (-peers); result convergence
+// comes from the content-addressed shared store every node mounts, and
+// execution dedup from the claim files in internal/cache. Routing is an
+// optimization, not a correctness requirement: a node that cannot reach
+// a sweep's owner executes locally, and determinism plus the claim
+// protocol guarantee the bytes are identical no matter which node runs
+// the flow.
+//
+// Job identifiers become routable in cluster mode: a job created on
+// node n is presented as "<nodeID>~<localID>", and every /v1/jobs/{id}
+// endpoint on every node resolves the prefix — locally when it names
+// the serving node, by transparent proxy (including NDJSON event
+// streams) otherwise.
+//
+// See DESIGN.md ("Cluster") for the full routing and claim protocol and
+// the failure-mode table, and internal/cluster/clustertest for the
+// fault-injection harness the cluster tests boot real daemons with.
+package cluster

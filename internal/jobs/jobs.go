@@ -63,6 +63,9 @@ type Info struct {
 	// Group is the batch label the job was submitted under, if any; all
 	// jobs of one POST /v1/batch share a group.
 	Group string `json:"group,omitempty"`
+	// Node is the cluster node the job lives on, when the manager is
+	// node-scoped; empty single-node. The same id prefixes ID.
+	Node string `json:"node,omitempty"`
 	// Trace is the telemetry trace id the job's spans are recorded
 	// under, if the submitter traced it: the handle for
 	// GET /v1/jobs/{id}/trace and for correlating server logs.
@@ -82,6 +85,7 @@ type Job struct {
 	name  string
 	group string
 	trace string
+	node  string
 
 	mu       sync.Mutex
 	state    State
@@ -119,7 +123,7 @@ func (j *Job) Snapshot() Info {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	info := Info{
-		ID: j.id, Name: j.name, Group: j.group, Trace: j.trace, State: j.state,
+		ID: j.id, Name: j.name, Group: j.group, Node: j.node, Trace: j.trace, State: j.state,
 		Created: j.created, Started: j.started, Finished: j.finished,
 		Done: j.done, Total: j.total,
 	}
@@ -233,6 +237,7 @@ type Manager struct {
 	jobs      map[string]*Job
 	ttl       time.Duration
 	eventTail int
+	node      string       // id prefix of every job; "" single-node
 	log       *slog.Logger // nil disables lifecycle logging
 	//pmlint:allow spanpair the manager's base context is the worker pool's shutdown root, canceled exactly once by Close
 	base        context.Context
@@ -282,7 +287,17 @@ type Config struct {
 	// (started, succeeded, failed, canceled) carrying job, name, group
 	// and trace ids. Nil disables lifecycle logging entirely.
 	Logger *slog.Logger
+	// Node, when non-empty, namespaces every job id as "<node>~<id>" —
+	// the cluster-routable form: any node can resolve the prefix to the
+	// node that owns the job — and stamps Info.Node. Empty (single-node)
+	// leaves ids bare.
+	Node string
 }
+
+// nodeSep separates the node prefix from the local id in routable job
+// ids. It must match the cluster package's separator (a tilde: URL-path
+// safe where a slash would split the {id} route pattern).
+const nodeSep = "~"
 
 // NewManager starts a manager: its fixed worker pool and its janitor
 // goroutine. Call Close to stop it.
@@ -312,6 +327,7 @@ func NewManager(cfg Config) *Manager {
 		wake:        make(chan struct{}, 1),
 		ttl:         cfg.TTL,
 		eventTail:   cfg.EventTail,
+		node:        cfg.Node,
 		log:         cfg.Logger,
 		base:        base,
 		stop:        stop,
@@ -342,7 +358,7 @@ func (m *Manager) SubmitGroup(name, group, trace string, total int, fn Func) (*J
 	ctx, cancel := context.WithCancel(m.base)
 	now := time.Now()
 	j := &Job{
-		id: newID(), name: name, group: group, trace: trace, state: StatePending,
+		id: m.newJobID(), name: name, group: group, trace: trace, node: m.node, state: StatePending,
 		created: now, total: total, ringCap: m.eventTail,
 		notify: make(chan struct{}),
 		cancel: cancel, ctx: ctx, fn: fn,
@@ -391,7 +407,7 @@ func (m *Manager) SubmitDone(name, group, trace string, total int, val interface
 	m.qmu.Unlock()
 	now := time.Now()
 	j := &Job{
-		id: newID(), name: name, group: group, trace: trace, state: StateSucceeded,
+		id: m.newJobID(), name: name, group: group, trace: trace, node: m.node, state: StateSucceeded,
 		created: now, started: now, finished: now,
 		done: total, total: total, ringCap: m.eventTail,
 		result: val,
@@ -702,4 +718,16 @@ func newID() string {
 		panic("jobs: no entropy: " + err.Error())
 	}
 	return hex.EncodeToString(b[:])
+}
+
+// newJobID returns a fresh job id, node-prefixed when the manager is
+// node-scoped: jobs are born with their routable identity, so every
+// surface — snapshots, event streams, the dedup index — carries the id
+// any cluster node can resolve.
+func (m *Manager) newJobID() string {
+	id := newID()
+	if m.node != "" {
+		id = m.node + nodeSep + id
+	}
+	return id
 }

@@ -108,7 +108,11 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		sem <- struct{}{}
 		go func(source string) {
 			defer func() { <-sem; wg.Done() }()
-			out := s.admitSweep(r.Context(), source, spec, id)
+			// Batch entries never forward to a lease holder (there is no
+			// per-entry response stream to proxy onto): a foreign lease
+			// sheds the entry with Retry-After, and by the retry the
+			// holder's table is warm in the shared store.
+			out := s.admitSweep(r.Context(), source, spec, id, admitMode{noForward: true})
 			item.Status = out.status
 			if out.status < 300 {
 				sweep := out.resp

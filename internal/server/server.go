@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"log/slog"
 	"net/http"
+	"path/filepath"
 	"runtime"
 	"sort"
 	"strconv"
@@ -18,6 +19,7 @@ import (
 
 	"repro"
 	"repro/internal/cache"
+	"repro/internal/cluster"
 	"repro/internal/jobs"
 	"repro/internal/telemetry"
 )
@@ -75,6 +77,26 @@ type Config struct {
 	// the job TTL. Beyond the bound, warm submissions are shed with 429
 	// exactly like queue-full cold ones.
 	MaxWarmJobs int
+	// SelfURL is this node's advertised base URL (scheme://host:port).
+	// Non-empty enables cluster mode: job ids carry this node's id
+	// prefix, sweep submissions are routed to their fingerprint's owner
+	// node, and the /v1/jobs endpoints transparently proxy ids that name
+	// other nodes. Empty keeps the server single-node.
+	SelfURL string
+	// Peers lists every cluster member's advertised base URL (listing
+	// self is fine; it is deduped). Ignored without SelfURL.
+	Peers []string
+	// ClaimTTL is the lease duration of the claim files that dedupe
+	// executions across nodes sharing one store directory; <= 0 means
+	// cache.DefaultClaimTTL. Claims are only used with SelfURL and
+	// StoreDir both set.
+	ClaimTTL time.Duration
+	// SweepHook, when non-nil, runs at the start of every computed sweep
+	// job's Func — on the worker goroutine, with the sweep fingerprint,
+	// after admission and before any point evaluates. It is the
+	// fault-injection seam: cluster tests stall a job here to kill its
+	// node mid-execution.
+	SweepHook func(fp string)
 	// CompileHook, when non-nil, runs inside the design cache's
 	// singleflight compute immediately before the compiler — exactly one
 	// call per actual compile, on the computing goroutine, never under
@@ -108,7 +130,9 @@ type Server struct {
 	cfg     Config
 	cache   *cache.Cache[*synthResult]
 	designs *cache.Cache[*pmsynth.Design]
-	store   *cache.Store // nil when persistence is disabled
+	store   *cache.Store      // nil when persistence is disabled
+	cluster *cluster.Cluster  // nil when single-node
+	claims  *cache.ClaimStore // nil unless clustered with a store
 	jobs    *jobs.Manager
 	mux     *http.ServeMux
 	start   time.Time
@@ -183,6 +207,25 @@ func New(cfg Config) (*Server, error) {
 			return nil, err
 		}
 	}
+	var clu *cluster.Cluster
+	var claims *cache.ClaimStore
+	var nodeID string
+	if cfg.SelfURL != "" {
+		var err error
+		clu, err = cluster.New(cfg.SelfURL, cfg.Peers)
+		if err == nil && store != nil {
+			// Claims live in a subdirectory of the shared store so every
+			// node mounting the store sees the same lease namespace.
+			claims, err = cache.OpenClaimStore(filepath.Join(cfg.StoreDir, "claims"), cfg.ClaimTTL)
+		}
+		if err != nil {
+			if store != nil {
+				store.Close()
+			}
+			return nil, err
+		}
+		nodeID = clu.Self().ID
+	}
 	logger := cfg.Logger
 	if logger == nil {
 		logger = telemetry.NopLogger()
@@ -192,12 +235,15 @@ func New(cfg Config) (*Server, error) {
 		cache:   cache.New[*synthResult](cfg.CacheEntries),
 		designs: cache.New[*pmsynth.Design](cfg.DesignCacheEntries),
 		store:   store,
+		cluster: clu,
+		claims:  claims,
 		jobs: jobs.NewManager(jobs.Config{
 			Workers:    cfg.JobWorkers,
 			MaxPending: cfg.MaxPendingJobs,
 			EventTail:  cfg.EventTail,
 			TTL:        cfg.JobTTL,
 			Logger:     cfg.Logger,
+			Node:       nodeID,
 		}),
 		mux:       http.NewServeMux(),
 		start:     time.Now(),
@@ -228,8 +274,14 @@ func New(cfg Config) (*Server, error) {
 // middleware (per-request traces, latency histograms, access log).
 func (s *Server) Handler() http.Handler { return s.withTelemetry(s.mux) }
 
-// Close stops the job manager, canceling running jobs.
-func (s *Server) Close() { s.jobs.Close() }
+// Close stops the job manager (canceling running jobs) and releases the
+// disk store's cross-process lock file.
+func (s *Server) Close() {
+	s.jobs.Close()
+	if s.store != nil {
+		s.store.Close()
+	}
+}
 
 // CacheStats exposes the result-cache counters (also served by /metrics).
 func (s *Server) CacheStats() cache.Stats { return s.cache.Stats() }
@@ -429,11 +481,19 @@ func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// handleSweep validates a sweep submission and hands it to the admission
+// handleSweep validates a sweep submission, routes it to the
+// fingerprint's owner node when clustered, and hands it to the admission
 // pipeline. The client-supplied Workers value is clamped to the server
 // cap — Workers never affects results (it is excluded from the
 // fingerprint), so the clamp is invisible except in how much concurrency
 // one request may demand from the flow pool.
+//
+// Routing is availability-first: a proxy failure (owner unreachable or
+// answering 5xx) falls back to local execution rather than failing the
+// submission — determinism and the content-addressed store make a
+// misrouted execution produce identical bytes. Submissions that arrive
+// with the forward header are served locally, never re-forwarded, so a
+// routing disagreement costs one extra hop, not a loop.
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	s.sweepRequests.Add(1)
 	var req SweepRequest
@@ -450,7 +510,51 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.clampWorkers(&spec)
-	s.writeSweepOutcome(w, s.admitSweep(r.Context(), req.Source, spec, ""))
+	forwarded := r.Header.Get(cluster.ForwardHeader) != ""
+	if s.cluster != nil && forwarded {
+		s.cluster.CountForwarded()
+	}
+	if s.cluster != nil && !s.cluster.Single() && !forwarded {
+		fp := pmsynth.SweepFingerprint(req.Source, spec)
+		if owner := s.cluster.Owner(fp); owner.ID != s.cluster.Self().ID {
+			if s.proxySweep(w, r, req, owner) {
+				return
+			}
+			s.cluster.CountFallback()
+		}
+	}
+	out := s.admitSweep(r.Context(), req.Source, spec, "", admitMode{noForward: forwarded})
+	if out.forward != nil {
+		// A live claim on another node: that node is already executing
+		// this fingerprint, so hand it the submission — its dedup index
+		// answers with the one running job.
+		if s.proxySweep(w, r, req, *out.forward) {
+			return
+		}
+		// Holder unreachable: execute locally, ignoring the claim. The
+		// worst case is a duplicate execution whose store Put is
+		// idempotent; the alternative — shedding until the lease
+		// expires — trades availability for nothing.
+		s.cluster.CountFallback()
+		out = s.admitSweep(r.Context(), req.Source, spec, "", admitMode{noForward: true, skipClaim: true})
+	}
+	s.writeSweepOutcome(w, out)
+}
+
+// proxySweep forwards a sweep submission to node, relaying the response.
+// false (with nothing written to w) when the node was unreachable or
+// failing, so the caller can fall back to local execution.
+func (s *Server) proxySweep(w http.ResponseWriter, r *http.Request, req SweepRequest, node cluster.Node) bool {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return false
+	}
+	if err := s.cluster.ProxySubmit(w, r, node, body); err != nil {
+		s.log.Warn("sweep proxy failed; executing locally",
+			"node", node.ID, "url", node.URL, "err", err)
+		return false
+	}
+	return true
 }
 
 // clampWorkers resolves the worker default before clamping, so the cap
@@ -477,6 +581,23 @@ type sweepOutcome struct {
 	status int                  // 200 deduped/warm, 202 created, 422/429/503 refused
 	resp   SweepCreatedResponse // valid when status < 300
 	errMsg string               // valid when status >= 300
+	// forward, when non-nil, asks the caller to hand the submission to
+	// the node holding the fingerprint's execution lease instead of
+	// executing a duplicate. Only produced without noForward.
+	forward *cluster.Node
+}
+
+// admitMode tunes admitSweep's cluster behavior for its three callers.
+type admitMode struct {
+	// noForward turns a foreign execution lease into a shed (429 with
+	// Retry-After — by then the holder's table is usually in the store)
+	// instead of a forward outcome. Set for submissions that arrived
+	// forwarded (never re-forward) and for batch entries (no per-entry
+	// proxying).
+	noForward bool
+	// skipClaim bypasses the claim protocol entirely: the local-fallback
+	// path after a lease holder proved unreachable.
+	skipClaim bool
 }
 
 // writeSweepOutcome renders one admission outcome as an HTTP response,
@@ -532,7 +653,7 @@ func (s *Server) retryAfterSeconds() int {
 // span, the per-point and per-pass spans underneath, all parent back to
 // the submitting request's root span, and the job snapshot carries the
 // trace id for GET /v1/jobs/{id}/trace.
-func (s *Server) admitSweep(ctx context.Context, source string, spec pmsynth.SweepSpec, group string) sweepOutcome {
+func (s *Server) admitSweep(ctx context.Context, source string, spec pmsynth.SweepSpec, group string, mode admitMode) sweepOutcome {
 	fp := pmsynth.SweepFingerprint(source, spec)
 
 	s.mu.Lock()
@@ -570,13 +691,57 @@ func (s *Server) admitSweep(ctx context.Context, source string, spec pmsynth.Swe
 	if pending, _, capacity, _ := s.jobs.QueueStats(); pending >= capacity {
 		return s.shedOutcome(jobs.ErrQueueFull)
 	}
+
+	// Cross-node dedup: claim the fingerprint's execution lease before
+	// spending compile work, so nodes racing the same sweep over one
+	// store run it once. Claims are an optimization, never a correctness
+	// gate — every path that proceeds unclaimed is safe because the flow
+	// is deterministic and the store Put content-addressed.
+	claimed := false
+	release := func() {}
+	if s.claims != nil && !mode.skipClaim {
+		self := s.cluster.Self().ID
+		switch acquired, holder := s.claims.Acquire(fp, self); {
+		case acquired:
+			// Re-check the store: the lease may have just been released by
+			// an execution elsewhere whose table landed after the warm
+			// lookup above.
+			if out, ok := s.warmSweep(ctx, fp, group); ok {
+				s.claims.Release(fp, self)
+				return out
+			}
+			claimed = true
+			release = func() { s.claims.Release(fp, self) }
+		case holder.Node != "" && holder.Node != self:
+			if node, ok := s.cluster.Lookup(holder.Node); ok {
+				if !mode.noForward {
+					return sweepOutcome{forward: &node}
+				}
+				s.sweepSheds.Add(1)
+				return sweepOutcome{
+					status: http.StatusTooManyRequests,
+					errMsg: fmt.Sprintf("sweep is executing on node %s; retry after %ds",
+						holder.Node, s.retryAfterSeconds()),
+				}
+			}
+			// Holder outside the peer set (a reconfiguration artifact):
+			// proceed unclaimed.
+		default:
+			// The lease is this node's own but no live job covers it — a
+			// job canceled while queued leaks its lease until the TTL.
+			// Proceed unclaimed rather than shedding on our own residue.
+		}
+	}
+
 	design, err := s.compileCached(ctx, source)
 	if err != nil {
+		release()
 		return sweepOutcome{status: http.StatusUnprocessableEntity, errMsg: fmt.Sprintf("compile: %v", err)}
 	}
 	// Validate the spec against the design before committing a job.
 	opts, err := spec.Enumerate(design)
 	if err != nil {
+		release()
 		return sweepOutcome{status: http.StatusUnprocessableEntity, errMsg: fmt.Sprintf("enumerate: %v", err)}
 	}
 	total := len(opts)
@@ -591,6 +756,9 @@ func (s *Server) admitSweep(ctx context.Context, source string, spec pmsynth.Swe
 	// courtesy of the design cache's singleflight.
 	if resp, ok := s.dedupLocked(fp); ok {
 		s.mu.Unlock()
+		// The racing submission's job carries its own lease (or none);
+		// ours has no execution to guard.
+		release()
 		return sweepOutcome{status: http.StatusOK, resp: resp}
 	}
 	// The queue-wait span opens now and is ended by the job Func's first
@@ -600,13 +768,31 @@ func (s *Server) admitSweep(ctx context.Context, source string, spec pmsynth.Swe
 	job, err := s.jobs.SubmitGroup("sweep "+design.Graph.Name, group, tr.ID(), total,
 		func(jobCtx context.Context, progress func(done, total int)) (interface{}, error) {
 			qsp.End()
+			// The execution lease is released after the store Put below,
+			// so a node that lost the claim race and sheds with
+			// Retry-After finds the table warm on retry. A job canceled
+			// while still queued never runs this Func; its lease expires
+			// by TTL instead.
+			defer release()
+			if hook := s.cfg.SweepHook; hook != nil {
+				hook(fp)
+			}
+			prog := progress
+			if claimed {
+				// Progress doubles as the lease heartbeat: long sweeps
+				// refresh their claim so it never goes stale mid-run.
+				prog = func(done, total int) {
+					s.claims.Refresh(fp)
+					progress(done, total)
+				}
+			}
 			// The job continues the submitting request's trace: jobCtx
 			// carries the job's cancellation, re-dressed with the trace
 			// and re-parented under the request's root span.
 			jctx := telemetry.WithSpan(telemetry.WithTrace(jobCtx, tr), rootSp)
 			jctx, runSp := telemetry.StartSpan(jctx, "run")
 			defer runSp.End()
-			sr, err := pmsynth.SweepContextProgress(jctx, design, spec, pmsynth.SweepProgress(progress))
+			sr, err := pmsynth.SweepContextProgress(jctx, design, spec, pmsynth.SweepProgress(prog))
 			if sr != nil {
 				// The result views serve Options/Row/Err/Elapsed only;
 				// dropping the full per-point synthesis artifacts keeps
@@ -629,11 +815,18 @@ func (s *Server) admitSweep(ctx context.Context, source string, spec pmsynth.Swe
 		s.mu.Unlock()
 		qsp.SetAttr("shed", "true")
 		qsp.End()
+		release()
 		return s.shedOutcome(err)
 	}
 	s.sweepByFP[fp] = job.ID()
 	s.mu.Unlock()
 
+	if claimed {
+		// Publish the job id on the lease (outside s.mu — it is file
+		// I/O), so peers that lose the race can point their clients at
+		// the one execution.
+		s.claims.SetJob(fp, s.cluster.Self().ID, job.ID())
+	}
 	return sweepOutcome{status: http.StatusAccepted, resp: SweepCreatedResponse{
 		ID: job.ID(), State: job.Snapshot().State, Total: total,
 		Fingerprint: fp, Workers: spec.Workers, Trace: tr.ID(),
@@ -823,15 +1016,45 @@ func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.jobs.List())
 }
 
-// job resolves the {id} path value, writing a 404 on miss.
+// job resolves the {id} path value, writing a 404 on miss. In cluster
+// mode an id carrying another node's prefix is answered by transparent
+// proxy — the entire request (status, result views, cancel, the NDJSON
+// event stream) relays to the owning node — and ok is false because the
+// response has already been written.
 func (s *Server) job(w http.ResponseWriter, r *http.Request) (*jobs.Job, bool) {
 	id := r.PathValue("id")
+	if s.cluster != nil {
+		if nodeID, _, routable := cluster.SplitID(id); routable && nodeID != s.cluster.Self().ID {
+			s.proxyJobRequest(w, r, nodeID)
+			return nil, false
+		}
+	}
 	j, ok := s.jobs.Get(id)
 	if !ok {
 		writeError(w, http.StatusNotFound, "no such job %q", id)
 		return nil, false
 	}
 	return j, true
+}
+
+// proxyJobRequest relays a job-scoped request to the node its id names.
+// Requests that already crossed the cluster once (forward header) are
+// never proxied again — a stale or wrong prefix 404s after one hop.
+func (s *Server) proxyJobRequest(w http.ResponseWriter, r *http.Request, nodeID string) {
+	id := r.PathValue("id")
+	node, ok := s.cluster.Lookup(nodeID)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such job %q: unknown node %q", id, nodeID)
+		return
+	}
+	if r.Header.Get(cluster.ForwardHeader) != "" {
+		writeError(w, http.StatusNotFound, "no such job %q", id)
+		return
+	}
+	if err := s.cluster.ProxyJob(w, r, node); err != nil {
+		s.log.Warn("job proxy failed", "node", nodeID, "url", node.URL, "err", err)
+		writeError(w, http.StatusBadGateway, "job %q lives on node %s, which is unreachable", id, nodeID)
+	}
 }
 
 func (s *Server) handleJobStatus(w http.ResponseWriter, r *http.Request) {

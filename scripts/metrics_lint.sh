@@ -131,4 +131,17 @@ for series in pmsynthd_cache_misses pmsynthd_design_cache_misses \
     }
 done
 
+# The cluster series are emitted unconditionally — zeros on a
+# single-node daemon like this one — so dashboards and alerts never see
+# a family appear out of nowhere when -peers is first configured.
+for series in pmsynthd_cluster_enabled pmsynthd_cluster_nodes \
+    pmsynthd_cluster_proxied_submits pmsynthd_cluster_fallbacks \
+    pmsynthd_cluster_forwarded pmsynthd_cluster_claims_acquired \
+    pmsynthd_cluster_claims_stolen; do
+    grep -q "^$series " "$OUT" || {
+        echo "metrics-lint: cluster series $series missing" >&2
+        exit 1
+    }
+done
+
 echo "metrics-lint: ok ($(grep -c '^pmsynthd' "$OUT") sample lines)"
